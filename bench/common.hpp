@@ -1,0 +1,104 @@
+// common.hpp — shared plumbing for the figure-reproduction benches.
+//
+// Each bench binary regenerates one table/figure of the paper's evaluation:
+// it prints the paper's qualitative claim, the series our model and/or the
+// functional simulator produce, and a set of shape checks (who wins, by
+// roughly what factor, where the crossover is). Exit code = number of
+// failed shape checks.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "perfmodel/model.hpp"
+
+namespace ftmr::bench {
+
+class Report {
+ public:
+  Report(const std::string& figure, const std::string& paper_claim) {
+    std::printf("================================================================\n");
+    std::printf("%s\n", figure.c_str());
+    std::printf("paper: %s\n", paper_claim.c_str());
+    std::printf("================================================================\n");
+  }
+
+  void section(const std::string& name) { std::printf("\n-- %s --\n", name.c_str()); }
+
+  template <typename... Args>
+  void row(const char* fmt, Args... args) {
+    std::printf(fmt, args...);
+    std::printf("\n");
+  }
+
+  void check(const std::string& name, bool pass, const std::string& detail = {}) {
+    std::printf("CHECK %-52s %s%s%s\n", name.c_str(), pass ? "PASS" : "FAIL",
+                detail.empty() ? "" : "  -- ", detail.c_str());
+    ++total_;
+    if (!pass) ++failed_;
+  }
+
+  /// Call last; returns the process exit code.
+  int finish() {
+    std::printf("\nshape checks: %d/%d passed\n", total_ - failed_, total_);
+    return failed_;
+  }
+
+ private:
+  int total_ = 0;
+  int failed_ = 0;
+};
+
+/// Paper-testbed workload presets for the model.
+inline perf::WorkloadModel wordcount_workload() {
+  perf::WorkloadModel w;  // defaults are the 128 GB wordcount
+  return w;
+}
+
+inline perf::WorkloadModel pagerank_workload() {
+  perf::WorkloadModel w;
+  w.input_bytes = 250.0 * (1ull << 30);
+  w.record_bytes = 600;              // web pages with link lists
+  w.map_cost_per_record_s = 40e-6;   // parse links + rank arithmetic
+  w.reduce_cost_per_value_s = 2e-6;
+  w.kv_expansion = 0.12;             // contributions are small
+  w.stages = 6;                      // 3 iterations x 2 stages
+  return w;
+}
+
+inline perf::WorkloadModel bfs_workload() {
+  perf::WorkloadModel w;
+  w.input_bytes = 250.0 * (1ull << 30);
+  w.record_bytes = 400;
+  w.map_cost_per_record_s = 15e-6;
+  w.reduce_cost_per_value_s = 1e-6;
+  w.kv_expansion = 0.15;
+  w.stages = 5;  // iterations until traversal completes
+  return w;
+}
+
+inline perf::WorkloadModel blast_workload() {
+  perf::WorkloadModel w;
+  // 12,000 queries; virtually all time is the NCBI-library search per query.
+  w.input_bytes = 12000.0 * 1024.0;  // ~1 KB per query record
+  w.record_bytes = 1024.0;
+  w.map_cost_per_record_s = 160.0;   // NCBI search per query vs a DB
+                                     // partition: minutes-scale compute
+  w.reduce_cost_per_value_s = 1e-4;
+  w.kv_expansion = 8.0;              // hit lists are larger than queries
+  w.stages = 1;
+  return w;
+}
+
+inline perf::JobModel make_model(const perf::WorkloadModel& w, perf::Mode mode,
+                                 int procs, bool refinements = false) {
+  perf::FtConfig ft;
+  ft.mode = mode;
+  // The paper disabled the two refinements when comparing against MR-MPI
+  // "for a fair comparison" (Sec. 6.2).
+  ft.two_pass_convert = refinements;
+  return perf::JobModel(perf::ClusterModel{}, w, ft, procs);
+}
+
+}  // namespace ftmr::bench

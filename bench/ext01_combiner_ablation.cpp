@@ -1,0 +1,67 @@
+// Extension ablation (beyond the paper's figures): the combiner.
+//
+// FT-MRMPI's task runner delegates all I/O, which makes it natural to slot
+// a combiner between map and shuffle (classic MapReduce: pre-aggregate
+// each outgoing partition locally). This bench quantifies the shuffle-
+// volume and end-to-end effect on the Zipf-skewed wordcount, with and
+// without an injected failure — the combined run must stay byte-correct
+// through recovery because the rebuild path re-applies the combiner.
+#include "bench/common.hpp"
+#include "bench/minicluster.hpp"
+
+using namespace ftmr;
+using namespace ftmr::bench;
+
+namespace {
+
+MiniJob combiner_job(bool combine, double kill_at) {
+  MiniJob j = wordcount_mini(core::FtMode::kDetectResumeWC, 8, 32);
+  j.generate = [](storage::StorageSystem& fs) {
+    apps::TextGenOptions tg;
+    tg.nchunks = 32;
+    tg.lines_per_chunk = 64;
+    tg.vocabulary = 500;   // heavy duplication: the combiner's best case
+    tg.zipf_exponent = 1.1;
+    (void)apps::generate_text(fs, tg);
+  };
+  j.driver = [combine] {
+    return [combine](core::FtJob& job) -> Status {
+      core::StageFns fns = apps::wordcount_stage();
+      if (combine) fns.combine = fns.reduce;
+      if (auto s = job.run_stage(fns, false, nullptr); !s.ok()) return s;
+      return job.write_output();
+    };
+  };
+  if (kill_at > 0) j.sim.kills.push_back({2, kill_at, -1});
+  return j;
+}
+
+}  // namespace
+
+int main() {
+  Report rep("Extension ablation: map-side combiner",
+             "a combiner shrinks the Zipf-skewed wordcount shuffle by an "
+             "order of magnitude and must remain exact through recovery");
+
+  rep.section("failure-free");
+  const MiniResult off = run_mini(combiner_job(false, 0));
+  const MiniResult on = run_mini(combiner_job(true, 0));
+  rep.row("combiner off: makespan=%.4fs", off.makespan);
+  rep.row("combiner on : makespan=%.4fs saved-bytes(agg)=%.0f", on.makespan,
+          on.times.get("combine_saved_bytes"));
+  rep.check("combiner saves shuffle bytes",
+            on.times.get("combine_saved_bytes") > 0.0);
+  rep.check("combiner does not slow the job (>= 0.95x)",
+            on.makespan <= off.makespan * 1.05);
+
+  rep.section("with a failure mid-job (detect/resume WC)");
+  const MiniResult off_f = run_mini(combiner_job(false, 8e-3));
+  const MiniResult on_f = run_mini(combiner_job(true, 8e-3));
+  rep.row("combiner off: total=%.4fs recoveries=%d", off_f.total_time,
+          off_f.recoveries);
+  rep.row("combiner on : total=%.4fs recoveries=%d", on_f.total_time,
+          on_f.recoveries);
+  rep.check("both recover (correctness asserted by the test suite)",
+            off_f.ok && on_f.ok && off_f.recoveries >= 1 && on_f.recoveries >= 1);
+  return rep.finish();
+}

@@ -1,0 +1,57 @@
+// Extension ablation (paper Sec. 4.1.1, argued but not plotted): synchronous
+// vs asynchronous checkpointing. The paper rejects synchronous
+// checkpointing because simultaneous writes contend on storage and the
+// pervasive workload imbalance forces fast processes to wait for slow
+// ones; this bench quantifies that argument with the calibrated model.
+#include "bench/common.hpp"
+
+using namespace ftmr;
+using namespace ftmr::bench;
+
+int main() {
+  Report rep("Extension ablation: synchronous vs asynchronous checkpointing",
+             "Sec. 4.1.1: synchronous checkpointing 'can significantly slow "
+             "down the job execution' and 'force fast processes to wait for "
+             "the slow ones' — FT-MRMPI checkpoints asynchronously");
+
+  const auto w = wordcount_workload();
+  rep.section("model: wordcount, C/R, records/ckpt=100");
+  rep.row("%6s %12s %12s %10s", "procs", "async(s)", "sync(s)", "penalty");
+  double penalty256 = 0;
+  for (int p : {32, 128, 256, 1024}) {
+    perf::FtConfig a, s;
+    a.mode = s.mode = perf::Mode::kCheckpointRestart;
+    a.two_pass_convert = s.two_pass_convert = false;
+    s.synchronous = true;
+    const double ta =
+        perf::JobModel(perf::ClusterModel{}, w, a, p).failure_free().total();
+    const double ts =
+        perf::JobModel(perf::ClusterModel{}, w, s, p).failure_free().total();
+    rep.row("%6d %12.1f %12.1f %9.1f%%", p, ta, ts, 100.0 * (ts / ta - 1.0));
+    if (p == 256) penalty256 = ts / ta;
+  }
+  rep.check("synchronous checkpointing visibly slower (>5% at 256p)",
+            penalty256 > 1.05);
+
+  rep.section("penalty grows with checkpoint frequency");
+  double prev = 0;
+  bool monotone = true;
+  for (int64_t r : {int64_t{1000}, int64_t{100}, int64_t{10}}) {
+    perf::FtConfig a, s;
+    a.mode = s.mode = perf::Mode::kCheckpointRestart;
+    a.two_pass_convert = s.two_pass_convert = false;
+    a.records_per_ckpt = s.records_per_ckpt = r;
+    s.synchronous = true;
+    const double ta =
+        perf::JobModel(perf::ClusterModel{}, w, a, 256).failure_free().total();
+    const double ts =
+        perf::JobModel(perf::ClusterModel{}, w, s, 256).failure_free().total();
+    const double pen = ts / ta - 1.0;
+    rep.row("records/ckpt=%5lld penalty=%6.1f%%", static_cast<long long>(r),
+            100.0 * pen);
+    if (pen < prev) monotone = false;
+    prev = pen;
+  }
+  rep.check("finer checkpoints amplify the synchronization penalty", monotone);
+  return rep.finish();
+}

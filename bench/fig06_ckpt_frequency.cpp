@@ -1,0 +1,54 @@
+// Figure 6 — percentage overhead of checkpointing vs checkpoint
+// granularity (records per checkpoint), wordcount at 256 processes.
+#include "bench/common.hpp"
+#include "bench/minicluster.hpp"
+
+using namespace ftmr;
+using namespace ftmr::bench;
+
+int main() {
+  Report rep("Figure 6: checkpointing overhead vs records per checkpoint",
+             "overhead is huge at 1 record/ckpt, drops sharply by 100, and "
+             "flattens; ~1e5 records/ckpt gives reasonably low overhead "
+             "(paper's run: ~4e7 records per process)");
+
+  rep.section("model @ 256 procs (overhead vs non-checkpointing FT-MRMPI)");
+  const auto w = wordcount_workload();
+  const double base =
+      make_model(w, perf::Mode::kDetectResumeNWC, 256).failure_free().total();
+  rep.row("%12s %10s", "records/ckpt", "overhead");
+  std::vector<double> series;
+  for (int64_t r : {int64_t{1}, int64_t{10}, int64_t{100}, int64_t{1000},
+                    int64_t{10000}, int64_t{100000}, int64_t{1000000}}) {
+    perf::FtConfig ft;
+    ft.mode = perf::Mode::kCheckpointRestart;
+    ft.two_pass_convert = false;
+    ft.records_per_ckpt = r;
+    perf::JobModel m(perf::ClusterModel{}, w, ft, 256);
+    const double ovh = (m.failure_free().total() - base) / base * 100.0;
+    rep.row("%12lld %9.1f%%", static_cast<long long>(r), ovh);
+    series.push_back(ovh);
+  }
+  rep.check("overhead ~90-130% at 1 record/ckpt",
+            series[0] > 80.0 && series[0] < 150.0);
+  rep.check("sharp drop from 1 to 100 records/ckpt", series[2] < series[0] / 4.0);
+  rep.check("monotone non-increasing",
+            std::is_sorted(series.rbegin(), series.rend()));
+  rep.check("reasonably low (<15%) at 1e5", series[5] < 15.0);
+
+  rep.section("functional mini-cluster (8 ranks)");
+  const double mini_base =
+      run_mini(wordcount_mini(core::FtMode::kDetectResumeNWC)).makespan;
+  std::vector<double> mini;
+  for (int64_t r : {int64_t{1}, int64_t{8}, int64_t{64}, int64_t{512}}) {
+    MiniJob j = wordcount_mini(core::FtMode::kCheckpointRestart);
+    j.opts.ckpt.records_per_ckpt = r;
+    const double t = run_mini(j).makespan;
+    const double ovh = (t - mini_base) / mini_base * 100.0;
+    rep.row("%12lld %9.1f%%", static_cast<long long>(r), ovh);
+    mini.push_back(ovh);
+  }
+  rep.check("functional: overhead drops with coarser checkpoints",
+            mini.back() < mini.front());
+  return rep.finish();
+}

@@ -1,0 +1,52 @@
+// Figure 7 — cost of the background copier thread: ~3% CPU time, ~11% more
+// I/O wait than MR-MPI (wordcount, checkpoint/restart model).
+#include "bench/common.hpp"
+#include "bench/minicluster.hpp"
+
+using namespace ftmr;
+using namespace ftmr::bench;
+
+int main() {
+  Report rep("Figure 7: overhead of the copier thread (wordcount)",
+             "copier CPU is ~3% of job time; I/O wait grows ~11% over MR-MPI; "
+             "the main cost of checkpointing is added I/O operations");
+
+  rep.section("model @ 256 procs");
+  const auto w = wordcount_workload();
+  perf::FtConfig ft;
+  ft.mode = perf::Mode::kCheckpointRestart;
+  ft.two_pass_convert = false;
+  const perf::JobModel m(perf::ClusterModel{}, w, ft, 256);
+  const double total = m.failure_free().total();
+  const auto cc = m.copier_costs();
+  const double base_io =
+      make_model(w, perf::Mode::kMrMpi, 256).failure_free().merge;
+  const double ft_io = m.failure_free().merge + m.failure_free().ckpt;
+  rep.row("job completion        %10.1f s", total);
+  rep.row("copier CPU            %10.1f s (%.1f%% of job)", cc.cpu,
+          100.0 * cc.cpu / total);
+  rep.row("copier I/O (overlap)  %10.1f s", cc.io);
+  rep.row("drain wait            %10.1f s", cc.drain_wait);
+  rep.row("I/O-wait increase vs MR-MPI: %.1f%%", 100.0 * (ft_io - base_io) / base_io);
+  rep.check("copier CPU ~3% of job (band 1-6%)",
+            cc.cpu / total > 0.01 && cc.cpu / total < 0.06);
+  rep.check("I/O wait increase in ~5-20% band",
+            (ft_io - base_io) / base_io > 0.05 && (ft_io - base_io) / base_io < 0.20);
+
+  rep.section("functional mini-cluster (8 ranks, real copier agent)");
+  const MiniResult base = run_mini(wordcount_mini(core::FtMode::kNone));
+  const MiniResult cr = run_mini(wordcount_mini(core::FtMode::kCheckpointRestart));
+  const double agg_job = cr.makespan * 8;  // aggregate process-seconds
+  rep.row("copier CPU total %.5f s (%.2f%% of aggregate job time)", cr.copier_cpu,
+          100.0 * cr.copier_cpu / agg_job);
+  rep.row("copier IO  total %.5f s (overlapped)", cr.copier_io);
+  rep.row("io_wait bucket: mrmpi=%.4f ft=%.4f (+%.1f%%)", base.times.get("io_wait"),
+          cr.times.get("io_wait") + cr.times.get("ckpt"),
+          100.0 * (cr.times.get("io_wait") + cr.times.get("ckpt") -
+                   base.times.get("io_wait")) / std::max(1e-12, base.times.get("io_wait")));
+  rep.check("functional: copier CPU well under 10% of job",
+            cr.copier_cpu < 0.10 * agg_job);
+  rep.check("functional: checkpointing increases I/O time",
+            cr.times.get("io_wait") + cr.times.get("ckpt") > base.times.get("io_wait"));
+  return rep.finish();
+}

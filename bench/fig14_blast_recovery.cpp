@@ -1,0 +1,95 @@
+// Figure 14 — average recovery time of MR-MPI-BLAST at 256 processes:
+// C/R cuts recovery by ~65% and D/R(WC) by ~91% vs MR-MPI;
+// D/R(NWC) is no better than MR-MPI because reprocessing dominates.
+#include "bench/common.hpp"
+#include "bench/minicluster.hpp"
+
+using namespace ftmr;
+using namespace ftmr::bench;
+
+int main() {
+  Report rep("Figure 14: recovery time of MR-MPI-BLAST (256 procs)",
+             "C/R -65% and D/R(WC) -91% vs MR-MPI; D/R(NWC) ~= MR-MPI (the "
+             "cost is reprocessing the compute-heavy queries)");
+
+  rep.section("model @ 256 procs (recovery component, minutes)");
+  const auto w = blast_workload();
+  const double frac = 0.6;
+  // BLAST checkpoints between queries only (no checkpoints while control is
+  // inside the NCBI library), so the effective interval is ~10 queries.
+  perf::FtConfig base_ft;
+  base_ft.records_per_ckpt = 10;
+  auto recovery_of = [&](perf::Mode mode) -> double {
+    perf::FtConfig ft = base_ft;
+    ft.mode = mode;
+    // Query batches are coarse, minutes-long tasks: NWC re-execution cannot
+    // be spread across survivors.
+    ft.nwc_serialization = 1.0;
+    perf::JobModel m(perf::ClusterModel{}, w, ft, 256);
+    switch (mode) {
+      case perf::Mode::kMrMpi:
+        // No checkpoints: recovering means re-running everything done so far.
+        return frac * m.failure_free().total();
+      case perf::Mode::kCheckpointRestart:
+        return m.restart_recovery(frac).total();
+      default:
+        return m.resume_recovery(frac, 1).total();
+    }
+  };
+  const double r_mr = recovery_of(perf::Mode::kMrMpi);
+  const double r_cr = recovery_of(perf::Mode::kCheckpointRestart);
+  const double r_wc = recovery_of(perf::Mode::kDetectResumeWC);
+  const double r_nwc = recovery_of(perf::Mode::kDetectResumeNWC);
+  rep.row("MR-MPI : %7.1f min", r_mr / 60.0);
+  rep.row("C/R    : %7.1f min (-%.0f%%)", r_cr / 60.0, 100 * (1 - r_cr / r_mr));
+  rep.row("D/R-WC : %7.1f min (-%.0f%%)", r_wc / 60.0, 100 * (1 - r_wc / r_mr));
+  rep.row("D/R-NWC: %7.1f min (-%.0f%%)", r_nwc / 60.0, 100 * (1 - r_nwc / r_mr));
+  rep.check("C/R cuts recovery by ~65% (band 45-80%)",
+            1 - r_cr / r_mr > 0.45 && 1 - r_cr / r_mr < 0.80);
+  rep.check("D/R-WC cuts recovery by ~91% (band 80-99%)",
+            1 - r_wc / r_mr > 0.80 && 1 - r_wc / r_mr < 0.99);
+  rep.check("D/R-NWC close to MR-MPI (within 40%)",
+            r_nwc > 0.6 * r_mr && r_nwc < 1.4 * r_mr);
+
+  rep.section("functional mini-cluster (6 ranks, kill during search)");
+  auto run_blast = [](core::FtMode mode) {
+    MiniJob j;
+    j.nranks = 6;
+    j.opts.mode = mode;
+    j.opts.ppn = 2;
+    j.opts.ckpt.records_per_ckpt = 4;
+    if (mode == core::FtMode::kDetectResumeNWC || mode == core::FtMode::kNone) {
+      j.opts.ckpt.enabled = false;
+    }
+    apps::BlastGenOptions bo;
+    bo.nqueries = 120;
+    bo.nchunks = 12;
+    j.generate = [bo](storage::StorageSystem& fs) {
+      (void)apps::generate_queries(fs, bo);
+    };
+    j.driver = [bo] {
+      return [bo](core::FtJob& job) -> Status {
+        if (auto s = job.run_stage(apps::blast_stage(bo, 5e-3), false, nullptr);
+            !s.ok()) {
+          return s;
+        }
+        return job.write_output();
+      };
+    };
+    j.sim.kills.push_back({3, 0.2, -1});  // ~75% through the search
+    return run_mini(j);
+  };
+  const MiniResult mr = run_blast(core::FtMode::kNone);
+  const MiniResult cr = run_blast(core::FtMode::kCheckpointRestart);
+  const MiniResult wc = run_blast(core::FtMode::kDetectResumeWC);
+  const MiniResult nwc = run_blast(core::FtMode::kDetectResumeNWC);
+  rep.row("MR-MPI : total=%.4fs (failed run is a total loss)", mr.total_time);
+  rep.row("C/R    : total=%.4fs", cr.total_time);
+  rep.row("D/R-WC : total=%.4fs", wc.total_time);
+  rep.row("D/R-NWC: total=%.4fs", nwc.total_time);
+  rep.check("functional: WC total < C/R total < MR-MPI total",
+            wc.total_time < cr.total_time && cr.total_time < mr.total_time);
+  rep.check("functional: NWC pays reprocessing over WC",
+            nwc.total_time > wc.total_time);
+  return rep.finish();
+}

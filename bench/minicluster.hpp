@@ -1,0 +1,109 @@
+// minicluster.hpp — functional-simulation harness for the benches.
+//
+// Runs real FT-MRMPI jobs on the thread-per-rank simulator at reduced scale
+// (the virtual clock supplies the timing), so every figure gets a
+// functional data point next to the paper-scale model series.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "apps/blast.hpp"
+#include "apps/graph.hpp"
+#include "apps/textgen.hpp"
+#include "apps/wordcount.hpp"
+#include "core/ftjob.hpp"
+#include "simmpi/runtime.hpp"
+#include "storage/storage.hpp"
+
+namespace ftmr::bench {
+
+struct MiniResult {
+  double makespan = 0.0;     // virtual seconds of the successful run
+  double total_time = 0.0;   // incl. failed submissions (checkpoint/restart)
+  double last_submission_time = 0.0;  // the recovery run alone (C/R)
+  int submissions = 0;
+  int recoveries = 0;
+  TimeBuckets times;         // aggregated across ranks
+  double copier_cpu = 0.0;
+  double copier_io = 0.0;
+  bool ok = false;
+};
+
+struct MiniJob {
+  int nranks = 8;
+  core::FtJobOptions opts;
+  simmpi::JobOptions sim;
+  /// Builds the driver; called per submission.
+  std::function<core::FtJob::Driver()> driver;
+  /// Prepares input once (gets the storage system).
+  std::function<void(storage::StorageSystem&)> generate;
+};
+
+/// Run a job to completion (re-submitting on abort, as a user would under
+/// the checkpoint/restart model); aggregate metrics.
+inline MiniResult run_mini(const MiniJob& job) {
+  storage::TempDir tmp("ftmr-bench");
+  storage::StorageOptions so;
+  so.root = tmp.path();
+  storage::StorageSystem fs(so);
+  if (job.generate) job.generate(fs);
+
+  MiniResult res;
+  std::mutex mu;
+  for (;;) {
+    res.submissions++;
+    simmpi::JobOptions sim = res.submissions == 1 ? job.sim : simmpi::JobOptions{};
+    simmpi::JobResult r = simmpi::Runtime::run(job.nranks, [&](simmpi::Comm& c) {
+      core::FtJob ft(c, &fs, job.opts);
+      Status s = ft.run(job.driver());
+      std::lock_guard<std::mutex> lock(mu);
+      res.times.merge(ft.times());
+      res.recoveries = std::max(res.recoveries, ft.recoveries());
+      res.copier_cpu += ft.ckpt().copier().cpu_seconds();
+      res.copier_io += ft.ckpt().copier().io_seconds();
+      if (s.ok()) res.ok = true;
+    }, sim);
+    // Failed submissions contribute the time until teardown (max rank time).
+    double sub_time = 0.0;
+    for (const auto& rr : r.ranks) sub_time = std::max(sub_time, rr.vtime);
+    res.total_time += sub_time;
+    res.last_submission_time = sub_time;
+    if (!r.aborted) {
+      res.makespan = r.makespan();
+      break;
+    }
+    if (res.submissions > 8) break;  // runaway guard
+  }
+  return res;
+}
+
+/// Canonical wordcount MiniJob.
+inline MiniJob wordcount_mini(core::FtMode mode, int nranks = 8,
+                              int nchunks = 24) {
+  MiniJob j;
+  j.nranks = nranks;
+  j.opts.mode = mode;
+  j.opts.ppn = 2;
+  j.opts.ckpt.records_per_ckpt = 32;
+  if (mode == core::FtMode::kDetectResumeNWC || mode == core::FtMode::kNone) {
+    j.opts.ckpt.enabled = false;
+  }
+  j.generate = [nchunks](storage::StorageSystem& fs) {
+    apps::TextGenOptions tg;
+    tg.nchunks = nchunks;
+    tg.lines_per_chunk = 48;
+    (void)apps::generate_text(fs, tg);
+  };
+  j.driver = [] {
+    return [](core::FtJob& job) -> Status {
+      if (auto s = job.run_stage(apps::wordcount_stage(), false, nullptr); !s.ok()) {
+        return s;
+      }
+      return job.write_output();
+    };
+  };
+  return j;
+}
+
+}  // namespace ftmr::bench

@@ -1,0 +1,319 @@
+#include "apps/graph.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <deque>
+
+#include "common/rng.hpp"
+
+namespace ftmr::apps {
+
+namespace {
+
+constexpr int kInf = -1;
+
+int parse_int(std::string_view s) {
+  int v = 0;
+  std::from_chars(s.data(), s.data() + s.size(), v);
+  return v;
+}
+
+/// Split "a|b|c" at the first '|'.
+std::pair<std::string_view, std::string_view> split1(std::string_view s) {
+  const auto bar = s.find('|');
+  if (bar == std::string_view::npos) return {s, {}};
+  return {s.substr(0, bar), s.substr(bar + 1)};
+}
+
+std::vector<int> parse_csv(std::string_view csv) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t end = csv.find(',', pos);
+    if (end == std::string_view::npos) end = csv.size();
+    if (end > pos) out.push_back(parse_int(csv.substr(pos, end - pos)));
+    pos = end + 1;
+  }
+  return out;
+}
+
+std::string to_csv(const std::vector<int>& v) {
+  std::string s;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) s += ',';
+    s += std::to_string(v[i]);
+  }
+  return s;
+}
+
+}  // namespace
+
+Status generate_graph(storage::StorageSystem& fs, const GraphGenOptions& opts,
+                      std::vector<std::vector<int>>* adjacency) {
+  Rng rng(opts.seed);
+  const ZipfSampler popularity(static_cast<size_t>(opts.nodes),
+                               opts.zipf_exponent);
+  std::vector<std::vector<int>> adj(static_cast<size_t>(opts.nodes));
+  for (int u = 0; u < opts.nodes; ++u) {
+    // Out-degree ~ 1 + Poisson-ish around avg_degree; targets Zipf-skewed
+    // so some nodes have very high in-degree (key skew for the shuffle).
+    const int deg =
+        1 + static_cast<int>(rng.next_below(
+                static_cast<uint64_t>(std::max(1.0, 2.0 * opts.avg_degree - 1.0))));
+    for (int k = 0; k < deg; ++k) {
+      int v = static_cast<int>(popularity.sample(rng));
+      if (v == u) v = (u + 1) % opts.nodes;
+      adj[static_cast<size_t>(u)].push_back(v);
+    }
+    std::sort(adj[u].begin(), adj[u].end());
+    adj[u].erase(std::unique(adj[u].begin(), adj[u].end()), adj[u].end());
+    if (adj[u].empty()) adj[u].push_back((u + 1) % opts.nodes);
+  }
+  // Write node lines round-robin across chunks.
+  std::vector<std::string> chunks(static_cast<size_t>(opts.nchunks));
+  for (int u = 0; u < opts.nodes; ++u) {
+    chunks[static_cast<size_t>(u % opts.nchunks)] +=
+        std::to_string(u) + "\t" + to_csv(adj[static_cast<size_t>(u)]) + "\n";
+  }
+  for (int c = 0; c < opts.nchunks; ++c) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "chunk_%05d", c);
+    if (auto s = fs.write_file(storage::Tier::kShared, 0, opts.dir + "/" + name,
+                               as_bytes_view(chunks[static_cast<size_t>(c)]));
+        !s.ok()) {
+      return s;
+    }
+  }
+  if (adjacency) *adjacency = std::move(adj);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// BFS
+// ---------------------------------------------------------------------------
+//
+// KV state after every stage: key = node id, value = "dist|adjcsv" with
+// dist = -1 for unvisited. Relaxation messages are "D|dist"; carrier
+// messages are "A|dist|adjcsv".
+
+core::StageFns bfs_init_stage(int source) {
+  core::StageFns fns;
+  fns.map = [source](const std::string&, const std::string& line,
+                     mr::KvBuffer& out) -> int32_t {
+    const auto tab = line.find('\t');
+    if (tab == std::string::npos) return 0;
+    const std::string node = line.substr(0, tab);
+    const std::string adj = line.substr(tab + 1);
+    const bool is_source = parse_int(node) == source;
+    out.add(node, std::string("A|") + (is_source ? "0" : "-1") + "|" + adj);
+    return 1;
+  };
+  fns.reduce = [](const std::string& key, const std::vector<std::string>& values,
+                  mr::KvBuffer& out) -> int32_t {
+    // One carrier per node at init.
+    for (const auto& v : values) {
+      auto [tag, rest] = split1(v);
+      if (tag == "A") out.add(key, std::string(rest));
+    }
+    return 1;
+  };
+  return fns;
+}
+
+core::StageFns bfs_iter_stage() {
+  core::StageFns fns;
+  fns.map = [](const std::string& node, const std::string& value,
+               mr::KvBuffer& out) -> int32_t {
+    auto [dist_s, adj_s] = split1(value);
+    const int dist = parse_int(dist_s);
+    out.add(node, "A|" + value);  // carry state + adjacency forward
+    int32_t n = 1;
+    if (dist >= 0) {
+      for (int v : parse_csv(adj_s)) {
+        out.add(std::to_string(v), "D|" + std::to_string(dist + 1));
+        ++n;
+      }
+    }
+    return n;
+  };
+  fns.reduce = [](const std::string& key, const std::vector<std::string>& values,
+                  mr::KvBuffer& out) -> int32_t {
+    int best = kInf;
+    std::string adj;
+    for (const auto& v : values) {
+      auto [tag, rest] = split1(v);
+      if (tag == "A") {
+        auto [dist_s, adj_s] = split1(rest);
+        adj = std::string(adj_s);
+        const int d = parse_int(dist_s);
+        if (d >= 0 && (best < 0 || d < best)) best = d;
+      } else if (tag == "D") {
+        const int d = parse_int(rest);
+        if (best < 0 || d < best) best = d;
+      }
+    }
+    out.add(key, std::to_string(best) + "|" + adj);
+    return 1;
+  };
+  return fns;
+}
+
+core::FtJob::Driver bfs_driver(int source, int iterations) {
+  return [source, iterations](core::FtJob& job) -> Status {
+    if (auto s = job.run_stage(bfs_init_stage(source), false, nullptr); !s.ok()) {
+      return s;
+    }
+    for (int i = 0; i < iterations; ++i) {
+      if (auto s = job.run_stage(bfs_iter_stage(), true, nullptr); !s.ok()) {
+        return s;
+      }
+    }
+    return job.write_output();
+  };
+}
+
+std::vector<int> bfs_reference(const std::vector<std::vector<int>>& adj,
+                               int source) {
+  std::vector<int> dist(adj.size(), kInf);
+  std::deque<int> q;
+  dist[static_cast<size_t>(source)] = 0;
+  q.push_back(source);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop_front();
+    for (int v : adj[static_cast<size_t>(u)]) {
+      if (dist[static_cast<size_t>(v)] < 0) {
+        dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
+        q.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+int bfs_parse_dist(const std::string& value) {
+  return parse_int(split1(value).first);
+}
+
+// ---------------------------------------------------------------------------
+// PageRank (two stages per iteration, paper Sec. 6.1)
+// ---------------------------------------------------------------------------
+//
+// State value: "rank|adjcsv". Stage A (contrib): each node sends
+// rank/outdeg to its neighbours and a carrier with its adjacency; reduce
+// sums contributions into "S|sum|adjcsv". Stage B (apply): rank' =
+// 0.15 + 0.85 * sum, state back to "rank'|adjcsv".
+
+core::StageFns pagerank_init_stage() {
+  core::StageFns fns;
+  fns.map = [](const std::string&, const std::string& line,
+               mr::KvBuffer& out) -> int32_t {
+    const auto tab = line.find('\t');
+    if (tab == std::string::npos) return 0;
+    out.add(line.substr(0, tab), "A|1.0|" + line.substr(tab + 1));
+    return 1;
+  };
+  fns.reduce = [](const std::string& key, const std::vector<std::string>& values,
+                  mr::KvBuffer& out) -> int32_t {
+    for (const auto& v : values) {
+      auto [tag, rest] = split1(v);
+      if (tag == "A") out.add(key, std::string(rest));
+    }
+    return 1;
+  };
+  return fns;
+}
+
+core::StageFns pagerank_contrib_stage() {
+  core::StageFns fns;
+  fns.map = [](const std::string& node, const std::string& value,
+               mr::KvBuffer& out) -> int32_t {
+    auto [rank_s, adj_s] = split1(value);
+    const double rank = core::Codec<double>::decode(rank_s);
+    const std::vector<int> adj = parse_csv(adj_s);
+    out.add(node, "A|" + std::string(adj_s));
+    if (!adj.empty()) {
+      const std::string contrib = core::Codec<double>::encode(
+          rank / static_cast<double>(adj.size()));
+      for (int v : adj) out.add(std::to_string(v), "C|" + contrib);
+    }
+    return static_cast<int32_t>(adj.size() + 1);
+  };
+  fns.reduce = [](const std::string& key, const std::vector<std::string>& values,
+                  mr::KvBuffer& out) -> int32_t {
+    double sum = 0.0;
+    std::string adj;
+    for (const auto& v : values) {
+      auto [tag, rest] = split1(v);
+      if (tag == "A") {
+        adj = std::string(rest);
+      } else if (tag == "C") {
+        sum += core::Codec<double>::decode(rest);
+      }
+    }
+    out.add(key, "S|" + core::Codec<double>::encode(sum) + "|" + adj);
+    return 1;
+  };
+  return fns;
+}
+
+core::StageFns pagerank_apply_stage() {
+  core::StageFns fns;
+  fns.map = [](const std::string& node, const std::string& value,
+               mr::KvBuffer& out) -> int32_t {
+    out.add(node, value);  // pass-through
+    return 1;
+  };
+  fns.reduce = [](const std::string& key, const std::vector<std::string>& values,
+                  mr::KvBuffer& out) -> int32_t {
+    for (const auto& v : values) {
+      auto [tag, rest] = split1(v);
+      if (tag != "S") continue;
+      auto [sum_s, adj_s] = split1(rest);
+      const double rank = 0.15 + 0.85 * core::Codec<double>::decode(sum_s);
+      out.add(key, core::Codec<double>::encode(rank) + "|" + std::string(adj_s));
+    }
+    return 1;
+  };
+  return fns;
+}
+
+core::FtJob::Driver pagerank_driver(int iterations) {
+  return [iterations](core::FtJob& job) -> Status {
+    if (auto s = job.run_stage(pagerank_init_stage(), false, nullptr); !s.ok()) {
+      return s;
+    }
+    for (int i = 0; i < iterations; ++i) {
+      if (auto s = job.run_stage(pagerank_contrib_stage(), true, nullptr); !s.ok()) {
+        return s;
+      }
+      if (auto s = job.run_stage(pagerank_apply_stage(), true, nullptr); !s.ok()) {
+        return s;
+      }
+    }
+    return job.write_output();
+  };
+}
+
+std::vector<double> pagerank_reference(const std::vector<std::vector<int>>& adj,
+                                       int iterations) {
+  const size_t n = adj.size();
+  std::vector<double> rank(n, 1.0);
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<double> sum(n, 0.0);
+    for (size_t u = 0; u < n; ++u) {
+      if (adj[u].empty()) continue;
+      const double c = rank[u] / static_cast<double>(adj[u].size());
+      for (int v : adj[u]) sum[static_cast<size_t>(v)] += c;
+    }
+    for (size_t u = 0; u < n; ++u) rank[u] = 0.15 + 0.85 * sum[u];
+  }
+  return rank;
+}
+
+double pagerank_parse_rank(const std::string& value) {
+  return core::Codec<double>::decode(split1(value).first);
+}
+
+}  // namespace ftmr::apps

@@ -1,0 +1,61 @@
+// graph.hpp — graph workloads: BFS and PageRank (paper Sec. 6.1).
+//
+// BFS is a single-stage iterative MapReduce job (map visits/colors
+// vertices, reduce combines visiting information); PageRank is a
+// multi-stage iterative job with two stages per iteration. Input graphs are
+// generated deterministically with a skewed degree distribution.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/ftjob.hpp"
+#include "storage/storage.hpp"
+
+namespace ftmr::apps {
+
+struct GraphGenOptions {
+  int nodes = 500;
+  double avg_degree = 4.0;
+  double zipf_exponent = 0.8;  // skewed in-degree (web-graph-like)
+  uint64_t seed = 0x6af7;
+  int nchunks = 16;
+  std::string dir = "input";
+};
+
+/// Generate a directed graph; each chunk holds lines "node<TAB>adjcsv".
+/// Every node has out-degree >= 1 (self-loop if needed). Optionally returns
+/// the adjacency for reference computations.
+Status generate_graph(storage::StorageSystem& fs, const GraphGenOptions& opts,
+                      std::vector<std::vector<int>>* adjacency = nullptr);
+
+// ---- BFS ----
+
+/// Stage 0: parse node lines, attach dist=0 to `source`, INF elsewhere.
+core::StageFns bfs_init_stage(int source);
+/// Iteration stage: relax distances one hop.
+core::StageFns bfs_iter_stage();
+/// Full BFS driver: init + `iterations` relaxation stages + write_output.
+core::FtJob::Driver bfs_driver(int source, int iterations);
+/// Reference BFS for verification: node -> distance (-1 unreachable).
+std::vector<int> bfs_reference(const std::vector<std::vector<int>>& adj, int source);
+/// Parse a BFS output value "dist|adj" -> dist.
+int bfs_parse_dist(const std::string& value);
+
+// ---- PageRank ----
+
+core::StageFns pagerank_init_stage();
+core::StageFns pagerank_contrib_stage();  // stage A of each iteration
+core::StageFns pagerank_apply_stage();    // stage B of each iteration
+/// Full PageRank driver: init + 2*iterations stages + write_output.
+core::FtJob::Driver pagerank_driver(int iterations);
+/// Reference PageRank (same damping/order-insensitive math), for
+/// approximate verification.
+std::vector<double> pagerank_reference(const std::vector<std::vector<int>>& adj,
+                                       int iterations);
+double pagerank_parse_rank(const std::string& value);
+
+}  // namespace ftmr::apps

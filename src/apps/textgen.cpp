@@ -1,0 +1,38 @@
+#include "apps/textgen.hpp"
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+
+namespace ftmr::apps {
+
+Status generate_text(storage::StorageSystem& fs, const TextGenOptions& opts,
+                     std::map<std::string, int64_t>* expected_counts) {
+  const ZipfSampler zipf(static_cast<size_t>(opts.vocabulary), opts.zipf_exponent);
+  for (int c = 0; c < opts.nchunks; ++c) {
+    // Chunk-local RNG: chunks are reproducible independently of each other.
+    Rng rng(opts.seed ^ mix64(static_cast<uint64_t>(c)));
+    std::string text;
+    text.reserve(static_cast<size_t>(opts.lines_per_chunk) *
+                 static_cast<size_t>(opts.words_per_line) * 8);
+    for (int l = 0; l < opts.lines_per_chunk; ++l) {
+      for (int w = 0; w < opts.words_per_line; ++w) {
+        const std::string word = "word" + std::to_string(zipf.sample(rng));
+        if (w) text += ' ';
+        text += word;
+        if (expected_counts) (*expected_counts)[word]++;
+      }
+      text += '\n';
+    }
+    char name[32];
+    std::snprintf(name, sizeof(name), "chunk_%05d", c);
+    if (auto s = fs.write_file(storage::Tier::kShared, 0,
+                               opts.dir + "/" + name, as_bytes_view(text));
+        !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ftmr::apps

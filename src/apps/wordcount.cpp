@@ -1,0 +1,72 @@
+#include "apps/wordcount.hpp"
+
+#include <cstdlib>
+
+namespace ftmr::apps {
+
+namespace {
+
+template <typename Emit>
+int32_t split_words(std::string_view line, const Emit& emit) {
+  int32_t n = 0;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    size_t end = line.find(' ', pos);
+    if (end == std::string_view::npos) end = line.size();
+    if (end > pos) {
+      emit(line.substr(pos, end - pos));
+      ++n;
+    }
+    pos = end + 1;
+  }
+  return n;
+}
+
+int64_t sum_values(const std::vector<std::string>& values) {
+  int64_t sum = 0;
+  for (const auto& v : values) sum += std::strtoll(v.c_str(), nullptr, 10);
+  return sum;
+}
+
+}  // namespace
+
+core::StageFns wordcount_stage() {
+  core::StageFns fns;
+  fns.map = [](const std::string&, const std::string& line,
+               mr::KvBuffer& out) -> int32_t {
+    return split_words(line, [&](std::string_view w) { out.add(w, "1"); });
+  };
+  fns.reduce = [](const std::string& key, const std::vector<std::string>& values,
+                  mr::KvBuffer& out) -> int32_t {
+    out.add(key, std::to_string(sum_values(values)));
+    return 1;
+  };
+  return fns;
+}
+
+mr::MapFn wordcount_map_baseline() {
+  return [](uint64_t, std::string_view chunk, mr::KvBuffer& out) -> int64_t {
+    int64_t records = 0;
+    size_t pos = 0;
+    while (pos < chunk.size()) {
+      size_t end = chunk.find('\n', pos);
+      if (end == std::string_view::npos) end = chunk.size();
+      split_words(chunk.substr(pos, end - pos),
+                  [&](std::string_view w) { out.add(w, "1"); });
+      ++records;
+      pos = end + 1;
+    }
+    return records;
+  };
+}
+
+mr::ReduceFn wordcount_reduce_baseline() {
+  return [](const std::string& key, std::span<const std::string> values,
+            mr::KvBuffer& out) {
+    int64_t sum = 0;
+    for (const auto& v : values) sum += std::strtoll(v.c_str(), nullptr, 10);
+    out.add(key, std::to_string(sum));
+  };
+}
+
+}  // namespace ftmr::apps

@@ -1,0 +1,18 @@
+#include "common/bytes.hpp"
+
+namespace ftmr {
+
+Bytes to_bytes(std::string_view s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return Bytes(p, p + s.size());
+}
+
+std::string to_string_copy(std::span<const std::byte> b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+std::span<const std::byte> as_bytes_view(std::string_view s) noexcept {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+}  // namespace ftmr

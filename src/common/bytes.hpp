@@ -1,0 +1,125 @@
+// bytes.hpp — byte buffers and little-endian serialization.
+//
+// All wire traffic in simmpi and all checkpoint/intermediate files in
+// FT-MRMPI are framed with these primitives, so the encoding is defined in
+// exactly one place. Encoding is fixed little-endian regardless of host
+// order (length-prefixed strings, raw integral/floating scalars).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ftmr {
+
+using Bytes = std::vector<std::byte>;
+
+/// Append-only serializer over a growable byte vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(Bytes initial) : buf_(std::move(initial)) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& v) {
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  void put_bytes(std::span<const std::byte> s) {
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void put_string(std::string_view s) {
+    put<uint32_t>(static_cast<uint32_t>(s.size()));
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    buf_.insert(buf_.end(), p, p + s.size());
+  }
+
+  /// Length-prefixed raw blob.
+  void put_blob(std::span<const std::byte> s) {
+    put<uint32_t>(static_cast<uint32_t>(s.size()));
+    put_bytes(s);
+  }
+
+  [[nodiscard]] size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] const Bytes& bytes() const noexcept { return buf_; }
+  [[nodiscard]] Bytes take() && noexcept { return std::move(buf_); }
+  void clear() noexcept { buf_.clear(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked deserializer over a byte span. Reads report failure via
+/// Status so corrupt checkpoints surface as kIo rather than UB.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  Status get(T& out) noexcept {
+    if (pos_ + sizeof(T) > data_.size()) {
+      return {ErrorCode::kOutOfRange, "ByteReader: truncated scalar"};
+    }
+    std::memcpy(&out, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::Ok();
+  }
+
+  Status get_string(std::string& out) {
+    uint32_t n = 0;
+    if (auto s = get(n); !s.ok()) return s;
+    if (pos_ + n > data_.size()) {
+      return {ErrorCode::kOutOfRange, "ByteReader: truncated string"};
+    }
+    out.assign(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  Status get_blob(Bytes& out) {
+    uint32_t n = 0;
+    if (auto s = get(n); !s.ok()) return s;
+    if (pos_ + n > data_.size()) {
+      return {ErrorCode::kOutOfRange, "ByteReader: truncated blob"};
+    }
+    out.assign(data_.begin() + static_cast<ptrdiff_t>(pos_),
+               data_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  /// View of the next `n` bytes without copying; advances the cursor.
+  Status get_view(size_t n, std::span<const std::byte>& out) noexcept {
+    if (pos_ + n > data_.size()) {
+      return {ErrorCode::kOutOfRange, "ByteReader: truncated view"};
+    }
+    out = data_.subspan(pos_, n);
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  [[nodiscard]] size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] size_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ >= data_.size(); }
+
+ private:
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+};
+
+/// Convenience conversions between std::string payloads and Bytes.
+Bytes to_bytes(std::string_view s);
+std::string to_string_copy(std::span<const std::byte> b);
+std::span<const std::byte> as_bytes_view(std::string_view s) noexcept;
+
+}  // namespace ftmr

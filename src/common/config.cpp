@@ -1,0 +1,47 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+
+namespace ftmr {
+
+Config Config::from_args(int argc, char** argv) {
+  Config c;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view tok{argv[i]};
+    const auto eq = tok.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;
+    c.set(std::string(tok.substr(0, eq)), std::string(tok.substr(eq + 1)));
+  }
+  return c;
+}
+
+std::optional<std::string> Config::get(std::string_view key) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_or(std::string_view key, std::string def) const {
+  auto v = get(key);
+  return v ? *v : std::move(def);
+}
+
+int64_t Config::get_or(std::string_view key, int64_t def) const {
+  auto v = get(key);
+  if (!v) return def;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double Config::get_or(std::string_view key, double def) const {
+  auto v = get(key);
+  if (!v) return def;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool Config::get_or(std::string_view key, bool def) const {
+  auto v = get(key);
+  if (!v) return def;
+  return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
+}
+
+}  // namespace ftmr

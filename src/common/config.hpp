@@ -1,0 +1,39 @@
+// config.hpp — tiny key=value configuration with typed getters.
+//
+// Benches and examples accept "key=value" pairs on the command line
+// (records_per_ckpt=1000 nranks=16 ...) so sweeps don't need recompiles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ftmr {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse argv-style "key=value" tokens; unknown tokens are ignored and
+  /// reported via unparsed().
+  static Config from_args(int argc, char** argv);
+
+  void set(std::string key, std::string value) { kv_[std::move(key)] = std::move(value); }
+
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+  [[nodiscard]] std::string get_or(std::string_view key, std::string def) const;
+  [[nodiscard]] int64_t get_or(std::string_view key, int64_t def) const;
+  [[nodiscard]] double get_or(std::string_view key, double def) const;
+  [[nodiscard]] bool get_or(std::string_view key, bool def) const;
+
+  [[nodiscard]] const std::map<std::string, std::string, std::less<>>& all() const {
+    return kv_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> kv_;
+};
+
+}  // namespace ftmr

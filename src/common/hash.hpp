@@ -1,0 +1,53 @@
+// hash.hpp — deterministic hashing used for task assignment and shuffling.
+//
+// The distributed masters assign task IDs to ranks with a hash (Sec. 3.3);
+// the shuffle partitions keys to reducers with a hash. Both must be
+// identical across ranks and across job restarts, so we pin the functions
+// here instead of relying on std::hash (which is implementation-defined).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace ftmr {
+
+/// FNV-1a 64-bit over raw bytes.
+constexpr uint64_t fnv1a(std::span<const std::byte> data) noexcept {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : data) {
+    h ^= static_cast<uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t fnv1a(std::string_view s) noexcept {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer — decorrelates sequential integers (task ids).
+constexpr uint64_t mix64(uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash-based task→rank assignment (paper Sec. 3.3): every master computes
+/// the same mapping with no coordination.
+constexpr int assign_task_to_rank(uint64_t task_id, int nranks) noexcept {
+  return static_cast<int>(mix64(task_id) % static_cast<uint64_t>(nranks));
+}
+
+/// Key→reduce-partition assignment used by the shuffle.
+inline int partition_of_key(std::string_view key, int nparts) noexcept {
+  return static_cast<int>(fnv1a(key) % static_cast<uint64_t>(nparts));
+}
+
+}  // namespace ftmr

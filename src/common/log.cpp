@@ -1,0 +1,47 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace ftmr {
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+thread_local int t_rank = -1;
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(static_cast<int>(level)); }
+LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
+void set_thread_rank(int rank) noexcept { t_rank = rank; }
+int thread_rank() noexcept { return t_rank; }
+
+void log_line(LogLevel level, const std::string& line) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  if (t_rank >= 0) {
+    std::fprintf(stderr, "[%s r%d] %s\n", level_name(level), t_rank, line.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), line.c_str());
+  }
+}
+
+namespace detail {
+LogMessage::LogMessage(LogLevel level, const char* /*file*/, int /*line*/)
+    : level_(level) {}
+LogMessage::~LogMessage() { log_line(level_, stream_.str()); }
+}  // namespace detail
+
+}  // namespace ftmr

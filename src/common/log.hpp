@@ -1,0 +1,56 @@
+// log.hpp — minimal thread-safe leveled logger.
+//
+// Rank threads in simmpi log concurrently; the logger serializes lines and
+// tags them with the logical rank (set per-thread by the runtime).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ftmr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Tag subsequently-logged lines from this thread with a logical rank
+/// (-1 = untagged; used by driver threads).
+void set_thread_rank(int rank) noexcept;
+int thread_rank() noexcept;
+
+/// Emit one log line (already formatted) at `level`.
+void log_line(LogLevel level, const std::string& line);
+
+namespace detail {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace ftmr
+
+#define FTMR_LOG(level)                                                     \
+  if (static_cast<int>(level) < static_cast<int>(::ftmr::log_level())) {    \
+  } else                                                                    \
+    ::ftmr::detail::LogMessage(level, __FILE__, __LINE__)
+
+#define FTMR_DEBUG FTMR_LOG(::ftmr::LogLevel::kDebug)
+#define FTMR_INFO FTMR_LOG(::ftmr::LogLevel::kInfo)
+#define FTMR_WARN FTMR_LOG(::ftmr::LogLevel::kWarn)
+#define FTMR_ERROR FTMR_LOG(::ftmr::LogLevel::kError)

@@ -1,0 +1,48 @@
+#include "common/regression.hpp"
+
+#include <cmath>
+
+namespace ftmr {
+
+LinearModel fit_linear(std::span<const Observation> obs) noexcept {
+  OnlineLinearFit f;
+  for (const auto& o : obs) f.add(o.x, o.t);
+  return f.fit();
+}
+
+void OnlineLinearFit::add(double x, double t) noexcept {
+  ++n_;
+  sx_ += x;
+  st_ += t;
+  sxx_ += x * x;
+  sxt_ += x * t;
+  stt_ += t * t;
+}
+
+LinearModel OnlineLinearFit::fit() const noexcept {
+  LinearModel m;
+  m.n = n_;
+  if (n_ < 2) {
+    // Single observation: best effort — pure marginal cost, no intercept.
+    if (n_ == 1 && sx_ > 0) {
+      m.b = st_ / sx_;
+    }
+    return m;
+  }
+  const double n = static_cast<double>(n_);
+  const double sxx_c = sxx_ - sx_ * sx_ / n;  // centered sums
+  const double sxt_c = sxt_ - sx_ * st_ / n;
+  const double stt_c = stt_ - st_ * st_ / n;
+  if (std::abs(sxx_c) < 1e-12) {
+    m.a = st_ / n;  // degenerate x: constant model
+    m.b = 0.0;
+    m.r2 = 0.0;
+    return m;
+  }
+  m.b = sxt_c / sxx_c;
+  m.a = (st_ - m.b * sx_) / n;
+  m.r2 = (stt_c > 1e-12) ? (sxt_c * sxt_c) / (sxx_c * stt_c) : 1.0;
+  return m;
+}
+
+}  // namespace ftmr

@@ -1,0 +1,50 @@
+// regression.hpp — ordinary least squares for the load balancer.
+//
+// Paper Sec. 3.4: the agent thread makes k observations (input size D,
+// elapsed time t) per process and fits t = a + b*D; the fitted model
+// predicts each survivor's finish time so the failed ranks' remaining work
+// can be split proportionally.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ftmr {
+
+/// One profiling observation: `x` bytes (or records) processed in `t` seconds.
+struct Observation {
+  double x = 0.0;
+  double t = 0.0;
+};
+
+/// Fitted linear model t = a + b*x with goodness-of-fit.
+struct LinearModel {
+  double a = 0.0;     // fixed cost (startup, constant overheads)
+  double b = 0.0;     // marginal cost per unit of input
+  double r2 = 0.0;    // coefficient of determination
+  size_t n = 0;       // observations used
+
+  [[nodiscard]] double predict(double x) const noexcept { return a + b * x; }
+  [[nodiscard]] bool usable() const noexcept { return n >= 2; }
+};
+
+/// Least-squares fit. With <2 points returns an unusable model; with a
+/// degenerate x column (all equal) returns slope 0 and intercept = mean(t).
+LinearModel fit_linear(std::span<const Observation> obs) noexcept;
+
+/// Incremental accumulator so the agent thread can fold in observations
+/// without storing them all.
+class OnlineLinearFit {
+ public:
+  void add(double x, double t) noexcept;
+  [[nodiscard]] LinearModel fit() const noexcept;
+  [[nodiscard]] size_t count() const noexcept { return n_; }
+  void reset() noexcept { *this = {}; }
+
+ private:
+  size_t n_ = 0;
+  double sx_ = 0, st_ = 0, sxx_ = 0, sxt_ = 0, stt_ = 0;
+};
+
+}  // namespace ftmr

@@ -1,0 +1,64 @@
+// stats.hpp — summary statistics and phase-time accounting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ftmr {
+
+/// Streaming mean/min/max/stddev (Welford).
+class Summary {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  void merge(const Summary& other) noexcept;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0, m2_ = 0.0;
+  double min_ = 0.0, max_ = 0.0, sum_ = 0.0;
+};
+
+/// Named time-bucket accounting. The paper decomposes job completion time
+/// into shuffle/merge/reduce/recovery (Fig. 10) and CPU/IO-wait (Fig. 7);
+/// every component charges into one of these buckets.
+class TimeBuckets {
+ public:
+  void charge(const std::string& bucket, double seconds) {
+    buckets_[bucket] += seconds;
+  }
+  [[nodiscard]] double get(const std::string& bucket) const {
+    auto it = buckets_.find(bucket);
+    return it == buckets_.end() ? 0.0 : it->second;
+  }
+  [[nodiscard]] double total() const {
+    double t = 0;
+    for (const auto& [k, v] : buckets_) t += v;
+    return t;
+  }
+  [[nodiscard]] const std::map<std::string, double>& all() const { return buckets_; }
+  void merge(const TimeBuckets& other) {
+    for (const auto& [k, v] : other.buckets_) buckets_[k] += v;
+  }
+  void clear() { buckets_.clear(); }
+
+ private:
+  std::map<std::string, double> buckets_;
+};
+
+/// Percentile over a sample vector (nearest-rank; p in [0,100]).
+double percentile(std::vector<double> xs, double p) noexcept;
+
+}  // namespace ftmr

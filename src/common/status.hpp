@@ -1,0 +1,86 @@
+// status.hpp — lightweight status/error codes shared across the library.
+//
+// FT-MRMPI layers (simmpi, storage, core) report recoverable conditions as
+// values rather than exceptions, mirroring how MPI reports errors via return
+// codes; exceptions are reserved for programming errors and for the
+// process-teardown paths (abort/kill) where stack unwinding *is* the
+// mechanism being modeled.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ftmr {
+
+/// Error classes. The MPI-flavoured entries deliberately mirror the MPI /
+/// ULFM error classes FT-MRMPI depends on (MPI_SUCCESS, MPI_ERR_PROC_FAILED,
+/// MPI_ERR_REVOKED, ...), because the fault-tolerance models dispatch on them.
+enum class ErrorCode : int {
+  kOk = 0,
+  kProcFailed,       // MPI_ERR_PROC_FAILED: a peer involved in the op is dead
+  kProcFailedPending, // MPI_ERR_PROC_FAILED_PENDING: nonblocking op can't complete
+  kRevoked,          // MPI_ERR_REVOKED: communicator was revoked
+  kAborted,          // job-wide abort in progress (MPI_Abort semantics)
+  kComm,             // other communication error
+  kIo,               // storage error
+  kNotFound,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name of an error code ("OK", "PROC_FAILED", ...).
+constexpr std::string_view to_string(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kProcFailed: return "PROC_FAILED";
+    case ErrorCode::kProcFailedPending: return "PROC_FAILED_PENDING";
+    case ErrorCode::kRevoked: return "REVOKED";
+    case ErrorCode::kAborted: return "ABORTED";
+    case ErrorCode::kComm: return "COMM";
+    case ErrorCode::kIo: return "IO";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// Value-semantic status: an error code plus an optional message.
+class Status {
+ public:
+  Status() noexcept = default;
+  Status(ErrorCode code, std::string message = {})
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() noexcept { return {}; }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s{ftmr::to_string(code_)};
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+}  // namespace ftmr

@@ -1,0 +1,78 @@
+#include "core/balancer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace ftmr::core {
+
+Status LoadBalancer::exchange_models(simmpi::Comm& comm, const LinearModel& mine,
+                                     std::vector<LinearModel>& all) {
+  ByteWriter w;
+  w.put<double>(mine.a);
+  w.put<double>(mine.b);
+  w.put<double>(mine.r2);
+  w.put<uint64_t>(mine.n);
+  std::vector<Bytes> gathered;
+  if (auto s = comm.allgather(w.bytes(), gathered); !s.ok()) return s;
+  all.clear();
+  all.reserve(gathered.size());
+  for (const Bytes& b : gathered) {
+    LinearModel m;
+    ByteReader r(b);
+    uint64_t n = 0;
+    (void)r.get(m.a);
+    (void)r.get(m.b);
+    (void)r.get(m.r2);
+    (void)r.get(n);
+    m.n = n;
+    all.push_back(m);
+  }
+  return Status::Ok();
+}
+
+LinearModel LoadBalancer::sanitize(const LinearModel& m) {
+  LinearModel out = m;
+  if (!m.usable() || m.b <= 0.0) {
+    out.a = 0.0;
+    out.b = 1.0;  // plain size balancing
+    out.n = 0;
+  }
+  return out;
+}
+
+std::vector<int> LoadBalancer::assign(const std::vector<double>& item_weights,
+                                      const std::vector<LinearModel>& models,
+                                      std::vector<double> current_finish) {
+  const size_t nranks = models.size();
+  std::vector<int> owner(item_weights.size(), 0);
+  if (nranks == 0) return owner;
+  if (current_finish.size() < nranks) current_finish.resize(nranks, 0.0);
+
+  std::vector<LinearModel> m(nranks);
+  for (size_t i = 0; i < nranks; ++i) m[i] = sanitize(models[i]);
+
+  // Heaviest items first (LPT), deterministic tie-break by index.
+  std::vector<size_t> order(item_weights.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return item_weights[a] > item_weights[b];
+  });
+
+  for (size_t idx : order) {
+    size_t best = 0;
+    double best_finish = std::numeric_limits<double>::infinity();
+    for (size_t r = 0; r < nranks; ++r) {
+      const double f = current_finish[r] + m[r].b * item_weights[idx];
+      if (f < best_finish) {
+        best_finish = f;
+        best = r;
+      }
+    }
+    owner[idx] = static_cast<int>(best);
+    current_finish[best] = best_finish;
+  }
+  return owner;
+}
+
+}  // namespace ftmr::core

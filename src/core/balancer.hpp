@@ -1,0 +1,45 @@
+// balancer.hpp — the automated load balancer (paper Sec. 3.4).
+//
+// An agent on each process observes (input bytes processed, elapsed time)
+// pairs; a linear model t = a + b*D is fitted per process by least squares.
+// After a failure, the failed processes' remaining work is divided so the
+// *predicted* finish times of all survivors equalize — the proportional
+// redistribution that keeps everyone finishing at the same pace.
+//
+// The observations live in the DistributedMaster (they piggyback on status
+// gossip); this module supplies the model exchange and the deterministic
+// split every survivor computes identically.
+#pragma once
+
+#include <vector>
+
+#include "common/regression.hpp"
+#include "common/status.hpp"
+#include "simmpi/comm.hpp"
+
+namespace ftmr::core {
+
+class LoadBalancer {
+ public:
+  /// Allgather each survivor's fitted model so every rank holds the same
+  /// model vector (indexed by rel rank on `comm`).
+  static Status exchange_models(simmpi::Comm& comm, const LinearModel& mine,
+                                std::vector<LinearModel>& all);
+
+  /// Assign work items (with weights, e.g. chunk bytes) to ranks so that
+  /// predicted finish times stay level. `current_finish[i]` is rank i's
+  /// predicted finish of its already-assigned work. Greedy longest-
+  /// processing-time: items are placed, heaviest first, on the rank whose
+  /// predicted finish after taking the item is smallest. Deterministic:
+  /// every survivor computes the identical assignment.
+  /// Returns owner rel-rank per item.
+  static std::vector<int> assign(const std::vector<double>& item_weights,
+                                 const std::vector<LinearModel>& models,
+                                 std::vector<double> current_finish);
+
+  /// Fallback weights when a model is unusable (too few observations):
+  /// unit marginal cost, so the split degrades to plain size balancing.
+  static LinearModel sanitize(const LinearModel& m);
+};
+
+}  // namespace ftmr::core

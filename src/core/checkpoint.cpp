@@ -1,0 +1,305 @@
+#include "core/checkpoint.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace ftmr::core {
+
+namespace {
+
+// Checkpoint kinds as they appear in file names.
+constexpr char kMap[] = "map";
+constexpr char kPart[] = "part";
+constexpr char kRed[] = "red";
+constexpr char kOut[] = "out";
+
+std::string base_name(const char* kind, int stage, uint64_t id, int seq) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s_s%03d_p%012" PRIu64 "_q%06d", kind, stage, id,
+                seq);
+  return buf;
+}
+
+/// Parse "<kind>_s<stage>_p<id>_q<seq>[_d<usec>]".
+struct ParsedName {
+  std::string kind;
+  int stage = -1;
+  uint64_t id = 0;
+  int seq = -1;
+  int64_t drained_usec = -1;  // -1: no drain stamp (local file)
+};
+
+bool parse_name(const std::string& name, ParsedName& out) {
+  const auto kind_end = name.find("_s");
+  if (kind_end == std::string::npos) return false;
+  out.kind = name.substr(0, kind_end);
+  int consumed = 0;
+  const char* rest = name.c_str() + kind_end;
+  if (std::sscanf(rest, "_s%d_p%" SCNu64 "_q%d%n", &out.stage, &out.id, &out.seq,
+                  &consumed) != 3) {
+    return false;
+  }
+  rest += consumed;
+  long long usec = -1;
+  if (std::sscanf(rest, "_d%lld", &usec) == 1) out.drained_usec = usec;
+  return true;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(storage::StorageSystem* fs, int node, int rank,
+                                     CkptOptions opts, int io_concurrency)
+    : fs_(fs), node_(node), rank_(rank), opts_(opts), conc_(io_concurrency),
+      copier_(fs, node, io_concurrency) {}
+
+Status CheckpointManager::put(simmpi::Comm& comm, const std::string& name,
+                              const Bytes& payload) {
+  if (!opts_.enabled) return Status::Ok();
+  const std::string rank_dir = "ck/r" + std::to_string(rank_);
+  count_++;
+  bytes_written_ += payload.size();
+  switch (opts_.location) {
+    case CkptOptions::Location::kSharedDirect: {
+      // The inferior baseline: every (small) checkpoint pays a shared-
+      // storage op, with full contention.
+      double cost = 0.0;
+      const double done = comm.now();
+      const std::string shared_name =
+          name + "_d" + std::to_string(static_cast<int64_t>(done * 1e6));
+      if (auto s = fs_->write_file(storage::Tier::kShared, node_,
+                                   rank_dir + "/" + shared_name, payload, &cost,
+                                   conc_);
+          !s.ok()) {
+        return s;
+      }
+      comm.compute(cost);
+      write_seconds_ += cost;
+      return Status::Ok();
+    }
+    case CkptOptions::Location::kLocalOnly:
+    case CkptOptions::Location::kLocalWithCopier: {
+      double cost = 0.0;
+      if (auto s = fs_->write_file(storage::Tier::kLocal, node_,
+                                   rank_dir + "/" + name, payload, &cost);
+          !s.ok()) {
+        return s;
+      }
+      comm.compute(cost);
+      write_seconds_ += cost;
+      if (opts_.location == CkptOptions::Location::kLocalWithCopier) {
+        double done_at = 0.0;
+        // The copier drains in the background (its own virtual timeline);
+        // the shared copy is stamped with its drain-completion time.
+        const std::string probe = rank_dir + "/" + name;
+        if (auto s = copier_.enqueue(probe, probe, comm.now(), &done_at); !s.ok()) {
+          return s;
+        }
+        const std::string stamped =
+            probe + "_d" + std::to_string(static_cast<int64_t>(done_at * 1e6));
+        // Rename the drained copy to carry its stamp.
+        Bytes data;
+        if (auto s = fs_->read_file(storage::Tier::kShared, node_, probe, data);
+            !s.ok()) {
+          return s;
+        }
+        if (auto s = fs_->write_file(storage::Tier::kShared, node_, stamped, data);
+            !s.ok()) {
+          return s;
+        }
+        (void)fs_->remove(storage::Tier::kShared, node_, probe);
+      }
+      return Status::Ok();
+    }
+  }
+  return {ErrorCode::kInternal, "unknown checkpoint location"};
+}
+
+Status CheckpointManager::map_ckpt(simmpi::Comm& comm, int stage, uint64_t task,
+                                   uint64_t pos, const mr::KvBuffer& delta) {
+  if (!opts_.enabled) return Status::Ok();
+  const std::string key = "m" + std::to_string(stage) + "_" + std::to_string(task);
+  const int seq = seq_[key]++;
+  ByteWriter w;
+  w.put<uint64_t>(task);
+  w.put<uint64_t>(pos);
+  w.put_blob(delta.serialize());
+  return put(comm, base_name(kMap, stage, task, seq), std::move(w).take());
+}
+
+Status CheckpointManager::partition_ckpt(simmpi::Comm& comm, int stage,
+                                         int partition, const mr::KvBuffer& kv) {
+  if (!opts_.enabled) return Status::Ok();
+  const std::string key = "p" + std::to_string(stage) + "_" + std::to_string(partition);
+  const int seq = seq_[key]++;
+  ByteWriter w;
+  w.put<int32_t>(partition);
+  w.put_blob(kv.serialize());
+  return put(comm, base_name(kPart, stage, static_cast<uint64_t>(partition), seq),
+             std::move(w).take());
+}
+
+Status CheckpointManager::reduce_ckpt(simmpi::Comm& comm, int stage, int partition,
+                                      uint64_t entries_done,
+                                      const mr::KvBuffer& out_delta) {
+  if (!opts_.enabled) return Status::Ok();
+  const std::string key = "r" + std::to_string(stage) + "_" + std::to_string(partition);
+  const int seq = seq_[key]++;
+  ByteWriter w;
+  w.put<int32_t>(partition);
+  w.put<uint64_t>(entries_done);
+  w.put_blob(out_delta.serialize());
+  return put(comm, base_name(kRed, stage, static_cast<uint64_t>(partition), seq),
+             std::move(w).take());
+}
+
+Status CheckpointManager::stage_output_ckpt(simmpi::Comm& comm, int stage,
+                                            int partition, const mr::KvBuffer& out) {
+  if (!opts_.enabled) return Status::Ok();
+  const std::string key = "o" + std::to_string(stage) + "_" + std::to_string(partition);
+  const int seq = seq_[key]++;
+  ByteWriter w;
+  w.put<int32_t>(partition);
+  w.put_blob(out.serialize());
+  return put(comm, base_name(kOut, stage, static_cast<uint64_t>(partition), seq),
+             std::move(w).take());
+}
+
+void CheckpointManager::drain(simmpi::Comm& comm) {
+  if (!opts_.enabled || opts_.location != CkptOptions::Location::kLocalWithCopier) {
+    return;
+  }
+  const double wait = copier_.drain_wait(comm.now());
+  if (wait > 0.0) comm.compute(wait);
+}
+
+std::set<int> CheckpointManager::stages_present(int src_rank, int src_node,
+                                                bool from_shared) const {
+  const std::string rank_dir = "ck/r" + std::to_string(src_rank);
+  const storage::Tier tier =
+      from_shared ? storage::Tier::kShared : storage::Tier::kLocal;
+  std::vector<std::string> names;
+  std::set<int> stages;
+  if (!fs_->list_dir(tier, src_node, rank_dir, names).ok()) return stages;
+  for (const std::string& n : names) {
+    ParsedName p;
+    if (parse_name(n, p)) stages.insert(p.stage);
+  }
+  return stages;
+}
+
+Status CheckpointManager::load_rank_stage(simmpi::Comm& comm, int stage,
+                                          int src_rank, int src_node,
+                                          bool from_shared, double horizon,
+                                          RankRecovery& out,
+                                          const LoadFilter& filter) {
+  const std::string rank_dir = "ck/r" + std::to_string(src_rank);
+  const storage::Tier tier =
+      from_shared ? storage::Tier::kShared : storage::Tier::kLocal;
+  std::vector<std::string> names;
+  if (auto s = fs_->list_dir(tier, src_node, rank_dir, names); !s.ok()) return s;
+
+  // Sorted names give sequence order per (kind, id). Filter to this stage,
+  // to the caller's assigned tasks/partitions, and (for shared reads) to
+  // checkpoints drained before the horizon.
+  std::vector<std::pair<ParsedName, std::string>> files;
+  for (const std::string& n : names) {
+    ParsedName p;
+    if (!parse_name(n, p)) continue;
+    if (p.stage != stage) continue;
+    if (from_shared && horizon >= 0.0 &&
+        p.drained_usec > static_cast<int64_t>(horizon * 1e6)) {
+      continue;  // this checkpoint had not finished draining — lost
+    }
+    if (p.kind == kMap && filter.tasks && !filter.tasks->count(p.id)) continue;
+    if (p.kind != kMap && filter.partitions &&
+        !filter.partitions->count(static_cast<int>(p.id))) {
+      continue;
+    }
+    files.emplace_back(std::move(p), n);
+  }
+  std::sort(files.begin(), files.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.first.kind, a.first.id, a.first.seq) <
+           std::tie(b.first.kind, b.first.id, b.first.seq);
+  });
+
+  // Optional prefetch staging for shared reads (Sec. 5.1): the reads below
+  // then hit the local disk, stalling only when they outrun the pipeline.
+  std::unique_ptr<storage::Prefetcher> prefetch;
+  if (from_shared && opts_.prefetch_recovery && !files.empty()) {
+    prefetch = std::make_unique<storage::Prefetcher>(fs_, node_, conc_);
+    std::vector<std::string> paths;
+    paths.reserve(files.size());
+    for (const auto& [p, n] : files) paths.push_back(rank_dir + "/" + n);
+    if (auto s = prefetch->start(paths, "prefetch/r" + std::to_string(src_rank),
+                                 comm.now());
+        !s.ok()) {
+      return s;
+    }
+  }
+
+  for (size_t i = 0; i < files.size(); ++i) {
+    const auto& [p, n] = files[i];
+    Bytes data;
+    double cost = 0.0;
+    if (prefetch) {
+      if (auto s = prefetch->read(i, comm.now(), data, &cost); !s.ok()) return s;
+    } else {
+      if (auto s = fs_->read_file(tier, src_node, rank_dir + "/" + n, data, &cost,
+                                  from_shared ? conc_ : 1);
+          !s.ok()) {
+        return s;
+      }
+    }
+    comm.compute(cost);
+    out.files_read++;
+    out.bytes_read += data.size();
+
+    ByteReader r(data);
+    if (p.kind == kMap) {
+      uint64_t task = 0, pos = 0;
+      Bytes blob;
+      if (auto s = r.get(task); !s.ok()) return s;
+      if (auto s = r.get(pos); !s.ok()) return s;
+      if (auto s = r.get_blob(blob); !s.ok()) return s;
+      mr::KvBuffer delta;
+      if (auto s = mr::KvBuffer::deserialize(blob, delta); !s.ok()) return s;
+      auto& mt = out.map_tasks[task];
+      mt.pos = std::max(mt.pos, pos);
+      mt.kv.merge_from(delta);
+    } else if (p.kind == kPart) {
+      int32_t part = 0;
+      Bytes blob;
+      if (auto s = r.get(part); !s.ok()) return s;
+      if (auto s = r.get_blob(blob); !s.ok()) return s;
+      mr::KvBuffer kv;
+      if (auto s = mr::KvBuffer::deserialize(blob, kv); !s.ok()) return s;
+      out.partitions[part].merge_from(kv);
+    } else if (p.kind == kRed) {
+      int32_t part = 0;
+      uint64_t done = 0;
+      Bytes blob;
+      if (auto s = r.get(part); !s.ok()) return s;
+      if (auto s = r.get(done); !s.ok()) return s;
+      if (auto s = r.get_blob(blob); !s.ok()) return s;
+      mr::KvBuffer delta;
+      if (auto s = mr::KvBuffer::deserialize(blob, delta); !s.ok()) return s;
+      auto& rr = out.reduce[part];
+      rr.entries_done = std::max(rr.entries_done, done);
+      rr.out.merge_from(delta);
+    } else if (p.kind == kOut) {
+      int32_t part = 0;
+      Bytes blob;
+      if (auto s = r.get(part); !s.ok()) return s;
+      if (auto s = r.get_blob(blob); !s.ok()) return s;
+      mr::KvBuffer kv;
+      if (auto s = mr::KvBuffer::deserialize(blob, kv); !s.ok()) return s;
+      out.stage_outputs[part].merge_from(kv);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ftmr::core

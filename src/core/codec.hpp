@@ -1,0 +1,68 @@
+// codec.hpp — key/value codecs for the templated task-runner interfaces.
+//
+// The engine stores keys and values as strings on the wire and in
+// checkpoints; the Table-1 class templates (Mapper<INKEY,...>, etc.) are
+// typed. Codec<T> bridges the two with explicit, locale-free conversions.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ftmr::core {
+
+template <typename T>
+struct Codec;  // specialize for every key/value type
+
+template <>
+struct Codec<std::string> {
+  static std::string encode(const std::string& v) { return v; }
+  static std::string decode(std::string_view s) { return std::string(s); }
+};
+
+template <>
+struct Codec<int64_t> {
+  static std::string encode(int64_t v) { return std::to_string(v); }
+  static int64_t decode(std::string_view s) {
+    int64_t v = 0;
+    std::from_chars(s.data(), s.data() + s.size(), v);
+    return v;
+  }
+};
+
+template <>
+struct Codec<uint64_t> {
+  static std::string encode(uint64_t v) { return std::to_string(v); }
+  static uint64_t decode(std::string_view s) {
+    uint64_t v = 0;
+    std::from_chars(s.data(), s.data() + s.size(), v);
+    return v;
+  }
+};
+
+template <>
+struct Codec<int32_t> {
+  static std::string encode(int32_t v) { return std::to_string(v); }
+  static int32_t decode(std::string_view s) {
+    int32_t v = 0;
+    std::from_chars(s.data(), s.data() + s.size(), v);
+    return v;
+  }
+};
+
+template <>
+struct Codec<double> {
+  static std::string encode(double v) {
+    char buf[32];
+    auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, p);
+  }
+  static double decode(std::string_view s) {
+    double v = 0.0;
+    std::from_chars(s.data(), s.data() + s.size(), v);
+    return v;
+  }
+};
+
+}  // namespace ftmr::core

@@ -1,0 +1,970 @@
+#include "core/ftjob.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/hash.hpp"
+#include "common/log.hpp"
+#include "mr/shuffle.hpp"
+
+namespace ftmr::core {
+
+namespace {
+constexpr int kMaxStagesScan = 64;  // prime scan bound for CR restarts
+}
+
+FtJob::FtJob(simmpi::Comm& world, storage::StorageSystem* fs, FtJobOptions opts)
+    : world_(world), wc_(world), fs_(fs), opts_(std::move(opts)),
+      p0_(world.size()) {
+  part_owner_.resize(static_cast<size_t>(p0_));
+  for (int p = 0; p < p0_; ++p) part_owner_[p] = p;  // identity group at start
+
+  simmpi::Comm mc;
+  (void)check(wc_.dup(mc, /*accounts_time=*/false));
+  master_ = std::make_unique<DistributedMaster>(mc, opts_.status_interval_commits);
+  ckpt_ = std::make_unique<CheckpointManager>(fs_, node(), world_.global_rank(),
+                                              opts_.ckpt, io_conc());
+  if (opts_.mode == FtMode::kCheckpointRestart && opts_.ckpt.enabled) {
+    prime_from_own_checkpoints();
+  }
+}
+
+int FtJob::node() const noexcept { return world_.global_rank() / opts_.ppn; }
+
+bool FtJob::is_failure(const Status& s) const noexcept {
+  switch (s.code()) {
+    case ErrorCode::kProcFailed:
+    case ErrorCode::kProcFailedPending:
+    case ErrorCode::kRevoked:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status FtJob::check(Status s) {
+  if (s.ok() || !is_failure(s)) return s;
+  switch (opts_.mode) {
+    case FtMode::kNone:
+      // Baseline behaviour: stock MPI semantics, errors are fatal.
+      wc_.abort(1);
+    case FtMode::kCheckpointRestart: {
+      // The paper's custom error handler (Sec. 4.1): preserve the local
+      // consistent state, then propagate the failure by terminating — the
+      // process manager broadcasts it and traps every surviving rank here.
+      // Only record-granularity checkpointing may preserve partial-task
+      // state; chunk granularity commits whole chunks only (Sec. 4.1.2 —
+      // "all work on partially processed input chunks will be lost").
+      if (opts_.ckpt.granularity == CkptOptions::Granularity::kRecord) {
+        for (auto& [sid, st] : stages_) {
+          for (auto& [task, tp] : st.tasks) {
+            if (!tp.pending_delta.empty()) {
+              (void)ckpt_->map_ckpt(wc_, sid, task, tp.pos, tp.pending_delta);
+              tp.pending_delta.clear();
+              tp.last_ckpt_pos = tp.pos;
+            }
+          }
+          for (auto& [p, rp] : st.reduce) {
+            if (!rp.pending_delta.empty()) {
+              (void)ckpt_->reduce_ckpt(wc_, sid, p, rp.entries_done,
+                                       rp.pending_delta);
+              rp.pending_delta.clear();
+            }
+          }
+        }
+      }
+      wc_.abort(2);
+    }
+    case FtMode::kDetectResumeWC:
+    case FtMode::kDetectResumeNWC:
+      throw FailureDetected{std::move(s)};
+  }
+  return s;
+}
+
+Status FtJob::run(const Driver& driver) {
+  bool pending_recover = false;
+  for (;;) {
+    try {
+      if (pending_recover) {
+        pending_recover = false;
+        recoveries_++;
+        const double t0 = wc_.now();
+        recover();
+        times_.charge("recovery", wc_.now() - t0);
+      }
+      stage_cursor_ = 0;
+      return driver(*this);
+    } catch (const FailureDetected& f) {
+      FTMR_INFO << "rank " << world_.global_rank()
+                << " detected failure: " << f.cause.to_string();
+      pending_recover = true;
+    }
+  }
+}
+
+std::string FtJob::chunk_name(uint64_t task) const { return chunks_[task]; }
+
+int FtJob::owner_rel(int partition) const {
+  return wc_.rel_of_global(part_owner_[static_cast<size_t>(partition)]);
+}
+
+std::vector<uint64_t> FtJob::my_task_ids(int stage, bool kv_input) const {
+  std::vector<uint64_t> mine;
+  const int me = world_.global_rank();
+  if (kv_input) {
+    (void)stage;
+    for (int p = 0; p < p0_; ++p) {
+      if (part_owner_[p] == me) mine.push_back(static_cast<uint64_t>(p));
+    }
+    return mine;
+  }
+  for (uint64_t t = 0; t < chunks_.size(); ++t) {
+    auto it = task_reassign_.find(t);
+    const int owner = (it != task_reassign_.end()) ? it->second
+                                                   : assign_task_to_rank(t, p0_);
+    if (owner == me) mine.push_back(t);
+  }
+  return mine;
+}
+
+// ---------------------------------------------------------------------------
+// task runner (Algorithm 1): read - map - commit loop
+// ---------------------------------------------------------------------------
+
+void FtJob::commit(uint64_t task, TaskProgress& tp, int stage) {
+  // Record-granularity checkpoint every records_per_ckpt commits.
+  if (opts_.ckpt.enabled &&
+      opts_.ckpt.granularity == CkptOptions::Granularity::kRecord &&
+      static_cast<int64_t>(tp.pos - tp.last_ckpt_pos) >= opts_.ckpt.records_per_ckpt) {
+    const double t0 = wc_.now();
+    (void)check(ckpt_->map_ckpt(wc_, stage, task, tp.pos, tp.pending_delta));
+    tp.pending_delta.clear();
+    tp.last_ckpt_pos = tp.pos;
+    times_.charge("ckpt", wc_.now() - t0);
+  }
+  // Periodic master duties + eager failure observation (every few commits,
+  // not every record, to keep the real-time overhead of the simulator low).
+  if ((tp.pos & 0x3f) == 0) {
+    master_->on_task_progress(task, tp.pos, 0);
+    master_->observe(map_bytes_done_, wc_.now());
+    (void)check(master_->tick());
+    if (!wc_.failed_ranks().empty()) {
+      (void)check(Status{ErrorCode::kProcFailed, "failure observed at commit"});
+    }
+  }
+}
+
+Status FtJob::run_one_map_task(const StageFns& fns, bool kv_input, int stage,
+                               StageState& st, uint64_t task) {
+  TaskProgress& tp = st.tasks[task];
+  if (tp.done) return Status::Ok();
+  if (tp.parts.empty()) tp.parts.resize(static_cast<size_t>(p0_));
+
+  // -- fetch input --
+  std::string chunk;                 // file-task payload
+  const mr::KvBuffer* kv_in = nullptr;  // kv-task payload
+  if (!kv_input) {
+    Bytes data;
+    double cost = 0.0;
+    if (auto s = fs_->read_file(storage::Tier::kShared, node(),
+                                opts_.input_dir + "/" + chunk_name(task), data,
+                                &cost, io_conc());
+        !s.ok()) {
+      return s;
+    }
+    wc_.compute(cost);
+    times_.charge("io_wait", cost);
+    chunk.assign(reinterpret_cast<const char*>(data.data()), data.size());
+  } else {
+    auto pit = stages_.find(stage - 1);
+    if (pit == stages_.end()) {
+      return {ErrorCode::kFailedPrecondition, "kv-input stage without predecessor"};
+    }
+    kv_in = &pit->second.outputs[static_cast<int>(task)];
+  }
+
+  master_->on_task_start(task, kv_input ? kv_in->bytes() : chunk.size());
+
+  // -- recovery fast-path: skip records committed before the failure --
+  std::unique_ptr<FileRecordReader<int64_t, std::string>> reader_holder =
+      fns.make_reader ? fns.make_reader()
+                      : std::make_unique<TextLineReader>();
+  FileRecordReader<int64_t, std::string>& reader = *reader_holder;
+  size_t kv_cursor = 0;
+  if (!kv_input) reader.open(task, chunk);
+  if (tp.pos > 0) {
+    if (!kv_input) {
+      reader.skip(tp.pos);
+    } else {
+      kv_cursor = tp.pos;
+    }
+    wc_.compute(static_cast<double>(tp.pos) * opts_.skip_cost_per_record);
+    times_.charge("skip", static_cast<double>(tp.pos) * opts_.skip_cost_per_record);
+  }
+
+  // -- the Algorithm-1 loop: while next() { map(); commit(); } --
+  const double map_cost = current_map_cost(fns);
+  mr::KvBuffer emitted;
+  for (;;) {
+    std::string key, value;
+    if (!kv_input) {
+      int64_t line_no = 0;
+      if (!reader.next(line_no, value)) break;
+      key = std::to_string(line_no);
+    } else {
+      if (kv_cursor >= kv_in->size()) break;
+      const mr::KvPair& p = kv_in->pairs()[kv_cursor++];
+      key = p.key;
+      value = p.value;
+    }
+    emitted.clear();
+    fns.map(key, value, emitted);
+    for (const mr::KvPair& p : emitted.pairs()) {
+      const int part = partition_of_key(p.key, p0_);
+      tp.parts[static_cast<size_t>(part)].add(p);
+      tp.pending_delta.add(p);
+    }
+    wc_.compute(map_cost);
+    map_bytes_done_ += static_cast<double>(key.size() + value.size());
+    tp.pos++;
+    commit(task, tp, stage);
+  }
+
+  // -- task completion: flush the tail checkpoint --
+  if (opts_.ckpt.enabled && !tp.pending_delta.empty()) {
+    const double t0 = wc_.now();
+    (void)check(ckpt_->map_ckpt(wc_, stage, task, tp.pos, tp.pending_delta));
+    tp.pending_delta.clear();
+    tp.last_ckpt_pos = tp.pos;
+    times_.charge("ckpt", wc_.now() - t0);
+  }
+  tp.done = true;
+  master_->on_task_done(task, tp.pos, 0);
+  master_->observe(map_bytes_done_, wc_.now());
+  return Status::Ok();
+}
+
+Status FtJob::map_phase(const StageFns& fns, bool kv_input, int stage,
+                        StageState& st) {
+  const double t0 = wc_.now();
+  for (uint64_t task : my_task_ids(stage, kv_input)) {
+    if (auto s = check(run_one_map_task(fns, kv_input, stage, st, task)); !s.ok()) {
+      return s;
+    }
+  }
+  ckpt_->drain(wc_);
+  if (auto s = check(master_->exchange_now()); !s.ok()) return s;
+  if (auto s = check(wc_.barrier()); !s.ok()) return s;
+  times_.charge("map", wc_.now() - t0);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// shuffle
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Encode a set of (partition, KvBuffer) blocks destined to one rank.
+Bytes encode_blocks(const std::vector<std::pair<int, const mr::KvBuffer*>>& blocks) {
+  ByteWriter w;
+  w.put<uint32_t>(static_cast<uint32_t>(blocks.size()));
+  for (const auto& [p, kv] : blocks) {
+    w.put<int32_t>(p);
+    w.put_blob(kv->serialize());
+  }
+  return std::move(w).take();
+}
+
+Status decode_blocks(std::span<const std::byte> data,
+                     std::map<int, mr::KvBuffer>& into, bool replace) {
+  if (data.empty()) return Status::Ok();
+  ByteReader r(data);
+  uint32_t n = 0;
+  if (auto s = r.get(n); !s.ok()) return s;
+  for (uint32_t i = 0; i < n; ++i) {
+    int32_t p = 0;
+    Bytes blob;
+    if (auto s = r.get(p); !s.ok()) return s;
+    if (auto s = r.get_blob(blob); !s.ok()) return s;
+    mr::KvBuffer kv;
+    if (auto s = mr::KvBuffer::deserialize(blob, kv); !s.ok()) return s;
+    if (replace) into[p].clear();
+    into[p].merge_from(kv);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+namespace {
+
+/// Apply a combiner to a KV block: group by key (deterministic order) and
+/// feed each group through the combine function.
+mr::KvBuffer combine_block(const mr::KvBuffer& in,
+                           const StageFns& fns) {
+  if (!fns.combine || in.empty()) return in;
+  const mr::KmvBuffer grouped = mr::convert_2pass(in);
+  mr::KvBuffer out;
+  for (const mr::KmvEntry& e : grouped.entries()) {
+    fns.combine(e.key, e.values, out);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status FtJob::shuffle_phase(const StageFns& fns, int stage, StageState& st) {
+  const double t0 = wc_.now();
+  // Assemble per-destination blocks: one (partition, data) block per
+  // partition, addressed to the partition's current owner.
+  std::vector<mr::KvBuffer> merged(static_cast<size_t>(p0_));
+  for (auto& [task, tp] : st.tasks) {
+    (void)task;
+    for (int p = 0; p < p0_; ++p) {
+      if (!tp.parts.empty()) merged[p].merge_from(tp.parts[static_cast<size_t>(p)]);
+    }
+  }
+  if (fns.combine) {
+    // Local pre-aggregation before the wire: shrink each outgoing block.
+    for (int p = 0; p < p0_; ++p) {
+      const size_t before = merged[p].bytes();
+      merged[p] = combine_block(merged[p], fns);
+      if (before > merged[p].bytes()) {
+        times_.charge("combine_saved_bytes",
+                      static_cast<double>(before - merged[p].bytes()));
+      }
+    }
+  }
+  std::vector<std::vector<std::pair<int, const mr::KvBuffer*>>> by_dest(
+      static_cast<size_t>(wc_.size()));
+  for (int p = 0; p < p0_; ++p) {
+    const int rel = owner_rel(p);
+    if (rel < 0) {
+      return check({ErrorCode::kProcFailed, "partition owner died before shuffle"});
+    }
+    by_dest[static_cast<size_t>(rel)].push_back({p, &merged[static_cast<size_t>(p)]});
+  }
+  std::vector<Bytes> send(by_dest.size());
+  for (size_t d = 0; d < by_dest.size(); ++d) send[d] = encode_blocks(by_dest[d]);
+
+  std::vector<Bytes> recv;
+  if (auto s = check(wc_.alltoall(send, recv)); !s.ok()) return s;
+  for (const Bytes& b : recv) {
+    if (auto s = decode_blocks(b, st.my_partitions, /*replace=*/false); !s.ok()) {
+      return s;
+    }
+  }
+
+  // Partition checkpoints make the shuffle result durable: a work-conserving
+  // resume after a reduce-phase failure reads exactly these.
+  if (opts_.ckpt.enabled) {
+    const double c0 = wc_.now();
+    for (const auto& [p, kv] : st.my_partitions) {
+      if (auto s = check(ckpt_->partition_ckpt(wc_, stage, p, kv)); !s.ok()) return s;
+    }
+    ckpt_->drain(wc_);
+    times_.charge("ckpt", wc_.now() - c0);
+  }
+  st.phase = kPhaseShuffleDone;
+  if (auto s = check(wc_.barrier()); !s.ok()) return s;
+  times_.charge("shuffle", wc_.now() - t0);
+  return Status::Ok();
+}
+
+Status FtJob::rebuild_orphan_partitions(const StageFns& fns, int stage,
+                                        StageState& st,
+                                        const std::vector<int>& missing) {
+  const double t0 = wc_.now();
+  // Survivors re-exchange only the orphaned partitions, rebuilt from their
+  // retained (and patch-up re-executed) map outputs. `missing` is the
+  // allgathered union, so every rank participates in the same exchange.
+  std::vector<mr::KvBuffer> merged(static_cast<size_t>(p0_));
+  for (auto& [task, tp] : st.tasks) {
+    (void)task;
+    if (tp.parts.empty()) continue;
+    for (int p : missing) merged[p].merge_from(tp.parts[static_cast<size_t>(p)]);
+  }
+  if (fns.combine) {
+    for (int p : missing) merged[p] = combine_block(merged[p], fns);
+  }
+  std::vector<std::vector<std::pair<int, const mr::KvBuffer*>>> by_dest(
+      static_cast<size_t>(wc_.size()));
+  for (int p : missing) {
+    const int rel = owner_rel(p);
+    if (rel < 0) {
+      return check({ErrorCode::kProcFailed, "orphan partition owner died"});
+    }
+    by_dest[static_cast<size_t>(rel)].push_back({p, &merged[static_cast<size_t>(p)]});
+  }
+  std::vector<Bytes> send(by_dest.size());
+  for (size_t d = 0; d < by_dest.size(); ++d) send[d] = encode_blocks(by_dest[d]);
+  std::vector<Bytes> recv;
+  if (auto s = check(wc_.alltoall(send, recv)); !s.ok()) return s;
+  std::map<int, mr::KvBuffer> rebuilt;
+  for (const Bytes& b : recv) {
+    if (auto s = decode_blocks(b, rebuilt, /*replace=*/false); !s.ok()) return s;
+  }
+  for (auto& [p, kv] : rebuilt) {
+    st.my_partitions[p] = std::move(kv);  // replace: idempotent under retry
+    st.reduce.erase(p);                   // restart this partition's reduce
+  }
+  if (opts_.ckpt.enabled) {
+    for (const auto& [p, kv] : rebuilt) {
+      if (auto s = check(ckpt_->partition_ckpt(wc_, stage, p, kv)); !s.ok()) return s;
+    }
+    ckpt_->drain(wc_);
+  }
+  st.partitions_missing.clear();
+  if (auto s = check(wc_.barrier()); !s.ok()) return s;
+  times_.charge("recovery", wc_.now() - t0);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// reduce
+// ---------------------------------------------------------------------------
+
+Status FtJob::reduce_phase(const StageFns& fns, int stage, StageState& st) {
+  const double t0 = wc_.now();
+  const double reduce_cost = current_reduce_cost(fns);
+  const int me = world_.global_rank();
+  for (int p = 0; p < p0_; ++p) {
+    if (part_owner_[static_cast<size_t>(p)] != me) continue;
+    ReduceProgress& rp = st.reduce[p];
+    if (rp.done) continue;
+
+    // KV→KMV conversion (the "merge" of Fig. 10); deterministic key order
+    // makes the reduce-entry cursor a valid recovery position.
+    const double m0 = wc_.now();
+    mr::ConvertStats cst;
+    const mr::KmvBuffer kmv =
+        opts_.two_pass_convert
+            ? mr::convert_2pass(st.my_partitions[p], &cst,
+                                opts_.convert_segment_bytes)
+            : mr::convert_4pass(st.my_partitions[p], &cst);
+    const double convert_io =
+        fs_->cost_of(storage::Tier::kLocal, cst.bytes_moved, cst.passes);
+    wc_.compute(convert_io);
+    times_.charge("merge", wc_.now() - m0);
+
+    if (rp.entries_done > 0) {
+      wc_.compute(static_cast<double>(rp.entries_done) * opts_.skip_cost_per_record);
+    }
+    mr::KvBuffer emitted;
+    for (size_t i = rp.entries_done; i < kmv.size(); ++i) {
+      const mr::KmvEntry& e = kmv.entries()[i];
+      emitted.clear();
+      fns.reduce(e.key, e.values, emitted);
+      rp.out.merge_from(emitted);
+      rp.pending_delta.merge_from(emitted);
+      wc_.compute(reduce_cost * static_cast<double>(e.values.size()));
+      rp.entries_done = i + 1;
+      if (opts_.ckpt.enabled &&
+          opts_.ckpt.granularity == CkptOptions::Granularity::kRecord &&
+          static_cast<int64_t>(rp.entries_done - rp.last_ckpt_entries) >=
+              opts_.ckpt.records_per_ckpt) {
+        const double c0 = wc_.now();
+        if (auto s = check(ckpt_->reduce_ckpt(wc_, stage, p, rp.entries_done,
+                                              rp.pending_delta));
+            !s.ok()) {
+          return s;
+        }
+        rp.pending_delta.clear();
+        rp.last_ckpt_entries = rp.entries_done;
+        times_.charge("ckpt", wc_.now() - c0);
+      }
+      if ((rp.entries_done & 0x3f) == 0) {
+        if (auto s = check(master_->tick()); !s.ok()) return s;
+        if (!wc_.failed_ranks().empty()) {
+          if (auto s = check({ErrorCode::kProcFailed, "failure observed in reduce"});
+              !s.ok()) {
+            return s;
+          }
+        }
+      }
+    }
+    if (opts_.ckpt.enabled && !rp.pending_delta.empty()) {
+      if (auto s =
+              check(ckpt_->reduce_ckpt(wc_, stage, p, rp.entries_done,
+                                       rp.pending_delta));
+          !s.ok()) {
+        return s;
+      }
+      rp.pending_delta.clear();
+    }
+    rp.done = true;
+    st.outputs[p] = rp.out;
+    if (opts_.ckpt.enabled) {
+      if (auto s = check(ckpt_->stage_output_ckpt(wc_, stage, p, rp.out)); !s.ok()) {
+        return s;
+      }
+    }
+  }
+  ckpt_->drain(wc_);
+  if (auto s = check(wc_.barrier()); !s.ok()) return s;
+  st.phase = kPhaseDone;
+  times_.charge("reduce", wc_.now() - t0);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// stage orchestration
+// ---------------------------------------------------------------------------
+
+Status FtJob::run_stage(const StageFns& fns, bool kv_input, mr::KvBuffer* output) {
+  const int stage = stage_cursor_++;
+  if (kv_input && stage == 0) {
+    return {ErrorCode::kInvalidArgument, "stage 0 cannot take kv input"};
+  }
+  if (!kv_input && chunks_.empty()) {
+    if (auto s = fs_->list_dir(storage::Tier::kShared, node(), opts_.input_dir,
+                               chunks_);
+        !s.ok()) {
+      return s;
+    }
+  }
+  StageState& st = stages_[stage];
+  if (st.phase != kPhaseDone) {
+    if (st.phase == kPhaseMap) {
+      if (auto s = map_phase(fns, kv_input, stage, st); !s.ok()) return s;
+      if (auto s = shuffle_phase(fns, stage, st); !s.ok()) return s;
+    }
+    // Agree on the orphan-rebuild set: a work-conserving fallback may mark
+    // a partition missing on the inheriting rank only, but the rebuild is a
+    // collective exchange — everyone must join or nobody may. (On the
+    // failure-free path the union is empty and this is one cheap allgather.)
+    {
+      ByteWriter w;
+      w.put<uint32_t>(static_cast<uint32_t>(st.partitions_missing.size()));
+      for (int p : st.partitions_missing) w.put<int32_t>(p);
+      std::vector<Bytes> gathered;
+      if (auto s = check(wc_.allgather(w.bytes(), gathered)); !s.ok()) return s;
+      std::set<int> union_missing;
+      for (const Bytes& b : gathered) {
+        ByteReader r(b);
+        uint32_t n = 0;
+        (void)r.get(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          int32_t p = 0;
+          (void)r.get(p);
+          union_missing.insert(p);
+        }
+      }
+      if (!union_missing.empty()) {
+        // Patch-up: re-execute every unfinished or newly inherited map task
+        // — the dead ranks' contributions to the orphaned partitions can
+        // only come from these re-executions.
+        for (uint64_t task : my_task_ids(stage, kv_input)) {
+          auto it = st.tasks.find(task);
+          if (it != st.tasks.end() && it->second.done) continue;
+          if (auto s = check(run_one_map_task(fns, kv_input, stage, st, task));
+              !s.ok()) {
+            return s;
+          }
+        }
+        std::vector<int> missing(union_missing.begin(), union_missing.end());
+        if (auto s = rebuild_orphan_partitions(fns, stage, st, missing);
+            !s.ok()) {
+          return s;
+        }
+      }
+    }
+    if (auto s = reduce_phase(fns, stage, st); !s.ok()) return s;
+  }
+  last_stage_ = stage;
+  if (output) {
+    output->clear();
+    const int me = world_.global_rank();
+    for (int p = 0; p < p0_; ++p) {
+      if (part_owner_[static_cast<size_t>(p)] == me) {
+        output->merge_from(st.outputs[p]);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status FtJob::write_output() {
+  if (last_stage_ < 0) {
+    return {ErrorCode::kFailedPrecondition, "write_output before any stage"};
+  }
+  StageState& st = stages_[last_stage_];
+  const int me = world_.global_rank();
+  for (int p = 0; p < p0_; ++p) {
+    if (part_owner_[static_cast<size_t>(p)] != me) continue;
+    Bytes payload;
+    if (opts_.output_writer) {
+      // User-formatted records (Table 1 FileRecordWriter path).
+      std::string sink;
+      for (const mr::KvPair& pair : st.outputs[p].pairs()) {
+        opts_.output_writer(pair.key, pair.value, sink);
+      }
+      payload = to_bytes(sink);
+    } else {
+      ByteWriter w;
+      for (const mr::KvPair& pair : st.outputs[p].pairs()) {
+        w.put_string(pair.key);
+        w.put_string(pair.value);
+      }
+      payload = std::move(w).take();
+    }
+    char name[64];
+    std::snprintf(name, sizeof(name), "part-%05d", p);
+    double cost = 0.0;
+    if (auto s = fs_->write_file(storage::Tier::kShared, node(),
+                                 opts_.output_dir + "/" + name, payload, &cost,
+                                 io_conc());
+        !s.ok()) {
+      return s;
+    }
+    wc_.compute(cost);
+    times_.charge("io_wait", cost);
+  }
+  return check(wc_.barrier());
+}
+
+// ---------------------------------------------------------------------------
+// recovery (detect/resume, Sec. 4.2)
+// ---------------------------------------------------------------------------
+
+void FtJob::recover() {
+  // 1. Failure notification: revoke both communicators so every survivor —
+  //    including ones blocked in collectives — lands in recovery.
+  (void)wc_.revoke();
+  (void)master_->comm().revoke();
+
+  // 2. Rebuild communication capability: shrink, then a fresh master comm.
+  simmpi::Comm new_wc;
+  if (auto s = wc_.shrink(new_wc); !s.ok()) {
+    throw std::runtime_error("shrink failed: " + s.to_string());
+  }
+  wc_ = new_wc;
+  simmpi::Comm new_mc;
+  (void)check(wc_.dup(new_mc, /*accounts_time=*/false));
+  master_->rebind(std::move(new_mc));
+
+  // 3. Uniform agreement that everyone reached recovery with the same view.
+  int flag = 1;
+  (void)wc_.agree(flag);
+  wc_.ack_failures();
+  world_.ack_failures();
+
+  // 4. Collective census of the dead. Survivors may locally observe
+  //    slightly different dead sets (detection is asynchronous), so the
+  //    sets are allgathered and unioned — every survivor patches against
+  //    the identical census. If yet another rank dies during these
+  //    collectives they fail *uniformly* (nobody mutates state), the
+  //    FailureDetected unwinds, and recovery restarts cleanly.
+  std::vector<int> local_dead = world_.failed_global_ranks();
+  ByteWriter w;
+  w.put<uint32_t>(static_cast<uint32_t>(local_dead.size()));
+  for (int d : local_dead) w.put<int32_t>(d);
+  std::vector<Bytes> gathered;
+  (void)check(wc_.allgather(w.bytes(), gathered));
+  std::set<int> union_dead;
+  for (const Bytes& b : gathered) {
+    ByteReader r(b);
+    uint32_t n = 0;
+    (void)r.get(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      int32_t d = 0;
+      (void)r.get(d);
+      union_dead.insert(d);
+    }
+  }
+  std::vector<int> new_dead;
+  for (int d : union_dead) {
+    if (!known_dead_.count(d)) new_dead.push_back(d);
+  }
+  FTMR_INFO << "rank " << world_.global_rank() << " recovering; "
+            << new_dead.size() << " newly dead, comm now " << wc_.size();
+  patch_state_after_shrink(new_dead);
+  for (int d : new_dead) known_dead_.insert(d);
+}
+
+void FtJob::patch_state_after_shrink(const std::vector<int>& new_dead) {
+  if (new_dead.empty()) return;
+
+  // NOTE ordering invariant: every communication below happens *before*
+  // any state mutation. Collectives fail uniformly in simmpi, so either
+  // every survivor reaches the mutation section (and applies the same
+  // deterministic updates from the same gathered inputs), or none does.
+
+  // Failure horizon: checkpoints that had not drained by the earliest
+  // detection time are treated as lost.
+  double horizon = wc_.now();
+  (void)check(wc_.allreduce_one(simmpi::ReduceOp::kMin, wc_.now(), horizon));
+
+  // Load-balancer models of every survivor (identical vector everywhere).
+  std::vector<LinearModel> models;
+  if (opts_.load_balance) {
+    (void)check(LoadBalancer::exchange_models(wc_, master_->local_model(), models));
+  } else {
+    models.assign(static_cast<size_t>(wc_.size()), LinearModel{});
+  }
+  // known_dead_ is updated by the caller *after* this function succeeds;
+  // build the effective dead set here.
+  std::set<int> dead_now = known_dead_;
+  for (int d : new_dead) dead_now.insert(d);
+
+  // --- Reassign the dead ranks' partitions (deterministically). ---
+  std::vector<int> orphan_parts;
+  for (int p = 0; p < p0_; ++p) {
+    if (dead_now.count(part_owner_[static_cast<size_t>(p)])) {
+      orphan_parts.push_back(p);
+    }
+  }
+  {
+    std::vector<double> weights(orphan_parts.size(), 1.0);
+    std::vector<double> finish(static_cast<size_t>(wc_.size()), 0.0);
+    // Survivors keep their own partitions; seed their predicted finish with
+    // the number of partitions they already own.
+    for (int p = 0; p < p0_; ++p) {
+      const int rel = owner_rel(p);
+      if (rel >= 0) finish[static_cast<size_t>(rel)] += 1.0;
+    }
+    const std::vector<int> owner =
+        LoadBalancer::assign(weights, models, std::move(finish));
+    for (size_t i = 0; i < orphan_parts.size(); ++i) {
+      part_owner_[static_cast<size_t>(orphan_parts[i])] =
+          wc_.global_of_rel(owner[i]);
+    }
+  }
+
+  // --- Reassign the dead ranks' file tasks. ---
+  std::vector<uint64_t> orphan_tasks;
+  for (uint64_t t = 0; t < chunks_.size(); ++t) {
+    auto it = task_reassign_.find(t);
+    const int owner = (it != task_reassign_.end()) ? it->second
+                                                   : assign_task_to_rank(t, p0_);
+    if (dead_now.count(owner)) orphan_tasks.push_back(t);
+  }
+  {
+    std::vector<double> weights;
+    weights.reserve(orphan_tasks.size());
+    for (uint64_t t : orphan_tasks) {
+      const int64_t sz = fs_->file_size(storage::Tier::kShared, node(),
+                                        opts_.input_dir + "/" + chunks_[t]);
+      weights.push_back(sz > 0 ? static_cast<double>(sz) : 1.0);
+    }
+    std::vector<double> finish(static_cast<size_t>(wc_.size()), 0.0);
+    const std::vector<int> owner =
+        LoadBalancer::assign(weights, models, std::move(finish));
+    for (size_t i = 0; i < orphan_tasks.size(); ++i) {
+      task_reassign_[orphan_tasks[i]] = wc_.global_of_rel(owner[i]);
+    }
+  }
+
+  // --- Current stage & per-stage state patching. ---
+  int cur_stage = stage_cursor_ > 0 ? stage_cursor_ - 1 : 0;
+  for (const auto& [sid, st] : stages_) {
+    if (st.phase != kPhaseDone) {
+      cur_stage = sid;
+      break;
+    }
+    cur_stage = sid + 1;
+  }
+
+  if (opts_.mode == FtMode::kDetectResumeNWC) {
+    // Non-work-conserving (Sec. 4.2.2): the lost work is re-executed. Any
+    // completed stage whose outputs lived (partly) in dead memory cannot be
+    // reconstructed without its inputs, so a multi-stage job falls all the
+    // way back to stage 0 — previously finished work is lost, exactly the
+    // behaviour Figs. 11/12 show under continuous failures.
+    const bool multi_stage = cur_stage > 0 || stages_.size() > 1;
+    if (multi_stage) {
+      stages_.clear();
+      return;
+    }
+    auto sit = stages_.find(cur_stage);
+    if (sit == stages_.end()) return;
+    StageState& st = sit->second;
+    if (st.phase == kPhaseMap) {
+      // Dead tasks simply re-run from scratch on their new owners: drop any
+      // state (there is none on this rank) — nothing else to do, the map
+      // loop will execute them because my_task_ids() now includes them.
+      return;
+    }
+    // Reduce-phase failure: the dead ranks' partitions are orphaned; their
+    // content is rebuilt from the survivors' retained map outputs plus the
+    // re-executed dead map tasks.
+    for (int p : orphan_parts) st.partitions_missing.insert(p);
+    for (uint64_t t : orphan_tasks) {
+      if (task_reassign_[t] == world_.global_rank()) {
+        st.tasks[t] = TaskProgress{};  // re-execute from record 0
+        st.tasks[t].rerun_from_scratch = true;
+      }
+    }
+    return;
+  }
+
+  // Work-conserving (WC): survivors read the dead ranks' checkpoints from
+  // the shared storage — only the files covering the work they inherited.
+  std::set<uint64_t> my_new_tasks;
+  for (uint64_t t : orphan_tasks) {
+    if (task_reassign_[t] == world_.global_rank()) my_new_tasks.insert(t);
+  }
+  std::set<int> my_new_parts;
+  for (int p : orphan_parts) {
+    if (part_owner_[static_cast<size_t>(p)] == world_.global_rank()) {
+      my_new_parts.insert(p);
+    }
+  }
+
+  for (int d : new_dead) {
+    const int d_node = d / opts_.ppn;
+    for (auto& [sid, st] : stages_) {
+      if (wc_loaded_.count({d, sid})) continue;
+      wc_loaded_.insert({d, sid});
+      RankRecovery rec;
+      LoadFilter filter;
+      filter.tasks = &my_new_tasks;
+      filter.partitions = &my_new_parts;
+      const double r0 = wc_.now();
+      Status s = ckpt_->load_rank_stage(wc_, sid, d, d_node, /*from_shared=*/true,
+                                        horizon, rec, filter);
+      times_.charge("recovery_io", wc_.now() - r0);
+      if (!s.ok()) {
+        FTMR_WARN << "WC recovery load failed for rank " << d << " stage " << sid
+                  << ": " << s.to_string();
+      }
+      if (sid < cur_stage || st.phase == kPhaseDone) {
+        // Completed stage: adopt the dead rank's stage outputs for the
+        // partitions I now own (they are the next stage's inputs).
+        for (auto& [p, kv] : rec.stage_outputs) {
+          if (my_new_parts.count(p)) st.outputs[p] = std::move(kv);
+        }
+        continue;
+      }
+      if (st.phase == kPhaseMap) {
+        for (uint64_t t : my_new_tasks) {
+          TaskProgress& tp = st.tasks[t];
+          if (tp.done) continue;
+          auto rit = rec.map_tasks.find(t);
+          if (rit == rec.map_tasks.end()) continue;  // no checkpoint: from 0
+          if (rit->second.pos <= tp.pos) continue;   // already have newer
+          tp.pos = rit->second.pos;
+          tp.last_ckpt_pos = tp.pos;
+          tp.parts.assign(static_cast<size_t>(p0_), mr::KvBuffer{});
+          for (const mr::KvPair& pr : rit->second.kv.pairs()) {
+            tp.parts[static_cast<size_t>(partition_of_key(pr.key, p0_))].add(pr);
+          }
+          tp.pending_delta.clear();
+        }
+      } else {  // kPhaseShuffleDone: adopt partition + reduce progress
+        for (int p : my_new_parts) {
+          auto pit = rec.partitions.find(p);
+          if (pit == rec.partitions.end()) {
+            // Partition checkpoint missing (e.g. not drained in time):
+            // fall back to the NWC rebuild for this partition.
+            st.partitions_missing.insert(p);
+            for (uint64_t t : my_new_tasks) {
+              if (!st.tasks.count(t)) st.tasks[t] = TaskProgress{};
+            }
+            continue;
+          }
+          st.my_partitions[p] = std::move(pit->second);
+          auto rrit = rec.reduce.find(p);
+          if (rrit != rec.reduce.end()) {
+            ReduceProgress& rp = st.reduce[p];
+            rp.entries_done = rrit->second.entries_done;
+            rp.last_ckpt_entries = rp.entries_done;
+            rp.out = std::move(rrit->second.out);
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// checkpoint/restart priming (Sec. 4.1)
+// ---------------------------------------------------------------------------
+
+void FtJob::prime_from_own_checkpoints() {
+  const bool shared = opts_.restart_read_shared;
+  const std::set<int> present =
+      ckpt_->stages_present(world_.global_rank(), node(), shared);
+  // My local resume candidate: the furthest (stage, phase) my checkpoints
+  // support. The job-wide resume point is the minimum across ranks.
+  int64_t my_composite = 0;
+  std::map<int, RankRecovery> recs;
+  for (int sid : present) {
+    if (sid >= kMaxStagesScan) break;
+    RankRecovery rec;
+    const double r0 = wc_.now();
+    Status s = ckpt_->load_rank_stage(wc_, sid, world_.global_rank(), node(),
+                                      shared, /*horizon=*/-1.0, rec);
+    times_.charge("init_recover", wc_.now() - r0);
+    if (!s.ok()) continue;
+    int phase = kPhaseMap;
+    // All owned partitions produced output -> the stage completed.
+    bool all_out = true;
+    for (int p = 0; p < p0_; ++p) {
+      if (part_owner_[static_cast<size_t>(p)] == world_.global_rank() &&
+          !rec.stage_outputs.count(p)) {
+        all_out = false;
+        break;
+      }
+    }
+    if (all_out && !rec.stage_outputs.empty()) {
+      phase = kPhaseDone;
+    } else if (!rec.partitions.empty()) {
+      phase = kPhaseShuffleDone;
+    }
+    my_composite = static_cast<int64_t>(sid) * 8 + phase;
+    recs[sid] = std::move(rec);
+  }
+  int64_t agreed = 0;
+  if (auto s = wc_.allreduce_one(simmpi::ReduceOp::kMin, my_composite, agreed);
+      !s.ok()) {
+    return;  // degenerate (e.g. failure during restart): start fresh
+  }
+  const int agreed_stage = static_cast<int>(agreed / 8);
+  const int agreed_phase = static_cast<int>(agreed % 8);
+  for (auto& [sid, rec] : recs) {
+    if (sid > agreed_stage) break;  // ahead of the job-wide resume point
+    StageState& st = stages_[sid];
+    if (sid < agreed_stage) {
+      st.phase = kPhaseDone;
+      for (auto& [p, kv] : rec.stage_outputs) st.outputs[p] = std::move(kv);
+      // Keep reduce marks consistent for completeness.
+      for (auto& [p, kv] : st.outputs) {
+        ReduceProgress& rp = st.reduce[p];
+        rp.done = true;
+        rp.out = kv;
+      }
+      continue;
+    }
+    // The stage every rank resumes in. Cap my state at the agreed phase.
+    st.phase = std::min<int>(agreed_phase, kPhaseShuffleDone);
+    // Map progress is always usable.
+    for (auto& [t, mrec] : rec.map_tasks) {
+      TaskProgress& tp = st.tasks[t];
+      tp.pos = mrec.pos;
+      tp.last_ckpt_pos = mrec.pos;
+      tp.parts.assign(static_cast<size_t>(p0_), mr::KvBuffer{});
+      for (const mr::KvPair& pr : mrec.kv.pairs()) {
+        tp.parts[static_cast<size_t>(partition_of_key(pr.key, p0_))].add(pr);
+      }
+    }
+    if (st.phase >= kPhaseShuffleDone) {
+      for (auto& [p, kv] : rec.partitions) st.my_partitions[p] = std::move(kv);
+      for (auto& [p, rrec] : rec.reduce) {
+        ReduceProgress& rp = st.reduce[p];
+        rp.entries_done = rrec.entries_done;
+        rp.last_ckpt_entries = rrec.entries_done;
+        rp.out = std::move(rrec.out);
+      }
+    }
+  }
+  primed_from_ckpt_ = !stages_.empty();
+  if (primed_from_ckpt_) {
+    FTMR_INFO << "rank " << world_.global_rank() << " restart: resuming at stage "
+              << agreed_stage << " phase " << agreed_phase;
+  }
+}
+
+}  // namespace ftmr::core

@@ -1,0 +1,243 @@
+// ftjob.hpp — the FT-MRMPI job engine.
+//
+// This is the paper's primary contribution assembled: the task runner with
+// record-level commit points (Sec. 3.2, Algorithm 1), distributed masters
+// (3.3), the automated load balancer (3.4), asynchronous record/chunk
+// checkpointing with local+copier placement (4.1), and the two fault-
+// tolerance models:
+//
+//   * checkpoint/restart (4.1) — a custom MPI error handler flushes state
+//     and calls MPI_Abort; the process manager tears the job down; the user
+//     resubmits; the new job primes itself from checkpoints and skips
+//     processed records.
+//   * detect/resume (4.2) — ULFM: the detecting rank revokes the work and
+//     master communicators, survivors shrink, agree, redistribute the dead
+//     ranks' work (work-conserving: read their checkpoints; non-work-
+//     conserving: re-execute their tasks), and resume in place with fewer
+//     processes. Continuous failures shrink repeatedly.
+//
+// Execution model. A job is a sequence of map-shuffle-reduce *stages*
+// driven by a user callback (the driver). Keys hash into a fixed set of
+// P0 = initial-comm-size partitions; partitions (not ranks) are the unit of
+// reduce work and of post-failure redistribution. The driver is replayed
+// after every recovery; completed stages fast-forward from retained or
+// recovered state, the current stage re-enters mid-phase and skips
+// committed records. All of this is deterministic in virtual time.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/balancer.hpp"
+#include "core/checkpoint.hpp"
+#include "core/interfaces.hpp"
+#include "core/master.hpp"
+#include "mr/convert.hpp"
+#include "mr/kv.hpp"
+#include "simmpi/comm.hpp"
+#include "storage/storage.hpp"
+
+namespace ftmr::core {
+
+enum class FtMode {
+  kNone,              // baseline behaviour: a failure aborts the job
+  kCheckpointRestart, // Sec. 4.1
+  kDetectResumeWC,    // Sec. 4.2, work-conserving
+  kDetectResumeNWC,   // Sec. 4.2, non-work-conserving
+};
+
+struct FtJobOptions {
+  FtMode mode = FtMode::kDetectResumeWC;
+  CkptOptions ckpt{};
+  std::string input_dir = "input";
+  std::string output_dir = "output";
+  double map_cost_per_record = 2e-7;
+  double reduce_cost_per_value = 1e-7;
+  /// Cheap per-record skip on recovery (record-granularity replay).
+  double skip_cost_per_record = 1e-8;
+  int ppn = 8;
+  int io_concurrency = 0;  // 0 = initial comm size
+  bool two_pass_convert = true;
+  size_t convert_segment_bytes = 4096;
+  bool load_balance = true;
+  int status_interval_commits = 256;
+  /// Checkpoint/restart: read recovery state from the shared tier instead
+  /// of the node-local disk (the Fig. 15 recovery-source ablation).
+  bool restart_read_shared = false;
+  /// Optional output formatter (Table 1: FileRecordWriter). When set,
+  /// write_output() serializes each final record through it (e.g. a
+  /// TsvRecordWriter produces "key<TAB>value" text); when unset, output is
+  /// the library's length-prefixed binary encoding.
+  std::function<void(const std::string& key, const std::string& value,
+                     std::string& sink)> output_writer;
+};
+
+/// User logic of one stage, string-typed (the Table-1 templates adapt onto
+/// this via ftjob_adapters.hpp).
+struct StageFns {
+  /// Map one input record; returns number of KV pairs emitted.
+  std::function<int32_t(const std::string& key, const std::string& value,
+                        mr::KvBuffer& out)> map;
+  /// Reduce one key group; returns number of KV pairs emitted.
+  std::function<int32_t(const std::string& key,
+                        const std::vector<std::string>& values,
+                        mr::KvBuffer& out)> reduce;
+  /// Optional combiner: locally pre-aggregates each partition's KV pairs
+  /// before the shuffle (classic MapReduce optimization; must be
+  /// associative/commutative with `reduce`). Same signature as reduce.
+  /// Cuts shuffle volume and shuffle-end partition checkpoints.
+  std::function<int32_t(const std::string& key,
+                        const std::vector<std::string>& values,
+                        mr::KvBuffer& out)> combine;
+  /// Optional custom input reader (Table 1: FileRecordReader). The factory
+  /// is invoked per map task; default is the line-oriented TextLineReader.
+  /// Only used for file-input stages.
+  std::function<std::unique_ptr<FileRecordReader<int64_t, std::string>>()>
+      make_reader;
+  /// Optional per-stage cost overrides (<0: use job options).
+  double map_cost_per_record = -1.0;
+  double reduce_cost_per_value = -1.0;
+};
+
+/// Thrown internally when an MPI-level failure is observed in detect/resume
+/// mode; caught by FtJob::run, which recovers and replays the driver.
+struct FailureDetected {
+  Status cause;
+};
+
+class FtJob {
+ public:
+  /// Driver: calls job.run_stage(...) once per stage, in a fixed order, and
+  /// finally job.write_output(...). Replayed verbatim after recoveries.
+  using Driver = std::function<Status(FtJob&)>;
+
+  FtJob(simmpi::Comm& world, storage::StorageSystem* fs, FtJobOptions opts);
+
+  /// Execute the job (driver + recovery loop). In checkpoint/restart mode a
+  /// failure ends with MPI_Abort (this call never returns on that path —
+  /// the AbortError propagates); the caller resubmits via Runtime::run and
+  /// the fresh FtJob primes itself from checkpoints.
+  Status run(const Driver& driver);
+
+  /// One map-shuffle-reduce stage. `kv_input=false`: map reads the input
+  /// chunks in options.input_dir. `kv_input=true`: map iterates the
+  /// previous stage's output partitions (iterative jobs). `output`, if
+  /// non-null, receives this rank's reduce output for the stage.
+  Status run_stage(const StageFns& fns, bool kv_input, mr::KvBuffer* output);
+
+  /// Write this rank's final output (its owned partitions of the last
+  /// stage) under options.output_dir.
+  Status write_output();
+
+  // -- introspection --
+  [[nodiscard]] const TimeBuckets& times() const noexcept { return times_; }
+  [[nodiscard]] TimeBuckets& mutable_times() noexcept { return times_; }
+  [[nodiscard]] simmpi::Comm& work_comm() noexcept { return wc_; }
+  [[nodiscard]] int initial_size() const noexcept { return p0_; }
+  [[nodiscard]] int node() const noexcept;
+  [[nodiscard]] const std::vector<int>& partition_owners() const noexcept {
+    return part_owner_;
+  }
+  [[nodiscard]] DistributedMaster& master() noexcept { return *master_; }
+  [[nodiscard]] CheckpointManager& ckpt() noexcept { return *ckpt_; }
+  [[nodiscard]] bool resumed_from_checkpoint() const noexcept {
+    return primed_from_ckpt_;
+  }
+  [[nodiscard]] int recoveries() const noexcept { return recoveries_; }
+  [[nodiscard]] const FtJobOptions& options() const noexcept { return opts_; }
+
+ private:
+  // Phase progression within a stage. Values are ordered; the composite
+  // (stage*8 + phase) is what checkpoint/restart ranks agree on.
+  enum Phase : int { kPhaseMap = 0, kPhaseShuffleDone = 1, kPhaseDone = 2 };
+
+  struct TaskProgress {
+    uint64_t pos = 0;            // committed record cursor
+    uint64_t last_ckpt_pos = 0;  // cursor at the last checkpoint
+    bool done = false;
+    bool rerun_from_scratch = false;  // NWC-recovered task
+    mr::KvBuffer pending_delta;  // emitted since the last checkpoint
+    std::vector<mr::KvBuffer> parts;  // emitted KV, partitioned (P0)
+  };
+
+  struct ReduceProgress {
+    uint64_t entries_done = 0;
+    uint64_t last_ckpt_entries = 0;
+    bool done = false;
+    mr::KvBuffer out;
+    mr::KvBuffer pending_delta;
+  };
+
+  struct StageState {
+    int phase = kPhaseMap;
+    std::map<uint64_t, TaskProgress> tasks;
+    std::map<int, mr::KvBuffer> my_partitions;  // shuffle-received, per owned p
+    std::set<int> partitions_missing;  // orphans needing NWC rebuild
+    std::map<int, ReduceProgress> reduce;
+    std::map<int, mr::KvBuffer> outputs;  // reduce output per owned partition
+  };
+
+  // -- helpers --
+  [[nodiscard]] int io_conc() const noexcept {
+    return opts_.io_concurrency > 0 ? opts_.io_concurrency : p0_;
+  }
+  /// Route a status: OK passes; failure classes throw FailureDetected (or
+  /// flush+abort in CR mode); anything else is returned.
+  Status check(Status s);
+  [[nodiscard]] bool is_failure(const Status& s) const noexcept;
+  void commit(uint64_t task, TaskProgress& tp, int stage);
+  Status map_phase(const StageFns& fns, bool kv_input, int stage, StageState& st);
+  Status run_one_map_task(const StageFns& fns, bool kv_input, int stage,
+                          StageState& st, uint64_t task);
+  Status shuffle_phase(const StageFns& fns, int stage, StageState& st);
+  Status rebuild_orphan_partitions(const StageFns& fns, int stage,
+                                   StageState& st,
+                                   const std::vector<int>& missing);
+  Status reduce_phase(const StageFns& fns, int stage, StageState& st);
+  void recover();
+  void patch_state_after_shrink(const std::vector<int>& new_dead);
+  Status load_dead_state_wc(int dead_rank, const std::vector<int>& my_new_tasks,
+                            const std::vector<int>& my_new_parts);
+  void prime_from_own_checkpoints();
+  [[nodiscard]] std::vector<uint64_t> my_task_ids(int stage, bool kv_input) const;
+  [[nodiscard]] std::string chunk_name(uint64_t task) const;
+  [[nodiscard]] int owner_rel(int partition) const;  // rel rank on wc_
+  [[nodiscard]] double current_map_cost(const StageFns& f) const {
+    return f.map_cost_per_record >= 0 ? f.map_cost_per_record
+                                      : opts_.map_cost_per_record;
+  }
+  [[nodiscard]] double current_reduce_cost(const StageFns& f) const {
+    return f.reduce_cost_per_value >= 0 ? f.reduce_cost_per_value
+                                        : opts_.reduce_cost_per_value;
+  }
+
+  simmpi::Comm world_;  // never shrinks; failure census
+  simmpi::Comm wc_;     // work comm (shrinks on recovery)
+  storage::StorageSystem* fs_;
+  FtJobOptions opts_;
+  int p0_;  // initial size == partition count
+  std::unique_ptr<DistributedMaster> master_;
+  std::unique_ptr<CheckpointManager> ckpt_;
+
+  std::vector<std::string> chunks_;        // stage-0 input chunk names
+  std::vector<int> part_owner_;            // partition -> global rank
+  std::map<uint64_t, int> task_reassign_;  // stage-0 task -> new global rank
+  std::set<int> known_dead_;               // global ranks
+  std::set<std::pair<int, int>> wc_loaded_;  // (dead rank, stage) already loaded
+
+  std::map<int, StageState> stages_;
+  int stage_cursor_ = 0;
+  int last_stage_ = -1;
+  bool primed_from_ckpt_ = false;
+  int recoveries_ = 0;
+  TimeBuckets times_;
+  double map_bytes_done_ = 0.0;  // load-balancer observation feed
+  double map_vtime_spent_ = 0.0;
+};
+
+}  // namespace ftmr::core

@@ -1,0 +1,46 @@
+// ftjob_adapters.hpp — glue between the Table-1 class templates and the
+// engine's string-typed StageFns.
+//
+// Users who prefer the paper's object-oriented API (Mapper<...> /
+// Reducer<...>) wrap their objects with make_stage(); users who prefer
+// plain lambdas construct StageFns directly. Both run on the same engine.
+#pragma once
+
+#include <memory>
+
+#include "core/ftjob.hpp"
+#include "core/interfaces.hpp"
+
+namespace ftmr::core {
+
+/// Build a StageFns from Table-1 style Mapper/Reducer objects. `aux` is the
+/// user pointer forwarded to both callbacks (per the int32_t map(..., void*)
+/// signature in the paper).
+template <typename IK, typename IV, typename MK, typename MV, typename OK,
+          typename OV>
+StageFns make_stage(std::shared_ptr<Mapper<IK, IV, MK, MV>> mapper,
+                    std::shared_ptr<Reducer<MK, MV, OK, OV>> reducer,
+                    void* aux = nullptr) {
+  StageFns fns;
+  fns.map = [mapper, aux](const std::string& key, const std::string& value,
+                          mr::KvBuffer& out) -> int32_t {
+    IK k = Codec<IK>::decode(key);
+    IV v = Codec<IV>::decode(value);
+    KVWriter<MK, MV> writer(&out);
+    return mapper->map(k, v, writer, aux);
+  };
+  fns.reduce = [reducer, aux](const std::string& key,
+                              const std::vector<std::string>& values,
+                              mr::KvBuffer& out) -> int32_t {
+    mr::KmvEntry entry;
+    entry.key = key;
+    entry.values = values;
+    KMVReader<MK, MV> reader(&entry);
+    MK k = Codec<MK>::decode(key);
+    KVWriter<OK, OV> writer(&out);
+    return reducer->reduce(k, reader, writer, aux);
+  };
+  return fns;
+}
+
+}  // namespace ftmr::core

@@ -1,0 +1,168 @@
+// interfaces.hpp — the FT-MRMPI task-runner interfaces (paper Table 1).
+//
+// The point of these interfaces (Sec. 3.2) is *delegation*: users describe
+// how input is tokenized, how output is serialized, and what to do with one
+// record — the library performs all I/O itself and can therefore trace
+// progress at record granularity, commit consistent states, skip processed
+// records on recovery, and checkpoint intermediate data.
+//
+//   FileRecordReader<K,V>  — file input reader
+//   FileRecordWriter<K,V>  — file output writer
+//   KVWriter<K,V>          — key-value buffer writer
+//   KMVReader<K,V>         — key-multivalue buffer reader
+//   Mapper<IK,IV,OK,OV>    — map task      (int32_t map(...))
+//   Reducer<IK,IV,OK,OV>   — reduce task   (int32_t reduce(...))
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/codec.hpp"
+#include "mr/kv.hpp"
+
+namespace ftmr::core {
+
+/// File input reader: binds to one input chunk, yields typed records, and
+/// exposes a record cursor so the runner can commit/skip at record level.
+template <typename K, typename V>
+class FileRecordReader {
+ public:
+  virtual ~FileRecordReader() = default;
+
+  /// Bind to the (already loaded) bytes of input chunk `task_id`.
+  virtual void open(uint64_t task_id, std::string_view chunk) = 0;
+
+  /// Produce the next record; returns false at end of chunk.
+  virtual bool next(K& key, V& value) = 0;
+
+  /// Records produced so far on this chunk.
+  [[nodiscard]] virtual uint64_t position() const = 0;
+
+  /// Skip `n` records from the current position without producing them —
+  /// the cheap recovery fast-path that record-granularity checkpoints buy
+  /// (Fig. 3: "skip" vs "reprocess").
+  virtual void skip(uint64_t n) = 0;
+};
+
+/// File output writer: serializes final records; the library owns the file.
+template <typename K, typename V>
+class FileRecordWriter {
+ public:
+  virtual ~FileRecordWriter() = default;
+  /// Serialize one output record into `sink`.
+  virtual void write(const K& key, const V& value, std::string& sink) = 0;
+};
+
+/// Key-value buffer writer handed to map functions. Encodes typed pairs
+/// into the engine's KV buffer.
+template <typename K, typename V>
+class KVWriter {
+ public:
+  explicit KVWriter(mr::KvBuffer* out) : out_(out) {}
+  void emit(const K& key, const V& value) {
+    out_->add(Codec<K>::encode(key), Codec<V>::encode(value));
+  }
+  [[nodiscard]] mr::KvBuffer* buffer() const noexcept { return out_; }
+
+ private:
+  mr::KvBuffer* out_;
+};
+
+/// Key-multivalue reader handed to reduce functions: typed view over one
+/// grouped entry.
+template <typename K, typename V>
+class KMVReader {
+ public:
+  explicit KMVReader(const mr::KmvEntry* e) : entry_(e) {}
+  [[nodiscard]] K key() const { return Codec<K>::decode(entry_->key); }
+  [[nodiscard]] size_t count() const noexcept { return entry_->values.size(); }
+  [[nodiscard]] V value(size_t i) const {
+    return Codec<V>::decode(entry_->values[i]);
+  }
+  /// Decode all values (convenience; reducers over large groups should
+  /// iterate with value(i) instead).
+  [[nodiscard]] std::vector<V> values() const {
+    std::vector<V> out;
+    out.reserve(entry_->values.size());
+    for (const auto& v : entry_->values) out.push_back(Codec<V>::decode(v));
+    return out;
+  }
+
+ private:
+  const mr::KmvEntry* entry_;
+};
+
+/// Map task: applies user logic to one input record. Returns the number of
+/// KV pairs emitted (Algorithm 1 accumulates it).
+template <typename INKEY, typename INVALUE, typename OUTKEY, typename OUTVALUE>
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  virtual int32_t map(INKEY& key, INVALUE& value, KVWriter<OUTKEY, OUTVALUE>& out,
+                      void* aux) = 0;
+};
+
+/// Reduce task: applies user logic to one key and all its values.
+template <typename INKEY, typename INVALUE, typename OUTKEY, typename OUTVALUE>
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual int32_t reduce(INKEY& key, KMVReader<INKEY, INVALUE>& values,
+                         KVWriter<OUTKEY, OUTVALUE>& out, void* aux) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Stock implementations
+// ---------------------------------------------------------------------------
+
+/// Line-oriented text reader: each '\n'-terminated line is one record;
+/// key = line number within the chunk, value = line text.
+class TextLineReader final : public FileRecordReader<int64_t, std::string> {
+ public:
+  void open(uint64_t task_id, std::string_view chunk) override {
+    task_ = task_id;
+    data_ = chunk;
+    pos_ = 0;
+    record_ = 0;
+  }
+  bool next(int64_t& key, std::string& value) override {
+    if (pos_ >= data_.size()) return false;
+    size_t end = data_.find('\n', pos_);
+    if (end == std::string_view::npos) end = data_.size();
+    key = static_cast<int64_t>(record_);
+    value.assign(data_.substr(pos_, end - pos_));
+    pos_ = end + 1;
+    ++record_;
+    return true;
+  }
+  [[nodiscard]] uint64_t position() const override { return record_; }
+  void skip(uint64_t n) override {
+    int64_t k;
+    std::string v;
+    for (uint64_t i = 0; i < n && next(k, v); ++i) {
+    }
+  }
+
+ private:
+  uint64_t task_ = 0;
+  std::string_view data_;
+  size_t pos_ = 0;
+  uint64_t record_ = 0;
+};
+
+/// Tab-separated "key\tvalue" writer.
+template <typename K, typename V>
+class TsvRecordWriter final : public FileRecordWriter<K, V> {
+ public:
+  void write(const K& key, const V& value, std::string& sink) override {
+    sink += Codec<K>::encode(key);
+    sink += '\t';
+    sink += Codec<V>::encode(value);
+    sink += '\n';
+  }
+};
+
+}  // namespace ftmr::core

@@ -1,0 +1,139 @@
+#include "mr/convert.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/hash.hpp"
+
+namespace ftmr::mr {
+
+namespace {
+
+void sort_by_key(KmvBuffer& kmv) {
+  std::sort(kmv.mutable_entries().begin(), kmv.mutable_entries().end(),
+            [](const KmvEntry& a, const KmvEntry& b) { return a.key < b.key; });
+}
+
+}  // namespace
+
+KmvBuffer convert_4pass(const KvBuffer& in, ConvertStats* stats) {
+  constexpr int kBuckets = 16;
+  const size_t volume = in.bytes();
+  ConvertStats st;
+
+  // Pass 1 — census: scan the KV data, size each hash bucket, and spill the
+  // annotated pages back out so pass 2 can pre-allocate its partitions.
+  // (Read + write the full volume — MR-MPI's convert touches the
+  // intermediate data in every pass.)
+  std::vector<size_t> bucket_pairs(kBuckets, 0);
+  for (const KvPair& p : in.pairs()) {
+    bucket_pairs[fnv1a(p.key) % kBuckets]++;
+  }
+  st.passes++;
+  st.bytes_moved += 2 * volume;
+
+  // Pass 2 — partition: rewrite every pair into its hash bucket.
+  // (Read + write the full volume.)
+  std::vector<std::vector<const KvPair*>> buckets(kBuckets);
+  for (int b = 0; b < kBuckets; ++b) buckets[b].reserve(bucket_pairs[b]);
+  for (const KvPair& p : in.pairs()) {
+    buckets[fnv1a(p.key) % kBuckets].push_back(&p);
+  }
+  st.passes++;
+  st.bytes_moved += 2 * volume;
+
+  // Pass 3 — group: within each bucket, gather each key's values.
+  // (Read + write the full volume.)
+  std::vector<std::map<std::string, std::vector<std::string>>> grouped(kBuckets);
+  for (int b = 0; b < kBuckets; ++b) {
+    for (const KvPair* p : buckets[b]) {
+      grouped[b][p->key].push_back(p->value);
+    }
+  }
+  st.passes++;
+  st.bytes_moved += 2 * volume;
+
+  // Pass 4 — emit KMV pages. (Read + write the full volume.)
+  KmvBuffer out;
+  for (int b = 0; b < kBuckets; ++b) {
+    for (auto& [key, values] : grouped[b]) {
+      out.add(KmvEntry{key, std::move(values)});
+      st.distinct_keys++;
+    }
+  }
+  st.passes++;
+  st.bytes_moved += 2 * volume;
+
+  sort_by_key(out);
+  if (stats) *stats = st;
+  return out;
+}
+
+KmvBuffer convert_2pass(const KvBuffer& in, ConvertStats* stats,
+                        size_t segment_bytes) {
+  if (segment_bytes == 0) segment_bytes = 4096;
+  const size_t volume = in.bytes();
+  ConvertStats st;
+
+  // Log-structured segment store (paper Sec. 5.2, inspired by LFS): values
+  // are appended to fixed-size segments; each key owns a chain of segment
+  // indices. Non-contiguity is expected — pass 2 merges the chains.
+  struct Segment {
+    std::vector<std::string> values;
+    size_t used = 0;
+  };
+  std::vector<Segment> log;
+  struct KeyChain {
+    std::vector<size_t> segments;  // indices into `log`, in append order
+    size_t nvalues = 0;
+  };
+  std::unordered_map<std::string, KeyChain> chains;
+  std::unordered_map<std::string, size_t> open_segment;  // key -> log index
+
+  // Pass 1 — read the KV data once, append each value to its key's open
+  // segment, allocating a new segment when the current one fills up.
+  // (Read + write the full volume.)
+  for (const KvPair& p : in.pairs()) {
+    auto [it, inserted] = open_segment.try_emplace(p.key, size_t{0});
+    bool need_new = inserted;
+    if (!inserted) {
+      Segment& seg = log[it->second];
+      if (seg.used + p.value.size() + 4 > segment_bytes) need_new = true;
+    }
+    if (need_new) {
+      log.push_back({});
+      it->second = log.size() - 1;
+      chains[p.key].segments.push_back(it->second);
+    }
+    Segment& seg = log[it->second];
+    seg.values.push_back(p.value);
+    seg.used += p.value.size() + 4;
+    chains[p.key].nvalues++;
+  }
+  st.passes++;
+  st.bytes_moved += 2 * volume;
+  st.segments = log.size();
+
+  // Pass 2 — for each key, merge its (possibly non-contiguous) segment
+  // chain into one contiguous KMV entry. (Read + write the full volume.)
+  KmvBuffer out;
+  for (auto& [key, chain] : chains) {
+    KmvEntry e;
+    e.key = key;
+    e.values.reserve(chain.nvalues);
+    for (size_t si : chain.segments) {
+      for (auto& v : log[si].values) e.values.push_back(std::move(v));
+    }
+    out.add(std::move(e));
+    st.distinct_keys++;
+  }
+  st.passes++;
+  st.bytes_moved += 2 * volume;
+
+  sort_by_key(out);
+  if (stats) *stats = st;
+  return out;
+}
+
+}  // namespace ftmr::mr

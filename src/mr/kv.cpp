@@ -1,0 +1,34 @@
+#include "mr/kv.hpp"
+
+namespace ftmr::mr {
+
+Bytes KvBuffer::serialize() const {
+  ByteWriter w;
+  w.put<uint64_t>(pairs_.size());
+  for (const KvPair& p : pairs_) {
+    w.put_string(p.key);
+    w.put_string(p.value);
+  }
+  return std::move(w).take();
+}
+
+Status KvBuffer::deserialize(std::span<const std::byte> data, KvBuffer& out) {
+  out.clear();
+  if (data.empty()) return Status::Ok();
+  ByteReader r(data);
+  uint64_t n = 0;
+  if (auto s = r.get(n); !s.ok()) return s;
+  for (uint64_t i = 0; i < n; ++i) {
+    KvPair p;
+    if (auto s = r.get_string(p.key); !s.ok()) return s;
+    if (auto s = r.get_string(p.value); !s.ok()) return s;
+    out.add(std::move(p));
+  }
+  return Status::Ok();
+}
+
+void KvBuffer::merge_from(const KvBuffer& other) {
+  for (const KvPair& p : other.pairs()) add(p);
+}
+
+}  // namespace ftmr::mr

@@ -1,0 +1,94 @@
+// kv.hpp — key-value and key-multivalue buffers.
+//
+// These are the central data structures of MapReduce-MPI (Plimpton &
+// Devine, Parallel Computing 2011): a KV buffer collects <key,value> pairs
+// emitted by map tasks; the shuffle exchanges KV pages between ranks; a
+// KV→KMV conversion groups values by key; reduce consumes KMV entries.
+// Both the MR-MPI baseline (src/mr) and FT-MRMPI (src/core) use them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace ftmr::mr {
+
+struct KvPair {
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const KvPair& a, const KvPair& b) = default;
+};
+
+/// Append-only buffer of key-value pairs with byte accounting.
+class KvBuffer {
+ public:
+  void add(std::string_view key, std::string_view value) {
+    bytes_ += key.size() + value.size() + kPairOverhead;
+    pairs_.push_back({std::string(key), std::string(value)});
+  }
+  void add(KvPair pair) {
+    bytes_ += pair.key.size() + pair.value.size() + kPairOverhead;
+    pairs_.push_back(std::move(pair));
+  }
+
+  [[nodiscard]] size_t size() const noexcept { return pairs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return pairs_.empty(); }
+  /// Serialized footprint (the unit the shuffle and convert cost models use).
+  [[nodiscard]] size_t bytes() const noexcept { return bytes_; }
+
+  [[nodiscard]] const std::vector<KvPair>& pairs() const noexcept { return pairs_; }
+  [[nodiscard]] std::vector<KvPair>& mutable_pairs() noexcept { return pairs_; }
+
+  void clear() noexcept {
+    pairs_.clear();
+    bytes_ = 0;
+  }
+
+  /// Wire/file encoding: count-prefixed sequence of (key,value) strings.
+  [[nodiscard]] Bytes serialize() const;
+  static Status deserialize(std::span<const std::byte> data, KvBuffer& out);
+
+  /// Append every pair of `other`.
+  void merge_from(const KvBuffer& other);
+
+  static constexpr size_t kPairOverhead = 8;  // two u32 length prefixes
+
+ private:
+  std::vector<KvPair> pairs_;
+  size_t bytes_ = 0;
+};
+
+struct KmvEntry {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// Key-multivalue buffer: the result of grouping a KvBuffer by key.
+class KmvBuffer {
+ public:
+  void add(KmvEntry e) {
+    bytes_ += e.key.size() + 4;
+    for (const auto& v : e.values) bytes_ += v.size() + 4;
+    entries_.push_back(std::move(e));
+  }
+  [[nodiscard]] size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] size_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] const std::vector<KmvEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::vector<KmvEntry>& mutable_entries() noexcept { return entries_; }
+  void clear() noexcept {
+    entries_.clear();
+    bytes_ = 0;
+  }
+
+ private:
+  std::vector<KmvEntry> entries_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace ftmr::mr

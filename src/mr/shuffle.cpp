@@ -1,0 +1,43 @@
+#include "mr/shuffle.hpp"
+
+#include "common/hash.hpp"
+
+namespace ftmr::mr {
+
+std::vector<KvBuffer> partition_by_key(const KvBuffer& in, int nparts) {
+  std::vector<KvBuffer> parts(static_cast<size_t>(nparts));
+  for (const KvPair& p : in.pairs()) {
+    parts[partition_of_key(p.key, nparts)].add(p);
+  }
+  return parts;
+}
+
+Status shuffle(simmpi::Comm& comm, const KvBuffer& in, KvBuffer& out,
+               ShuffleStats* stats) {
+  return shuffle_partitions(comm, partition_by_key(in, comm.size()), out, stats);
+}
+
+Status shuffle_partitions(simmpi::Comm& comm, const std::vector<KvBuffer>& parts,
+                          KvBuffer& out, ShuffleStats* stats) {
+  std::vector<Bytes> send(parts.size());
+  ShuffleStats st;
+  for (size_t j = 0; j < parts.size(); ++j) {
+    send[j] = parts[j].serialize();
+    st.bytes_sent += send[j].size();
+    st.pairs_sent += parts[j].size();
+  }
+  std::vector<Bytes> recv;
+  if (auto s = comm.alltoall(send, recv); !s.ok()) return s;
+  out.clear();
+  for (const Bytes& b : recv) {
+    KvBuffer part;
+    if (auto s = KvBuffer::deserialize(b, part); !s.ok()) return s;
+    st.bytes_received += b.size();
+    st.pairs_received += part.size();
+    out.merge_from(part);
+  }
+  if (stats) *stats = st;
+  return Status::Ok();
+}
+
+}  // namespace ftmr::mr

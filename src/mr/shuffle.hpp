@@ -1,0 +1,34 @@
+// shuffle.hpp — the all-to-all key exchange.
+//
+// MapReduce jobs on MPI exchange intermediate data with MPI_Alltoallv
+// (paper Sec. 3.3): each rank partitions its KV pairs by key hash, sends
+// partition j to rank j, and receives its own partition from everyone.
+#pragma once
+
+#include "common/status.hpp"
+#include "mr/kv.hpp"
+#include "simmpi/comm.hpp"
+
+namespace ftmr::mr {
+
+struct ShuffleStats {
+  size_t bytes_sent = 0;
+  size_t bytes_received = 0;
+  size_t pairs_sent = 0;
+  size_t pairs_received = 0;
+};
+
+/// Partition `in` by fnv1a(key) % comm.size().
+std::vector<KvBuffer> partition_by_key(const KvBuffer& in, int nparts);
+
+/// Exchange: everyone contributes its partitions, receives and merges the
+/// partitions addressed to it. Collective over `comm`.
+Status shuffle(simmpi::Comm& comm, const KvBuffer& in, KvBuffer& out,
+               ShuffleStats* stats = nullptr);
+
+/// Exchange pre-partitioned buffers (used when the caller already split the
+/// data, e.g. to checkpoint partitions individually).
+Status shuffle_partitions(simmpi::Comm& comm, const std::vector<KvBuffer>& parts,
+                          KvBuffer& out, ShuffleStats* stats = nullptr);
+
+}  // namespace ftmr::mr

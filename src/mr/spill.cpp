@@ -1,0 +1,101 @@
+#include "mr/spill.hpp"
+
+#include <cstdio>
+
+namespace ftmr::mr {
+
+SpillableKvBuffer::SpillableKvBuffer(storage::StorageSystem* storage, int node,
+                                     std::string spill_dir, size_t page_bytes,
+                                     size_t memory_budget)
+    : storage_(storage), node_(node), spill_dir_(std::move(spill_dir)),
+      page_bytes_(page_bytes ? page_bytes : 1),
+      memory_budget_(memory_budget) {}
+
+SpillableKvBuffer::~SpillableKvBuffer() { (void)clear(); }
+
+Status SpillableKvBuffer::add(std::string_view key, std::string_view value) {
+  open_page_.add(key, value);
+  total_pairs_++;
+  total_bytes_ += key.size() + value.size() + KvBuffer::kPairOverhead;
+  if (open_page_.bytes() >= page_bytes_) {
+    resident_bytes_ += open_page_.bytes();
+    resident_.push_back(std::move(open_page_));
+    open_page_ = KvBuffer{};
+    // Enforce the memory budget by spilling the oldest resident pages.
+    while (storage_ && resident_bytes_ > memory_budget_ && !resident_.empty()) {
+      if (auto s = spill_page(); !s.ok()) return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status SpillableKvBuffer::spill_page() {
+  KvBuffer page = std::move(resident_.front());
+  resident_.pop_front();
+  resident_bytes_ -= page.bytes();
+  char name[64];
+  std::snprintf(name, sizeof(name), "page_%06d", next_page_id_++);
+  const std::string path = spill_dir_ + "/" + name;
+  const Bytes wire = page.serialize();
+  double cost = 0.0;
+  if (auto s = storage_->write_file(storage::Tier::kLocal, node_, path, wire,
+                                    &cost);
+      !s.ok()) {
+    return s;
+  }
+  spilled_.push_back(path);
+  stats_.pages_spilled++;
+  stats_.bytes_spilled += wire.size();
+  stats_.sim_io_seconds += cost;
+  return Status::Ok();
+}
+
+Status SpillableKvBuffer::for_each(const std::function<void(const KvPair&)>& fn) {
+  // Spilled pages first (they are the oldest), then resident, then open.
+  for (const std::string& path : spilled_) {
+    Bytes wire;
+    double cost = 0.0;
+    if (auto s = storage_->read_file(storage::Tier::kLocal, node_, path, wire,
+                                     &cost);
+        !s.ok()) {
+      return s;
+    }
+    stats_.pages_loaded++;
+    stats_.sim_io_seconds += cost;
+    KvBuffer page;
+    if (auto s = KvBuffer::deserialize(wire, page); !s.ok()) return s;
+    for (const KvPair& p : page.pairs()) fn(p);
+  }
+  for (const KvBuffer& page : resident_) {
+    for (const KvPair& p : page.pairs()) fn(p);
+  }
+  for (const KvPair& p : open_page_.pairs()) fn(p);
+  return Status::Ok();
+}
+
+Status SpillableKvBuffer::drain_to(KvBuffer& out) {
+  out.clear();
+  if (auto s = for_each([&](const KvPair& p) { out.add(p); }); !s.ok()) return s;
+  return clear();
+}
+
+Status SpillableKvBuffer::clear() {
+  Status first;
+  if (storage_) {
+    for (const std::string& path : spilled_) {
+      if (auto s = storage_->remove(storage::Tier::kLocal, node_, path);
+          !s.ok() && first.ok()) {
+        first = s;
+      }
+    }
+  }
+  spilled_.clear();
+  resident_.clear();
+  resident_bytes_ = 0;
+  open_page_.clear();
+  total_pairs_ = 0;
+  total_bytes_ = 0;
+  return first;
+}
+
+}  // namespace ftmr::mr

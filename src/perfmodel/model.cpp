@@ -1,0 +1,299 @@
+#include "perfmodel/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftmr::perf {
+
+namespace {
+constexpr double kChunkBytes = 64.0 * (1 << 20);  // input split size
+constexpr double kSkipCostPerRecord = 1e-8;
+constexpr double kJobInitSeconds = 2.0;  // scheduler/launch/metadata setup
+/// Fraction of the checkpoint volume whose local-disk write-back steals
+/// bandwidth from the convert passes (the rest is absorbed by the page
+/// cache while the disk is idle). Calibrated so wordcount overhead lands in
+/// the paper's 10–13% band at records_per_ckpt=100.
+constexpr double kDiskContention = 0.80;
+/// Per-record FT instrumentation (delegated I/O, progress tracking,
+/// commit bookkeeping) as a fraction of the record's own processing time.
+/// Negligible for short records (wordcount); the dominant overhead for
+/// compute-heavy records (BLAST's 5-6%, Fig. 13).
+constexpr double kInstrumentationFrac = 0.05;
+/// Small sequential read op on the local disk during recovery.
+constexpr double kLocalReadOp = 1e-4;
+/// Prefetch pipeline efficiency: fraction of the (GPFS - local) gap that
+/// the GPFS->local staging pipeline still exposes (Fig. 15's 52-57%
+/// reduction).
+constexpr double kPrefetchResidual = 0.43;
+/// Synchronous checkpointing coordination: per-checkpoint barrier latency
+/// plus the straggler wait induced by MapReduce's inherent imbalance
+/// (Sec. 4.1.1 — "forces fast processes to wait for the slow ones").
+constexpr double kSyncSkewFrac = 0.30;
+}  // namespace
+
+JobModel::JobModel(ClusterModel cluster, WorkloadModel work, FtConfig ft,
+                   int nprocs)
+    : c_(cluster), w_(work), ft_(ft), p_(nprocs) {}
+
+PhaseTimes JobModel::phases_for(int procs) const {
+  PhaseTimes t;
+  const double d = per_proc_input(procs);
+  const double records = d / w_.record_bytes;
+  const double kv = d * w_.kv_expansion;
+  // Checkpointing modes keep the copier writing to GPFS concurrently with
+  // the input reads, doubling the effective writer count — this is how the
+  // shared-storage bottleneck "further increases the overhead of
+  // checkpointing" (Sec. 6.2).
+  const int gpfs_users = ft_.checkpointing() ? 2 * procs : procs;
+  const double gpfs_bw = c_.gpfs_bw(gpfs_users);
+
+  t.read = d / gpfs_bw + std::ceil(d / kChunkBytes) * c_.gpfs_op_s;
+  t.map = records * w_.map_cost_per_record_s;
+  t.shuffle = kv / c_.net_bw_Bps + procs * c_.net_lat_s;
+  const double convert_moved = (ft_.two_pass_convert ? 4.0 : 8.0) * kv;
+  t.merge = convert_moved / c_.disk_bw_per_proc();
+  t.reduce = records * w_.reduce_cost_per_value_s;
+  t.write = d * w_.output_bytes_frac / gpfs_bw + c_.gpfs_op_s;
+  t.ckpt = ckpt_overhead_for(procs);
+
+  const double stages = static_cast<double>(std::max(1, w_.stages));
+  t.read *= stages;  // iterative stages re-stream their (in-memory) state;
+  t.map *= stages;   // modeled as the same per-stage volume
+  t.shuffle *= stages;
+  t.merge *= stages;
+  t.reduce *= stages;
+  t.ckpt *= stages;
+  return t;
+}
+
+double JobModel::ckpt_overhead_for(int procs, double* drain_out) const {
+  if (!ft_.checkpointing()) {
+    if (drain_out) *drain_out = 0.0;
+    return 0.0;
+  }
+  const double d = per_proc_input(procs);
+  const double records = d / w_.record_bytes;
+  // Checkpoint volume: map KV deltas plus the shuffle-end partition copy.
+  const double vol = d * w_.kv_expansion *
+                     (ft_.mode == Mode::kDetectResumeWC ? 1.15 : 1.0);
+  double nckpt;
+  if (ft_.chunk_granularity) {
+    nckpt = std::ceil(d / kChunkBytes);
+  } else {
+    nckpt = records / static_cast<double>(std::max<int64_t>(1, ft_.records_per_ckpt));
+  }
+
+  double overhead =
+      kInstrumentationFrac * records * w_.map_cost_per_record_s;
+  double drain = 0.0;
+  switch (ft_.location) {
+    case CkptLocation::kSharedDirect: {
+      // Every (small) checkpoint is a synchronous GPFS op: the paper's
+      // Fig. 4 worst case.
+      overhead += nckpt * c_.gpfs_op_s + vol / c_.gpfs_bw(2 * procs);
+      break;
+    }
+    case CkptLocation::kLocalOnly:
+    case CkptLocation::kLocalWithCopier: {
+      // Worker side: buffered appends (page cache) + serialization + the
+      // share of disk write-back that collides with the convert passes.
+      overhead += nckpt * c_.ckpt_write_op_s + vol / c_.memcpy_bw_Bps +
+                  kDiskContention * vol / c_.disk_bw_per_proc();
+      if (ft_.location == CkptLocation::kLocalWithCopier) {
+        // Copier: reads back from cache, aggregates into large GPFS writes
+        // (Sec. 4.1.3), overlapped with compute; the worker only pays the
+        // drain at phase ends plus the copier's CPU share.
+        const double copier_io = vol / c_.gpfs_bw(2 * procs) +
+                                 std::ceil(vol / kChunkBytes) * c_.gpfs_op_s;
+        const double window =
+            phases_window_for_drain(procs);  // forward declared below
+        drain = std::max(0.0, copier_io - window);
+        // Copier CPU steals cycles from the worker core (Fig. 7's ~3%);
+        // it saturates at a fraction of the compute window when checkpoints
+        // are pathologically frequent.
+        const double copier_cpu = std::min(vol / c_.memcpy_bw_Bps + nckpt * 30e-6,
+                                           0.25 * window);
+        overhead += drain + copier_cpu;
+      }
+      break;
+    }
+  }
+  if (ft_.synchronous) {
+    // All processes quiesce and write simultaneously: a barrier per
+    // checkpoint plus a straggler wait proportional to the inter-checkpoint
+    // interval (workload imbalance), plus peak-contention writes.
+    const double interval_work =
+        (records / std::max(1.0, nckpt)) * w_.map_cost_per_record_s;
+    overhead += nckpt * (2.0 * c_.net_lat_s * std::log2(std::max(2, procs)) +
+                         kSyncSkewFrac * interval_work);
+  }
+  if (drain_out) *drain_out = drain;
+  return overhead;
+}
+
+// The compute window the copier can hide behind: map+merge+reduce of one
+// stage (defined out-of-line to avoid recursion into ckpt_overhead_for).
+double JobModel::phases_window_for_drain(int procs) const {
+  const double d = per_proc_input(procs);
+  const double records = d / w_.record_bytes;
+  const double kv = d * w_.kv_expansion;
+  const double convert_moved = (ft_.two_pass_convert ? 4.0 : 8.0) * kv;
+  return records * w_.map_cost_per_record_s +
+         convert_moved / c_.disk_bw_per_proc() +
+         records * w_.reduce_cost_per_value_s;
+}
+
+PhaseTimes JobModel::failure_free() const { return phases_for(p_); }
+
+CopierCosts JobModel::copier_costs() const {
+  CopierCosts cc;
+  if (!ft_.checkpointing() ||
+      ft_.location != CkptLocation::kLocalWithCopier) {
+    return cc;
+  }
+  const double d = per_proc_input(p_);
+  const double records = d / w_.record_bytes;
+  const double vol = d * w_.kv_expansion;
+  const double nckpt =
+      records / static_cast<double>(std::max<int64_t>(1, ft_.records_per_ckpt));
+  cc.cpu = std::min(vol / c_.memcpy_bw_Bps + nckpt * 30e-6,
+                    0.25 * phases_window_for_drain(p_));
+  cc.io = vol / c_.gpfs_bw(2 * p_) + std::ceil(vol / kChunkBytes) * c_.gpfs_op_s +
+          vol / c_.disk_bw_per_proc();
+  cc.drain_wait = 0.0;
+  (void)ckpt_overhead_for(p_, &cc.drain_wait);
+  return cc;
+}
+
+JobModel::Recovery JobModel::restart_recovery(double fail_frac) const {
+  Recovery r;
+  r.init = kJobInitSeconds;
+  const double d = per_proc_input(p_);
+  const double records_done = fail_frac * d / w_.record_bytes;
+  const double vol_done = fail_frac * d * w_.kv_expansion;
+  // Every rank of the restarted job reads its own checkpoints — from the
+  // node-local disk when available, GPFS otherwise (Fig. 15 ablation).
+  // Checkpoints are many small files, so per-op latency dominates the
+  // GPFS path; the prefetcher pipelines and batches those reads.
+  const double nckpt_done =
+      ft_.chunk_granularity
+          ? std::ceil(fail_frac * d / kChunkBytes)
+          : records_done / static_cast<double>(std::max<int64_t>(1, ft_.records_per_ckpt));
+  const bool from_shared = ft_.location == CkptLocation::kSharedDirect;
+  const double t_local =
+      nckpt_done * kLocalReadOp + vol_done / c_.disk_bw_per_proc();
+  const double t_gpfs = nckpt_done * c_.gpfs_op_s + vol_done / c_.gpfs_bw(p_);
+  if (!from_shared) {
+    r.state_read = t_local;
+  } else if (ft_.prefetch_recovery) {
+    r.state_read = t_local + kPrefetchResidual * std::max(0.0, t_gpfs - t_local);
+  } else {
+    r.state_read = t_gpfs;
+  }
+  if (ft_.chunk_granularity) {
+    // Chunk granularity: all work on the partially processed chunk is lost
+    // and must be re-mapped (Fig. 3 "Reprocess").
+    const double chunk_records = kChunkBytes / w_.record_bytes;
+    // Restart waits on the slowest rank, which typically has a whole
+    // partially-processed chunk to re-map.
+    r.reprocess = chunk_records * w_.map_cost_per_record_s;
+    r.skip = fail_frac * d / c_.gpfs_bw(p_);  // re-read committed chunks
+  } else {
+    // Record granularity: re-read input and skip committed records.
+    r.skip = records_done * kSkipCostPerRecord + fail_frac * d / c_.gpfs_bw(p_);
+    // Restart waits on the slowest rank's tail: expected max over p ranks
+    // of the per-rank uncommitted work is ~one full checkpoint interval.
+    r.reprocess = static_cast<double>(ft_.records_per_ckpt) *
+                  w_.map_cost_per_record_s;
+  }
+  return r;
+}
+
+JobModel::Recovery JobModel::resume_recovery(double fail_frac, int nfailed) const {
+  Recovery r;
+  const int survivors = std::max(1, p_ - nfailed);
+  const double d = per_proc_input(p_);
+  const double lost_work_s =
+      fail_frac * (phases_window_for_drain(p_) + d / c_.gpfs_bw(p_)) * nfailed;
+  if (ft_.mode == Mode::kDetectResumeWC) {
+    // Survivors read only the dead ranks' checkpoints from GPFS (paper:
+    // "significantly reduces the I/O load"), spread across the inheritors.
+    const double vol_dead = fail_frac * d * w_.kv_expansion * nfailed;
+    double bw = ft_.prefetch_recovery ? c_.disk_bw_per_proc() : c_.gpfs_bw(p_);
+    r.state_read = vol_dead / static_cast<double>(survivors) / bw +
+                   (ft_.prefetch_recovery
+                        ? 0.15 * vol_dead / static_cast<double>(survivors) /
+                              c_.gpfs_bw(p_)
+                        : 0.0);
+    r.skip = fail_frac * (d / w_.record_bytes) * kSkipCostPerRecord;
+    r.reprocess = 0.25 * static_cast<double>(ft_.records_per_ckpt) *
+                  w_.map_cost_per_record_s;
+  } else {
+    // NWC: re-execute the dead ranks' tasks; partially serialized on the
+    // critical path (coarse partition/task units + phase barriers).
+    r.reprocess = lost_work_s *
+                  (ft_.nwc_serialization +
+                   (1.0 - ft_.nwc_serialization) / static_cast<double>(survivors));
+  }
+  return r;
+}
+
+double JobModel::failed_plus_recovery(double fail_frac, int nfailed) const {
+  const double t_full = phases_for(p_).total();
+  switch (ft_.mode) {
+    case Mode::kMrMpi:
+      // Not fault tolerant: the failed run is a total loss (Sec. 6.3).
+      return fail_frac * t_full + t_full;
+    case Mode::kCheckpointRestart: {
+      const Recovery r = restart_recovery(fail_frac);
+      return fail_frac * t_full + r.total() + (1.0 - fail_frac) * t_full;
+    }
+    case Mode::kDetectResumeWC:
+    case Mode::kDetectResumeNWC: {
+      const Recovery r = resume_recovery(fail_frac, nfailed);
+      const double remaining = (1.0 - fail_frac) * t_full *
+                               static_cast<double>(p_) /
+                               static_cast<double>(std::max(1, p_ - nfailed));
+      return fail_frac * t_full + r.total() + remaining;
+    }
+  }
+  return t_full;
+}
+
+double JobModel::reference_time(int absent) const {
+  // "The failure-free job completion time with the same number of absent
+  // processes" (Sec. 6.4) — same system configuration, smaller allocation.
+  const int procs = std::max(1, p_ - absent);
+  JobModel ref(c_, w_, ft_, procs);
+  return ref.phases_for(procs).total();
+}
+
+double JobModel::continuous_failures(int nkills, double interval) const {
+  // Timeline simulation in "work units" (process-seconds of the p-process
+  // job). One process dies every `interval` seconds until nkills are dead.
+  const double t_full = phases_for(p_).total();
+  const double total_work = t_full * p_;
+  if (ft_.mode == Mode::kDetectResumeNWC) {
+    // Every failure discards the work in flight ("the job cannot produce
+    // any useful work until no more failures occur") — the job effectively
+    // starts over on the shrunken allocation after the last failure.
+    const int survivors = std::max(1, p_ - nkills);
+    const double recovery_tax =
+        static_cast<double>(nkills) * resume_recovery(0.5, 1).total();
+    return nkills * interval + total_work / survivors + recovery_tax;
+  }
+  // Work-conserving: work completed before each failure is retained.
+  double done = 0.0, t = 0.0;
+  int alive = p_;
+  for (int k = 0; k < nkills && done < total_work; ++k) {
+    done += alive * interval;
+    t += interval;
+    alive = std::max(1, alive - 1);
+    // Per-failure recovery cost on the critical path.
+    t += resume_recovery(std::min(1.0, done / total_work), 1).total();
+  }
+  if (done < total_work) t += (total_work - done) / alive;
+  return t;
+}
+
+}  // namespace ftmr::perf

@@ -1,0 +1,187 @@
+// comm.hpp — the communicator: the public face of the simulated MPI+ULFM.
+//
+// The API mirrors the MPI calls FT-MRMPI uses, in C++ clothing:
+//   send/recv/iprobe          -> MPI_Send / MPI_Recv / MPI_Iprobe
+//   barrier/bcast/reduce/...  -> the corresponding MPI collectives
+//   alltoall (v-semantics)    -> MPI_Alltoallv, the shuffle workhorse
+//   set_error_handler         -> MPI_Comm_set_errhandler (FT-MRMPI's
+//                                FailureHandler hooks in here, Sec. 4.1)
+//   abort                     -> MPI_Abort + process-manager broadcast
+//   revoke/shrink/agree/ack   -> ULFM MPI_Comm_revoke / _shrink / _agree /
+//                                _failure_ack (Sec. 4.2.1)
+//
+// All blocking calls return Status; error classes match the MPI/ULFM ones
+// (PROC_FAILED, REVOKED, ...). A registered error handler is invoked on any
+// error before the call returns — it may throw to unwind into recovery
+// code, exactly how FT-MRMPI's handler transfers control.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "simmpi/job.hpp"
+#include "simmpi/types.hpp"
+
+namespace ftmr::simmpi {
+
+class Comm;
+
+/// Handle for a nonblocking operation (MPI_Request analogue). Sends
+/// complete eagerly; receives complete when a matching message is
+/// consumed by test()/wait(). Value-semantic; copies share completion
+/// state.
+class Request {
+ public:
+  Request() = default;
+
+  /// Attempt completion without blocking; true once complete.
+  bool test();
+  /// Block until complete; returns the operation's status.
+  Status wait();
+  [[nodiscard]] bool done() const;
+  /// Status observed so far (meaningful once done()).
+  [[nodiscard]] Status status() const;
+
+  /// MPI_Waitall: wait on every request; returns the first non-OK status.
+  static Status wait_all(std::span<Request> requests);
+
+ private:
+  friend class Comm;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+class Comm {
+ public:
+  using ErrorHandler = std::function<void(Comm&, const Status&)>;
+
+  Comm() = default;
+  Comm(Job* job, std::shared_ptr<CommState> state, int global_rank);
+
+  [[nodiscard]] bool valid() const noexcept { return job_ != nullptr; }
+  [[nodiscard]] int rank() const noexcept { return rel_rank_; }
+  [[nodiscard]] int size() const noexcept { return state_ ? state_->size() : 0; }
+  [[nodiscard]] int global_rank() const noexcept { return global_rank_; }
+  /// Comm-relative rank of a global rank (-1 if not a member).
+  [[nodiscard]] int rel_of_global(int g) const noexcept {
+    return state_ ? state_->rel_rank_of(g) : -1;
+  }
+  /// Global rank of a comm-relative rank.
+  [[nodiscard]] int global_of_rel(int rel) const noexcept {
+    return (state_ && rel >= 0 && rel < state_->size()) ? state_->group[rel] : -1;
+  }
+  [[nodiscard]] Job* job() const noexcept { return job_; }
+
+  /// Install an error handler invoked on every non-OK status produced by an
+  /// operation on this handle. It may throw to transfer control.
+  void set_error_handler(ErrorHandler h) { errhandler_ = std::move(h); }
+
+  // ---- virtual time ----
+
+  /// This rank's virtual clock (seconds since job start).
+  [[nodiscard]] double now() const;
+  /// Advance the virtual clock by `seconds` of modeled computation. May
+  /// throw KilledError if a scheduled failure time is crossed.
+  void compute(double seconds);
+
+  // ---- point-to-point ----
+
+  Status send(int dst, int tag, std::span<const std::byte> data);
+  Status send_string(int dst, int tag, std::string_view s);
+  Status recv(int src, int tag, Bytes& out, MessageInfo* info = nullptr);
+  /// Non-blocking probe for a matching message.
+  bool iprobe(int src, int tag, MessageInfo* info = nullptr);
+
+  /// Nonblocking send: the payload is buffered eagerly, so the request is
+  /// complete on return (its status carries any delivery error).
+  Request isend(int dst, int tag, std::span<const std::byte> data);
+  /// Nonblocking receive into `*out` (which must outlive the request).
+  Request irecv(int src, int tag, Bytes* out, MessageInfo* info = nullptr);
+
+  // ---- collectives (blocking, all group members must call in order) ----
+
+  Status barrier();
+  /// In-place bcast: root's `data` is sent, everyone else's is replaced.
+  Status bcast(int root, Bytes& data);
+  Status reduce(int root, ReduceOp op, std::span<const double> in,
+                std::vector<double>& out);
+  Status reduce(int root, ReduceOp op, std::span<const int64_t> in,
+                std::vector<int64_t>& out);
+  Status allreduce(ReduceOp op, std::span<const double> in, std::vector<double>& out);
+  Status allreduce(ReduceOp op, std::span<const int64_t> in, std::vector<int64_t>& out);
+  Status allreduce_one(ReduceOp op, double in, double& out);
+  Status allreduce_one(ReduceOp op, int64_t in, int64_t& out);
+  /// Gather with per-rank sizes (MPI_Gatherv): `out[i]` = rank i's bytes
+  /// (only filled at root).
+  Status gather(int root, std::span<const std::byte> in, std::vector<Bytes>& out);
+  Status allgather(std::span<const std::byte> in, std::vector<Bytes>& out);
+  /// MPI_Alltoallv over length-prefixed blobs: send[j] goes to rank j;
+  /// recv[i] arrives from rank i. Vectors must have size() == comm size.
+  Status alltoall(const std::vector<Bytes>& send, std::vector<Bytes>& recv);
+
+  Status dup(Comm& out, bool accounts_time = true);
+  Status split(int color, int key, Comm& out);
+
+  // ---- ULFM fault-tolerance extensions ----
+
+  /// MPI_Comm_revoke: mark the communicator inoperable everywhere; wakes
+  /// and fails (REVOKED) every pending op except shrink/agree.
+  Status revoke();
+  [[nodiscard]] bool is_revoked() const;
+  /// MPI_Comm_shrink: collectively build a new communicator from the
+  /// surviving members. Works on revoked comms.
+  Status shrink(Comm& out);
+  /// MPI_Comm_agree: fault-tolerant agreement; `flag` becomes the bitwise
+  /// AND of all alive contributions. Returns PROC_FAILED (with the agreed
+  /// flag still valid) if this rank has un-acked dead members.
+  Status agree(int& flag);
+  /// MPI_Comm_failure_ack: acknowledge currently-known failures.
+  void ack_failures();
+  /// Comm-relative ranks of currently dead members.
+  [[nodiscard]] std::vector<int> failed_ranks() const;
+  [[nodiscard]] std::vector<int> failed_global_ranks() const;
+
+  /// MPI_Abort: tear down the whole job. Throws AbortError in this thread;
+  /// every other rank throws at its next MPI call.
+  [[noreturn]] void abort(int code);
+
+ private:
+  friend class Runtime;
+
+  /// Run the error handler (if any) on a non-OK status, then return it.
+  Status handle(Status s);
+
+  /// Generic arrival-synchronized collective (see job.hpp). `compute` runs
+  /// once, on the last arriver, and must fill slot.results/done_vtime for
+  /// every contributing rel rank. `tolerant` ops (shrink/agree) proceed
+  /// despite dead members and ignore revocation.
+  Status run_collective(
+      Bytes contribution,
+      const std::function<void(CollectiveSlot&, const CommState&, Job&)>& compute,
+      bool tolerant, Bytes* result_out);
+
+  /// Failure-tolerant rendezvous (shrink/agree): proceeds once every *alive*
+  /// member has arrived, keyed by a shared epoch rather than per-rank
+  /// sequence numbers. Ignores revocation.
+  Status run_tolerant(
+      uint64_t ns, Bytes contribution,
+      const std::function<void(CollectiveSlot&, const CommState&, Job&)>& compute,
+      Bytes* result_out);
+
+  template <typename T>
+  Status reduce_impl(int root, ReduceOp op, std::span<const T> in,
+                     std::vector<T>& out, bool to_all);
+
+  Job* job_ = nullptr;
+  std::shared_ptr<CommState> state_;
+  int global_rank_ = -1;
+  int rel_rank_ = -1;
+  ErrorHandler errhandler_;
+};
+
+}  // namespace ftmr::simmpi

@@ -1,0 +1,91 @@
+#include "simmpi/job.hpp"
+
+#include <algorithm>
+
+namespace ftmr::simmpi {
+
+Job::Job(int nranks_, JobOptions opts_)
+    : nranks(nranks_), opts(std::move(opts_)), ranks(nranks_) {
+  for (const KillEvent& k : opts.kills) {
+    if (k.rank < 0 || k.rank >= nranks) continue;
+    if (k.vtime >= 0.0) ranks[k.rank].kill_vtime = k.vtime;
+    if (k.after_ops >= 0) ranks[k.rank].kill_after_ops = k.after_ops;
+  }
+}
+
+void Job::die_locked(int rank) {
+  RankState& st = ranks[rank];
+  if (!st.alive) return;
+  st.alive = false;
+  st.killed = true;
+  cv.notify_all();
+}
+
+void Job::check_callable(int rank) {
+  std::lock_guard<std::mutex> lock(mu);
+  RankState& st = ranks[rank];
+  if (aborted) throw AbortError(abort_code);
+  if (!st.alive) throw KilledError();
+  st.op_count++;
+  if (st.kill_after_ops >= 0 && st.op_count >= st.kill_after_ops) {
+    die_locked(rank);
+    throw KilledError();
+  }
+  if (st.kill_vtime >= 0.0 && st.vtime >= st.kill_vtime) {
+    die_locked(rank);
+    throw KilledError();
+  }
+}
+
+void Job::check_callable_locked(int rank) {
+  RankState& st = ranks[rank];
+  if (aborted) throw AbortError(abort_code);
+  if (!st.alive) throw KilledError();
+}
+
+void Job::check_vtime_kill(int rank) {
+  std::lock_guard<std::mutex> lock(mu);
+  RankState& st = ranks[rank];
+  if (!st.alive) throw KilledError();
+  if (st.kill_vtime >= 0.0 && st.vtime >= st.kill_vtime) {
+    die_locked(rank);
+    throw KilledError();
+  }
+}
+
+std::vector<int> Job::dead_in_locked(const CommState& cs) const {
+  std::vector<int> dead;
+  for (int g : cs.group) {
+    if (!ranks[g].alive) dead.push_back(g);
+  }
+  return dead;
+}
+
+bool Job::any_dead_in_locked(const CommState& cs) const {
+  return std::any_of(cs.group.begin(), cs.group.end(),
+                     [this](int g) { return !ranks[g].alive; });
+}
+
+std::vector<int> Job::unacked_dead_locked(int rank, const CommState& cs) const {
+  std::vector<int> dead = dead_in_locked(cs);
+  auto it = ranks[rank].acked.find(cs.ctx);
+  if (it == ranks[rank].acked.end()) return dead;
+  std::vector<int> out;
+  for (int g : dead) {
+    if (std::find(it->second.begin(), it->second.end(), g) == it->second.end()) {
+      out.push_back(g);
+    }
+  }
+  return out;
+}
+
+void Job::abort_job(int code) {
+  std::lock_guard<std::mutex> lock(mu);
+  if (!aborted) {
+    aborted = true;
+    abort_code = code;
+  }
+  cv.notify_all();
+}
+
+}  // namespace ftmr::simmpi

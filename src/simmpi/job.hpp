@@ -1,0 +1,142 @@
+// job.hpp — internal shared state of one simulated MPI job.
+//
+// Concurrency design (CP.20/CP.22 style): one job-wide mutex + condition
+// variable guards all cross-rank state (mailboxes, collective slots, comm
+// registry, liveness). Rank threads block on the CV; every state change
+// that could unblock someone (message enqueue, death, revoke, abort,
+// collective arrival) does notify_all. At simulator scale (<= a few hundred
+// ranks, virtual time) the single lock is both correct and fast enough,
+// and it makes the failure paths easy to audit.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "simmpi/types.hpp"
+
+namespace ftmr::simmpi {
+
+/// An in-flight point-to-point message. `src_rel` is the sender's rank
+/// *within the communicator* identified by `ctx`; matching is on
+/// (ctx, src_rel, tag). `arrival` is the virtual time at which the payload
+/// is fully available at the receiver (0 for non-time-accounting comms).
+struct Message {
+  uint64_t ctx = 0;
+  int src_rel = 0;
+  int tag = 0;
+  Bytes payload;
+  double arrival = 0.0;
+};
+
+/// Shared state of a communicator. `group[i]` is the global rank of the
+/// comm-relative rank i. Revocation (ULFM MPI_Comm_revoke) is a flag here:
+/// every op except shrink/agree observes it.
+struct CommState {
+  uint64_t ctx = 0;
+  std::vector<int> group;
+  bool revoked = false;
+  /// Master/copier-thread comms don't advance the rank's virtual clock.
+  bool accounts_time = true;
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(group.size()); }
+  [[nodiscard]] int rel_rank_of(int global_rank) const noexcept {
+    for (size_t i = 0; i < group.size(); ++i) {
+      if (group[i] == global_rank) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// Rendezvous state for one arrival-synchronized collective call.
+/// Keyed by (ctx, per-rank call sequence number); MPI requires all ranks to
+/// issue collectives on a comm in the same order, which makes the sequence
+/// number a consistent key.
+struct CollectiveSlot {
+  std::map<int, Bytes> contribs;       // rel rank -> contribution payload
+  std::map<int, double> arrive_vtime;  // rel rank -> clock at arrival
+  std::map<int, Bytes> results;        // rel rank -> result payload
+  std::map<int, double> done_vtime;    // rel rank -> clock after the op
+  bool computed = false;
+  bool failed = false;  // a participant died (fails intolerant collectives)
+  int pickups = 0;      // alive ranks that have taken their result
+};
+
+/// Per-rank runtime state.
+struct RankState {
+  bool alive = true;
+  bool killed = false;
+  bool finished = false;
+  int exit_code = 0;
+  double vtime = 0.0;
+  int64_t op_count = 0;
+  // Failure injection triggers (either may be set).
+  double kill_vtime = -1.0;
+  int64_t kill_after_ops = -1;
+  std::deque<Message> mailbox;
+  std::map<uint64_t, uint64_t> coll_seq;          // ctx -> next collective seq
+  std::map<uint64_t, std::vector<int>> acked;     // ctx -> acked dead global ranks
+};
+
+/// Whole-job shared state; owned by the Runtime, outlives all rank threads.
+class Job {
+ public:
+  Job(int nranks, JobOptions opts);
+
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+
+  // ---- guarded by mu ----
+  std::mutex mu;
+  std::condition_variable cv;
+
+  const int nranks;
+  const JobOptions opts;
+  std::vector<RankState> ranks;
+  std::map<std::pair<uint64_t, uint64_t>, std::shared_ptr<CollectiveSlot>> slots;
+  /// Current epoch of the tolerant collectives (shrink/agree) per
+  /// (ctx, namespace). Bumped by the rank that computes a slot, in the same
+  /// critical section that sets `computed` — so a rank entering afterwards
+  /// always lands in the next logical operation.
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> tol_epochs;
+  std::map<uint64_t, std::shared_ptr<CommState>> comms;
+  bool aborted = false;
+  int abort_code = 0;
+  uint64_t next_ctx = 1;  // 0 is the world comm
+
+  // ---- helpers; "locked" variants require mu held ----
+
+  /// Mark `rank` dead and wake everyone. Idempotent.
+  void die_locked(int rank);
+
+  /// Entry check for every MPI call issued on behalf of `rank` by any of
+  /// its threads: throws AbortError when the job is aborted, KilledError
+  /// when the rank is (or must now become) dead. Counts the op.
+  void check_callable(int rank);
+
+  /// Same check for use inside CV wait loops (mu already held, op not
+  /// re-counted).
+  void check_callable_locked(int rank);
+
+  /// Called after advancing `rank`'s virtual clock: enforces vtime kills.
+  void check_vtime_kill(int rank);
+
+  /// Global ranks of dead members of `cs` (mu held).
+  [[nodiscard]] std::vector<int> dead_in_locked(const CommState& cs) const;
+  [[nodiscard]] bool any_dead_in_locked(const CommState& cs) const;
+
+  /// Dead members not yet acked by `rank` on this comm (mu held).
+  [[nodiscard]] std::vector<int> unacked_dead_locked(int rank, const CommState& cs) const;
+
+  /// Allocate a fresh communicator context id (mu held).
+  uint64_t alloc_ctx_locked() { return next_ctx++; }
+
+  /// Trigger job-wide abort (MPI_Abort semantics).
+  void abort_job(int code);
+};
+
+}  // namespace ftmr::simmpi

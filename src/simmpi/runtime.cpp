@@ -1,0 +1,67 @@
+#include "simmpi/runtime.hpp"
+
+#include <exception>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace ftmr::simmpi {
+
+JobResult Runtime::run(int nranks, const RankMain& main, JobOptions opts) {
+  auto job = std::make_unique<Job>(nranks, std::move(opts));
+
+  // World communicator: ctx 0, identity group.
+  auto world_state = std::make_shared<CommState>();
+  world_state->ctx = 0;
+  world_state->group.resize(nranks);
+  for (int i = 0; i < nranks; ++i) world_state->group[i] = i;
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->comms[0] = world_state;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      set_thread_rank(r);
+      Comm world(job.get(), world_state, r);
+      try {
+        main(world);
+        std::lock_guard<std::mutex> lock(job->mu);
+        job->ranks[r].finished = true;
+        // A finishing rank wakes peers blocked on it (they will time out /
+        // error out per MPI semantics rather than hang silently).
+        job->cv.notify_all();
+      } catch (const KilledError&) {
+        // die_locked already updated state and notified.
+      } catch (const AbortError& e) {
+        std::lock_guard<std::mutex> lock(job->mu);
+        job->ranks[r].exit_code = e.exit_code;
+        job->cv.notify_all();
+      } catch (const std::exception& e) {
+        FTMR_ERROR << "rank " << r << " escaped exception: " << e.what();
+        std::lock_guard<std::mutex> lock(job->mu);
+        job->cv.notify_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  JobResult result;
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    result.aborted = job->aborted;
+    result.abort_code = job->abort_code;
+    result.ranks.resize(nranks);
+    for (int r = 0; r < nranks; ++r) {
+      const RankState& st = job->ranks[r];
+      result.ranks[r] = RankResult{st.finished, st.killed, st.vtime, st.exit_code};
+    }
+  }
+  return result;
+}
+
+}  // namespace ftmr::simmpi

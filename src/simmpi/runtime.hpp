@@ -1,0 +1,28 @@
+// runtime.hpp — launches simulated MPI jobs.
+//
+// Runtime::run is the moral equivalent of `mpiexec -n <nranks>`: it spawns
+// one thread per rank, hands each a world communicator, and reaps results.
+// When the job aborts (MPI_Abort — the checkpoint/restart teardown path),
+// the JobResult says so and the caller may "resubmit" by calling run again;
+// that loop *is* the paper's restart model, with the gang scheduler's
+// requeue delay modeled by the caller.
+#pragma once
+
+#include <functional>
+
+#include "simmpi/comm.hpp"
+#include "simmpi/types.hpp"
+
+namespace ftmr::simmpi {
+
+class Runtime {
+ public:
+  using RankMain = std::function<void(Comm&)>;
+
+  /// Run one job: `main` is executed once per rank on its own thread with
+  /// the world communicator. Returns after every rank finished, was killed,
+  /// or was torn down by abort.
+  static JobResult run(int nranks, const RankMain& main, JobOptions opts = {});
+};
+
+}  // namespace ftmr::simmpi

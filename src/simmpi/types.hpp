@@ -1,0 +1,119 @@
+// types.hpp — public constants, options, and exceptions of the simulated
+// MPI runtime.
+//
+// simmpi is an in-process reproduction of the MPI subset + ULFM extensions
+// FT-MRMPI needs. Each MPI rank is an OS thread with a mailbox; time is
+// *virtual* (a LogGP-style cost model advances per-rank clocks), so
+// experiments are deterministic and scale-faithful on a small machine.
+//
+// Fault model reproduced from the paper:
+//  * a killed rank unwinds at its next MPI call (KilledError), exactly like
+//    a process crash observed at the MPI layer;
+//  * operations involving a dead peer fail with PROC_FAILED;
+//  * MPI_Abort tears down every rank of the job (the process manager
+//    broadcast described in Sec. 4.1);
+//  * ULFM adds revoke / shrink / agree / failure_ack (Sec. 4.2.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+namespace ftmr::simmpi {
+
+/// Wildcards, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Completed-receive metadata (MPI_Status analogue).
+struct MessageInfo {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  size_t size = 0;
+};
+
+/// Reduction operators for typed reduce/allreduce/scan.
+enum class ReduceOp { kSum, kMin, kMax, kLand, kLor };
+
+/// LogGP-flavoured communication cost model. A message of n bytes costs
+/// latency + n/bandwidth; an arrival-synchronized collective over p ranks
+/// additionally pays latency*ceil(log2 p).
+struct NetworkModel {
+  double latency_s = 2e-6;          // InfiniBand QDR-ish small-message latency
+  double bandwidth_Bps = 3.2e9;     // ~QDR effective unidirectional bandwidth
+
+  [[nodiscard]] double point_to_point_cost(size_t bytes) const noexcept {
+    return latency_s + static_cast<double>(bytes) / bandwidth_Bps;
+  }
+};
+
+/// A scheduled failure: `rank` dies when its virtual clock first reaches
+/// `vtime`, or at its `after_ops`-th MPI operation (whichever is enabled).
+struct KillEvent {
+  int rank = -1;
+  double vtime = -1.0;     // <0: disabled
+  int64_t after_ops = -1;  // <0: disabled
+};
+
+/// Job launch options.
+struct JobOptions {
+  NetworkModel net{};
+  std::vector<KillEvent> kills;
+  /// Real-time guard against deadlocked tests; blocked ops give up with an
+  /// INTERNAL error after this long.
+  double deadlock_timeout_s = 120.0;
+  /// Stack size hint is irrelevant for std::thread; kept for documentation.
+  int max_ranks_hint = 0;
+};
+
+/// Thrown inside a rank thread when its (simulated) process is killed.
+/// The runtime catches it; user code must let it propagate (or re-throw).
+class KilledError : public std::runtime_error {
+ public:
+  KilledError() : std::runtime_error("simmpi: rank killed") {}
+};
+
+/// Thrown inside every rank when MPI_Abort semantics tear the job down.
+class AbortError : public std::runtime_error {
+ public:
+  explicit AbortError(int code)
+      : std::runtime_error("simmpi: job aborted"), exit_code(code) {}
+  int exit_code;
+};
+
+/// Per-rank outcome of a job run.
+struct RankResult {
+  bool finished = false;  // rank_main returned normally
+  bool killed = false;    // terminated by failure injection
+  double vtime = 0.0;     // final virtual clock
+  int exit_code = 0;
+};
+
+/// Outcome of one job run (one "submission" in scheduler terms).
+struct JobResult {
+  bool aborted = false;  // MPI_Abort was invoked (checkpoint/restart path)
+  int abort_code = 0;
+  std::vector<RankResult> ranks;
+
+  /// Virtual makespan: the last *surviving* rank's finish time.
+  [[nodiscard]] double makespan() const noexcept {
+    double m = 0.0;
+    for (const auto& r : ranks) {
+      if (r.finished && r.vtime > m) m = r.vtime;
+    }
+    return m;
+  }
+  [[nodiscard]] int finished_count() const noexcept {
+    int n = 0;
+    for (const auto& r : ranks) n += r.finished ? 1 : 0;
+    return n;
+  }
+  [[nodiscard]] int killed_count() const noexcept {
+    int n = 0;
+    for (const auto& r : ranks) n += r.killed ? 1 : 0;
+    return n;
+  }
+};
+
+}  // namespace ftmr::simmpi

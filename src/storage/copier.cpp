@@ -1,0 +1,96 @@
+#include "storage/copier.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace ftmr::storage {
+
+Status CopierAgent::enqueue(std::string_view local_path, std::string_view shared_path,
+                            double now, double* done_at) {
+  double io_cost = 0.0;
+  if (auto s = storage_->copy(Tier::kLocal, node_, local_path, Tier::kShared, node_,
+                              shared_path, &io_cost, concurrency_);
+      !s.ok()) {
+    return s;
+  }
+  const int64_t size = storage_->file_size(Tier::kShared, node_, shared_path);
+  std::lock_guard<std::mutex> lock(mu_);
+  // The copier starts this job when it's free and the job has been issued.
+  const double start = std::max(busy_until_, now);
+  busy_until_ = start + io_cost;
+  io_seconds_ += io_cost;
+  cpu_seconds_ += model_.dispatch_s +
+                  model_.cpu_per_byte_s * static_cast<double>(std::max<int64_t>(size, 0));
+  bytes_ += static_cast<size_t>(std::max<int64_t>(size, 0));
+  copies_++;
+  if (done_at) *done_at = busy_until_;
+  return Status::Ok();
+}
+
+double CopierAgent::busy_until() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return busy_until_;
+}
+
+double CopierAgent::drain_wait(double now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::max(0.0, busy_until_ - now);
+}
+
+double CopierAgent::cpu_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cpu_seconds_;
+}
+
+double CopierAgent::io_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return io_seconds_;
+}
+
+size_t CopierAgent::bytes_copied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+int CopierAgent::copies() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return copies_;
+}
+
+Status Prefetcher::start(std::span<const std::string> shared_paths,
+                         std::string_view local_prefix, double start) {
+  available_at_.clear();
+  local_paths_.clear();
+  double t = start;
+  for (const std::string& sp : shared_paths) {
+    const std::string base = std::filesystem::path(sp).filename().string();
+    const std::string lp = std::string(local_prefix) + "/" + base;
+    double io_cost = 0.0;
+    if (auto s = storage_->copy(Tier::kShared, node_, sp, Tier::kLocal, node_, lp,
+                                &io_cost, concurrency_);
+        !s.ok()) {
+      return s;
+    }
+    t += io_cost;
+    available_at_.push_back(t);
+    local_paths_.push_back(lp);
+  }
+  return Status::Ok();
+}
+
+Status Prefetcher::read(size_t i, double now, Bytes& out, double* sim_cost) {
+  if (i >= local_paths_.size()) {
+    return {ErrorCode::kOutOfRange, "Prefetcher::read: index out of range"};
+  }
+  double local_cost = 0.0;
+  if (auto s = storage_->read_file(Tier::kLocal, node_, local_paths_[i], out,
+                                   &local_cost);
+      !s.ok()) {
+    return s;
+  }
+  const double stall = std::max(0.0, available_at_[i] - now);
+  if (sim_cost) *sim_cost = stall + local_cost;
+  return Status::Ok();
+}
+
+}  // namespace ftmr::storage

@@ -1,0 +1,203 @@
+#include <unistd.h>
+#include "storage/storage.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <mutex>
+#include <system_error>
+
+#include "common/log.hpp"
+
+namespace ftmr::storage {
+
+namespace fs = std::filesystem;
+
+StorageSystem::StorageSystem(StorageOptions opts) : opts_(std::move(opts)) {
+  std::error_code ec;
+  fs::create_directories(opts_.root / "shared", ec);
+  if (opts_.has_local_disk) fs::create_directories(opts_.root / "local", ec);
+}
+
+fs::path StorageSystem::real_path(Tier tier, int node, std::string_view path) const {
+  if (tier == Tier::kShared) return opts_.root / "shared" / fs::path(path);
+  return opts_.root / "local" / ("node" + std::to_string(node)) / fs::path(path);
+}
+
+void StorageSystem::inject_io_failures(int count, Status error) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  injected_failures_ = count;
+  injected_error_ = std::move(error);
+}
+
+Status StorageSystem::take_injected_failure() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (injected_failures_ <= 0) return Status::Ok();
+  --injected_failures_;
+  return injected_error_;
+}
+
+Status StorageSystem::check_tier(Tier tier) const {
+  if (tier == Tier::kLocal && !opts_.has_local_disk) {
+    return {ErrorCode::kIo, "no node-local disk on this cluster"};
+  }
+  return Status::Ok();
+}
+
+double StorageSystem::cost_of(Tier tier, size_t bytes, int ops,
+                              int concurrency) const noexcept {
+  const TierModel& m = (tier == Tier::kLocal) ? opts_.local : opts_.shared;
+  return m.cost(bytes, ops, concurrency);
+}
+
+Status StorageSystem::write_file(Tier tier, int node, std::string_view path,
+                                 std::span<const std::byte> data, double* sim_cost,
+                                 int concurrency) {
+  if (auto s = check_tier(tier); !s.ok()) return s;
+  if (auto s = take_injected_failure(); !s.ok()) return s;
+  const fs::path p = real_path(tier, node, path);
+  std::error_code ec;
+  fs::create_directories(p.parent_path(), ec);
+  std::ofstream f(p, std::ios::binary | std::ios::trunc);
+  if (!f) return {ErrorCode::kIo, "write_file: cannot open " + p.string()};
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  if (!f) return {ErrorCode::kIo, "write_file: short write to " + p.string()};
+  if (sim_cost) *sim_cost = cost_of(tier, data.size(), 1, concurrency);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    TierStats& st = (tier == Tier::kLocal) ? local_stats_ : shared_stats_;
+    st.bytes_written += data.size();
+    st.write_ops++;
+  }
+  return Status::Ok();
+}
+
+Status StorageSystem::append_file(Tier tier, int node, std::string_view path,
+                                  std::span<const std::byte> data, double* sim_cost,
+                                  int concurrency) {
+  if (auto s = check_tier(tier); !s.ok()) return s;
+  if (auto s = take_injected_failure(); !s.ok()) return s;
+  const fs::path p = real_path(tier, node, path);
+  std::error_code ec;
+  fs::create_directories(p.parent_path(), ec);
+  std::ofstream f(p, std::ios::binary | std::ios::app);
+  if (!f) return {ErrorCode::kIo, "append_file: cannot open " + p.string()};
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  if (!f) return {ErrorCode::kIo, "append_file: short write to " + p.string()};
+  if (sim_cost) *sim_cost = cost_of(tier, data.size(), 1, concurrency);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    TierStats& st = (tier == Tier::kLocal) ? local_stats_ : shared_stats_;
+    st.bytes_written += data.size();
+    st.write_ops++;
+  }
+  return Status::Ok();
+}
+
+Status StorageSystem::read_file(Tier tier, int node, std::string_view path,
+                                Bytes& out, double* sim_cost, int concurrency) {
+  if (auto s = check_tier(tier); !s.ok()) return s;
+  if (auto s = take_injected_failure(); !s.ok()) return s;
+  const fs::path p = real_path(tier, node, path);
+  std::ifstream f(p, std::ios::binary | std::ios::ate);
+  if (!f) return {ErrorCode::kNotFound, "read_file: no such file " + p.string()};
+  const auto size = f.tellg();
+  f.seekg(0);
+  out.resize(static_cast<size_t>(size));
+  f.read(reinterpret_cast<char*>(out.data()), size);
+  if (!f) return {ErrorCode::kIo, "read_file: short read from " + p.string()};
+  if (sim_cost) *sim_cost = cost_of(tier, out.size(), 1, concurrency);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    TierStats& st = (tier == Tier::kLocal) ? local_stats_ : shared_stats_;
+    st.bytes_read += out.size();
+    st.read_ops++;
+  }
+  return Status::Ok();
+}
+
+bool StorageSystem::exists(Tier tier, int node, std::string_view path) const {
+  if (!check_tier(tier).ok()) return false;
+  std::error_code ec;
+  return fs::exists(real_path(tier, node, path), ec);
+}
+
+int64_t StorageSystem::file_size(Tier tier, int node, std::string_view path) const {
+  if (!check_tier(tier).ok()) return -1;
+  std::error_code ec;
+  const auto sz = fs::file_size(real_path(tier, node, path), ec);
+  return ec ? -1 : static_cast<int64_t>(sz);
+}
+
+Status StorageSystem::remove(Tier tier, int node, std::string_view path) {
+  if (auto s = check_tier(tier); !s.ok()) return s;
+  std::error_code ec;
+  fs::remove_all(real_path(tier, node, path), ec);
+  return ec ? Status{ErrorCode::kIo, "remove failed: " + ec.message()} : Status::Ok();
+}
+
+Status StorageSystem::list_dir(Tier tier, int node, std::string_view dir,
+                               std::vector<std::string>& names) const {
+  names.clear();
+  if (auto s = check_tier(tier); !s.ok()) return s;
+  const fs::path base = real_path(tier, node, dir);
+  std::error_code ec;
+  if (!fs::exists(base, ec)) return Status::Ok();  // empty dir == no entries
+  for (auto it = fs::recursive_directory_iterator(base, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (it->is_regular_file(ec)) {
+      names.push_back(fs::relative(it->path(), base, ec).generic_string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return Status::Ok();
+}
+
+Status StorageSystem::copy(Tier src_tier, int src_node, std::string_view src_path,
+                           Tier dst_tier, int dst_node, std::string_view dst_path,
+                           double* sim_cost, int concurrency) {
+  Bytes data;
+  double read_cost = 0.0, write_cost = 0.0;
+  if (auto s = read_file(src_tier, src_node, src_path, data, &read_cost, concurrency);
+      !s.ok()) {
+    return s;
+  }
+  if (auto s = write_file(dst_tier, dst_node, dst_path, data, &write_cost, concurrency);
+      !s.ok()) {
+    return s;
+  }
+  if (sim_cost) *sim_cost = read_cost + write_cost;
+  return Status::Ok();
+}
+
+void StorageSystem::wipe_node_local(int node) {
+  if (!opts_.has_local_disk) return;
+  std::error_code ec;
+  fs::remove_all(opts_.root / "local" / ("node" + std::to_string(node)), ec);
+}
+
+TierStats StorageSystem::stats(Tier tier) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return tier == Tier::kLocal ? local_stats_ : shared_stats_;
+}
+
+namespace {
+std::atomic<uint64_t> g_tempdir_seq{0};
+}
+
+TempDir::TempDir(std::string_view prefix) {
+  const uint64_t n =
+      g_tempdir_seq.fetch_add(1) ^ static_cast<uint64_t>(::getpid()) << 32;
+  path_ = fs::temp_directory_path() /
+          (std::string(prefix) + "-" + std::to_string(n));
+  fs::create_directories(path_);
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  fs::remove_all(path_, ec);
+}
+
+}  // namespace ftmr::storage

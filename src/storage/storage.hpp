@@ -1,0 +1,158 @@
+// storage.hpp — the simulated HPC storage hierarchy.
+//
+// The paper's cluster has two tiers (Sec. 4.1.3):
+//   * node-local SATA disks — private, cheap ops, survive a *process* crash
+//     (the node keeps running; only the MPI process died);
+//   * a shared parallel file system (GPFS) — globally visible, optimized for
+//     large I/O, and a scalability bottleneck beyond ~256 concurrent
+//     writers (the Fig. 5 observation).
+//
+// This module stores real files in a sandbox directory (correctness: the
+// checkpoint/recovery code manipulates actual bytes) while *costing* every
+// operation with a tier model (latency per op + per-byte bandwidth + an
+// aggregate-bandwidth contention term for the shared tier). Costs are
+// returned to the caller, which charges them to its rank's virtual clock.
+#pragma once
+
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace ftmr::storage {
+
+enum class Tier { kLocal, kShared };
+
+/// Cost model of one storage tier.
+struct TierModel {
+  double op_latency_s = 0.0;            // fixed cost per I/O operation
+  double bandwidth_Bps = 1.0e9;         // per-process streaming bandwidth
+  /// Aggregate bandwidth across all concurrent writers; 0 = uncontended
+  /// (local disks are private). Effective per-process bandwidth is
+  /// min(bandwidth_Bps, aggregate_bandwidth_Bps / concurrency).
+  double aggregate_bandwidth_Bps = 0.0;
+
+  /// Simulated seconds for `ops` operations moving `bytes` bytes with
+  /// `concurrency` processes hitting the tier simultaneously.
+  [[nodiscard]] double cost(size_t bytes, int ops, int concurrency = 1) const noexcept {
+    double bw = bandwidth_Bps;
+    if (aggregate_bandwidth_Bps > 0.0 && concurrency > 0) {
+      const double share = aggregate_bandwidth_Bps / static_cast<double>(concurrency);
+      if (share < bw) bw = share;
+    }
+    return static_cast<double>(ops) * op_latency_s + static_cast<double>(bytes) / bw;
+  }
+};
+
+/// Defaults calibrated to the paper's testbed: 250 GB SATA drives
+/// (~100 MB/s, sub-ms ops) and a GPFS whose aggregate bandwidth saturates
+/// once a few hundred processes write checkpoints concurrently.
+struct StorageOptions {
+  std::filesystem::path root;  // sandbox; created on demand
+  TierModel local{5e-4, 1.0e8, 0.0};
+  TierModel shared{2e-3, 4.0e8, 2.0e10};
+  /// Some HPC clusters have no local disks (Sec. 4.1.3 drawback #1);
+  /// setting this false makes kLocal operations fail with IO errors so the
+  /// library's shared-storage-only fallback paths can be exercised.
+  bool has_local_disk = true;
+};
+
+/// Byte/op counters per tier, for Fig. 7-style decompositions.
+struct TierStats {
+  size_t bytes_written = 0;
+  size_t bytes_read = 0;
+  int64_t write_ops = 0;
+  int64_t read_ops = 0;
+};
+
+class StorageSystem {
+ public:
+  explicit StorageSystem(StorageOptions opts);
+
+  StorageSystem(const StorageSystem&) = delete;
+  StorageSystem& operator=(const StorageSystem&) = delete;
+
+  /// Write (create/truncate) a file. `node` namespaces the local tier
+  /// (each compute node has its own disk); ignored for kShared.
+  /// On success `*sim_cost` (if non-null) is the modeled time.
+  Status write_file(Tier tier, int node, std::string_view path,
+                    std::span<const std::byte> data, double* sim_cost = nullptr,
+                    int concurrency = 1);
+
+  /// Append to a file (creating it if needed).
+  Status append_file(Tier tier, int node, std::string_view path,
+                     std::span<const std::byte> data, double* sim_cost = nullptr,
+                     int concurrency = 1);
+
+  Status read_file(Tier tier, int node, std::string_view path, Bytes& out,
+                   double* sim_cost = nullptr, int concurrency = 1);
+
+  [[nodiscard]] bool exists(Tier tier, int node, std::string_view path) const;
+  [[nodiscard]] int64_t file_size(Tier tier, int node, std::string_view path) const;
+
+  Status remove(Tier tier, int node, std::string_view path);
+  /// Recursively list file paths (relative) under a logical directory.
+  Status list_dir(Tier tier, int node, std::string_view dir,
+                  std::vector<std::string>& names) const;
+
+  /// Copy a file across tiers (the copier/prefetcher primitive). The cost
+  /// is read(src tier) + write(dst tier).
+  Status copy(Tier src_tier, int src_node, std::string_view src_path,
+              Tier dst_tier, int dst_node, std::string_view dst_path,
+              double* sim_cost = nullptr, int concurrency = 1);
+
+  /// Model a node crash: node-local files are lost. (A plain process crash
+  /// leaves them intact; the checkpoint/restart model depends on that.)
+  void wipe_node_local(int node);
+
+  /// Pure cost query (no I/O): used by components that batch real I/O but
+  /// charge modeled time per logical operation.
+  [[nodiscard]] double cost_of(Tier tier, size_t bytes, int ops,
+                               int concurrency = 1) const noexcept;
+
+  [[nodiscard]] TierStats stats(Tier tier) const;
+  [[nodiscard]] const StorageOptions& options() const noexcept { return opts_; }
+
+  /// Fault injection: the next `count` read/write/append operations fail
+  /// with `error`. Used to test that I/O errors surface as clean Status
+  /// failures instead of hangs or corruption.
+  void inject_io_failures(int count, Status error = {ErrorCode::kIo,
+                                                     "injected I/O failure"});
+
+  /// Filesystem location of a logical path (for tests/debugging).
+  [[nodiscard]] std::filesystem::path real_path(Tier tier, int node,
+                                                std::string_view path) const;
+
+ private:
+  Status check_tier(Tier tier) const;
+
+  /// Consume one injected failure if armed (returns it), else OK.
+  Status take_injected_failure();
+
+  StorageOptions opts_;
+  mutable std::mutex stats_mu_;
+  TierStats local_stats_;
+  TierStats shared_stats_;
+  int injected_failures_ = 0;
+  Status injected_error_;
+};
+
+/// RAII temp sandbox for tests/benches: creates a unique directory under
+/// the system temp dir and removes it on destruction.
+class TempDir {
+ public:
+  explicit TempDir(std::string_view prefix = "ftmr");
+  ~TempDir();
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  [[nodiscard]] const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace ftmr::storage

@@ -1,0 +1,378 @@
+// Unit tests for FT-MRMPI components: task tables, distributed master,
+// load balancer, checkpoint manager, and the Table-1 interfaces.
+#include <gtest/gtest.h>
+
+#include "core/balancer.hpp"
+#include "core/checkpoint.hpp"
+#include "core/ftjob_adapters.hpp"
+#include "core/interfaces.hpp"
+#include "core/master.hpp"
+#include "simmpi/runtime.hpp"
+#include "storage/storage.hpp"
+
+namespace ftmr::core {
+namespace {
+
+using simmpi::Comm;
+using simmpi::Runtime;
+
+// ---------------------------------------------------------------------------
+// TaskTable
+// ---------------------------------------------------------------------------
+
+TEST(TaskTable, UpsertAndMergePrefersProgress) {
+  TaskTable a, b;
+  a.upsert({1, 0, TaskState::kRunning, 50, 500});
+  b.upsert({1, 0, TaskState::kRunning, 80, 800});
+  b.upsert({2, 1, TaskState::kDone, 100, 1000});
+  a.merge(b);
+  EXPECT_EQ(a.find(1)->records_done, 80u);
+  EXPECT_EQ(a.find(2)->state, TaskState::kDone);
+  EXPECT_EQ(a.done_count(), 1u);
+  // Merging an older view back must not regress.
+  TaskTable stale;
+  stale.upsert({1, 0, TaskState::kRunning, 10, 100});
+  a.merge(stale);
+  EXPECT_EQ(a.find(1)->records_done, 80u);
+}
+
+TEST(TaskTable, EncodeDecodeRoundTrip) {
+  TaskTable t;
+  t.upsert({7, 3, TaskState::kDone, 42, 420});
+  t.upsert({9, 1, TaskState::kRunning, 5, 50});
+  TaskTable back;
+  ASSERT_TRUE(TaskTable::decode(t.encode(), back).ok());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.find(7)->owner, 3);
+  EXPECT_EQ(back.find(9)->records_done, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// DistributedMaster
+// ---------------------------------------------------------------------------
+
+TEST(Master, HashAssignmentPartitionsAllTasks) {
+  constexpr int kRanks = 5;
+  constexpr size_t kTasks = 500;
+  size_t total = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    auto mine = DistributedMaster::assign_tasks(kTasks, kRanks, r);
+    total += mine.size();
+    EXPECT_GT(mine.size(), kTasks / kRanks / 2);
+  }
+  EXPECT_EQ(total, kTasks);
+}
+
+TEST(Master, GossipConvergesGlobalTable) {
+  Runtime::run(3, [](Comm& c) {
+    Comm mc;
+    ASSERT_TRUE(c.dup(mc, false).ok());
+    DistributedMaster m(mc, /*status_interval=*/1);
+    m.on_task_start(static_cast<uint64_t>(c.rank()), 100);
+    m.on_task_done(static_cast<uint64_t>(c.rank()), 10, 100);
+    m.observe(100.0 * (c.rank() + 1), 1.0 * (c.rank() + 1));
+    // Two exchange rounds with barriers so everyone's sends land.
+    ASSERT_TRUE(m.exchange_now().ok());
+    ASSERT_TRUE(c.barrier().ok());
+    ASSERT_TRUE(m.exchange_now().ok());
+    ASSERT_TRUE(c.barrier().ok());
+    EXPECT_EQ(m.global_table().size(), 3u);
+    for (int r = 0; r < 3; ++r) {
+      const TaskStatus* ts = m.global_table().find(static_cast<uint64_t>(r));
+      ASSERT_NE(ts, nullptr);
+      EXPECT_EQ(ts->state, TaskState::kDone);
+      if (r != c.rank()) {
+        auto obs = m.peer_observation(r);
+        ASSERT_TRUE(obs.has_value());
+        EXPECT_DOUBLE_EQ(obs->first, 100.0 * (r + 1));
+      }
+    }
+  });
+}
+
+TEST(Master, GossipSendDetectsDeadPeer) {
+  simmpi::JobOptions jo;
+  jo.kills.push_back({1, 1e-6, -1});
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 1) {
+      c.compute(1.0);
+      return;
+    }
+    while (c.failed_ranks().empty()) {
+    }
+    Comm mc = c;  // gossip directly on world for this test
+    DistributedMaster m(mc, 1);
+    Status s = m.exchange_now();
+    EXPECT_EQ(s.code(), ErrorCode::kProcFailed);
+  }, jo);
+}
+
+// ---------------------------------------------------------------------------
+// LoadBalancer
+// ---------------------------------------------------------------------------
+
+TEST(Balancer, ExchangeModelsGivesIdenticalVectors) {
+  Runtime::run(4, [](Comm& c) {
+    LinearModel mine;
+    mine.a = 0.1 * c.rank();
+    mine.b = 1.0 + c.rank();
+    mine.n = 10;
+    std::vector<LinearModel> all;
+    ASSERT_TRUE(LoadBalancer::exchange_models(c, mine, all).ok());
+    ASSERT_EQ(all.size(), 4u);
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_DOUBLE_EQ(all[r].b, 1.0 + r);
+      EXPECT_EQ(all[r].n, 10u);
+    }
+  });
+}
+
+TEST(Balancer, FasterRankGetsMoreWork) {
+  // Rank 0 processes 1 unit/s, rank 1 processes 4 units/s (b = cost/unit).
+  std::vector<LinearModel> models(2);
+  models[0] = {0.0, 1.0, 1.0, 10};
+  models[1] = {0.0, 0.25, 1.0, 10};
+  std::vector<double> weights(100, 1.0);
+  auto owner = LoadBalancer::assign(weights, models, {0.0, 0.0});
+  int n1 = 0;
+  for (int o : owner) n1 += (o == 1);
+  // Proportional split: rank 1 should take ~4x the items.
+  EXPECT_GT(n1, 70);
+  EXPECT_LT(n1, 90);
+}
+
+TEST(Balancer, UnusableModelsFallBackToSizeBalancing) {
+  std::vector<LinearModel> models(3);  // all unusable (n=0)
+  std::vector<double> weights{5, 4, 3, 2, 1, 1};
+  auto owner = LoadBalancer::assign(weights, models, {0.0, 0.0, 0.0});
+  double load[3] = {};
+  for (size_t i = 0; i < weights.size(); ++i) load[owner[i]] += weights[i];
+  // LPT keeps the max/min spread small for this instance.
+  EXPECT_LE(*std::max_element(load, load + 3), 6.0);
+  EXPECT_GE(*std::min_element(load, load + 3), 4.0);
+}
+
+TEST(Balancer, DeterministicAcrossCalls) {
+  std::vector<LinearModel> models(4);
+  for (int i = 0; i < 4; ++i) models[i] = {0.0, 1.0 + i * 0.3, 1.0, 5};
+  std::vector<double> weights;
+  for (int i = 0; i < 50; ++i) weights.push_back((i * 37 % 11) + 1.0);
+  auto a = LoadBalancer::assign(weights, models, std::vector<double>(4, 0.0));
+  auto b = LoadBalancer::assign(weights, models, std::vector<double>(4, 0.0));
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointManager
+// ---------------------------------------------------------------------------
+
+struct CkptFixture : ::testing::Test {
+  CkptFixture() : tmp("ftmr-ckpt-test") {
+    storage::StorageOptions o;
+    o.root = tmp.path();
+    fs = std::make_unique<storage::StorageSystem>(o);
+  }
+  mr::KvBuffer kv(std::initializer_list<std::pair<const char*, const char*>> ps) {
+    mr::KvBuffer b;
+    for (auto& [k, v] : ps) b.add(k, v);
+    return b;
+  }
+  storage::TempDir tmp;
+  std::unique_ptr<storage::StorageSystem> fs;
+};
+
+TEST_F(CkptFixture, MapCheckpointRoundTripLocal) {
+  Runtime::run(1, [&](Comm& c) {
+    CkptOptions o;
+    CheckpointManager cm(fs.get(), 0, 0, o, 1);
+    ASSERT_TRUE(cm.map_ckpt(c, 0, 5, 100, kv({{"a", "1"}, {"b", "2"}})).ok());
+    ASSERT_TRUE(cm.map_ckpt(c, 0, 5, 200, kv({{"c", "3"}})).ok());
+    RankRecovery rec;
+    ASSERT_TRUE(cm.load_rank_stage(c, 0, 0, 0, false, -1.0, rec).ok());
+    ASSERT_TRUE(rec.map_tasks.count(5));
+    EXPECT_EQ(rec.map_tasks[5].pos, 200u);
+    ASSERT_EQ(rec.map_tasks[5].kv.size(), 3u);  // deltas concatenated in order
+    EXPECT_EQ(rec.map_tasks[5].kv.pairs()[2].key, "c");
+    EXPECT_EQ(rec.files_read, 2u);
+  });
+}
+
+TEST_F(CkptFixture, CopierDrainsToSharedWithStamp) {
+  Runtime::run(1, [&](Comm& c) {
+    CkptOptions o;  // default kLocalWithCopier
+    CheckpointManager cm(fs.get(), 0, 7, o, 1);
+    c.compute(1.0);
+    ASSERT_TRUE(cm.partition_ckpt(c, 0, 3, kv({{"k", "v"}})).ok());
+    // Shared copy exists (with a drain stamp past t=1.0)...
+    RankRecovery late;
+    ASSERT_TRUE(cm.load_rank_stage(c, 0, 7, 0, true, /*horizon=*/1e9, late).ok());
+    ASSERT_TRUE(late.partitions.count(3));
+    // ...but is invisible before its drain time.
+    RankRecovery early;
+    ASSERT_TRUE(cm.load_rank_stage(c, 0, 7, 0, true, /*horizon=*/0.5, early).ok());
+    EXPECT_TRUE(early.partitions.empty());
+  });
+}
+
+TEST_F(CkptFixture, SharedDirectSkipsLocal) {
+  Runtime::run(1, [&](Comm& c) {
+    CkptOptions o;
+    o.location = CkptOptions::Location::kSharedDirect;
+    CheckpointManager cm(fs.get(), 0, 2, o, 4);
+    ASSERT_TRUE(cm.reduce_ckpt(c, 1, 9, 50, kv({{"x", "y"}})).ok());
+    RankRecovery rec;
+    ASSERT_TRUE(cm.load_rank_stage(c, 1, 2, 0, true, -1.0, rec).ok());
+    ASSERT_TRUE(rec.reduce.count(9));
+    EXPECT_EQ(rec.reduce[9].entries_done, 50u);
+    RankRecovery local;
+    ASSERT_TRUE(cm.load_rank_stage(c, 1, 2, 0, false, -1.0, local).ok());
+    EXPECT_TRUE(local.reduce.empty());
+  });
+}
+
+TEST_F(CkptFixture, LocalOnlyNeverReachesShared) {
+  Runtime::run(1, [&](Comm& c) {
+    CkptOptions o;
+    o.location = CkptOptions::Location::kLocalOnly;
+    CheckpointManager cm(fs.get(), 0, 0, o, 1);
+    ASSERT_TRUE(cm.map_ckpt(c, 0, 1, 10, kv({{"a", "b"}})).ok());
+    RankRecovery shared;
+    ASSERT_TRUE(cm.load_rank_stage(c, 0, 0, 0, true, -1.0, shared).ok());
+    EXPECT_TRUE(shared.map_tasks.empty());
+  });
+}
+
+TEST_F(CkptFixture, DisabledManagerWritesNothing) {
+  Runtime::run(1, [&](Comm& c) {
+    CkptOptions o;
+    o.enabled = false;
+    CheckpointManager cm(fs.get(), 0, 0, o, 1);
+    ASSERT_TRUE(cm.map_ckpt(c, 0, 1, 10, kv({{"a", "b"}})).ok());
+    EXPECT_EQ(cm.count(), 0);
+    RankRecovery rec;
+    ASSERT_TRUE(cm.load_rank_stage(c, 0, 0, 0, false, -1.0, rec).ok());
+    EXPECT_TRUE(rec.map_tasks.empty());
+  });
+}
+
+TEST_F(CkptFixture, LoadFilterSelectsSubset) {
+  Runtime::run(1, [&](Comm& c) {
+    CkptOptions o;
+    CheckpointManager cm(fs.get(), 0, 0, o, 1);
+    ASSERT_TRUE(cm.map_ckpt(c, 0, 1, 10, kv({{"a", "1"}})).ok());
+    ASSERT_TRUE(cm.map_ckpt(c, 0, 2, 20, kv({{"b", "2"}})).ok());
+    ASSERT_TRUE(cm.partition_ckpt(c, 0, 4, kv({{"c", "3"}})).ok());
+    ASSERT_TRUE(cm.partition_ckpt(c, 0, 5, kv({{"d", "4"}})).ok());
+    std::set<uint64_t> tasks{2};
+    std::set<int> parts{5};
+    LoadFilter f{&tasks, &parts};
+    RankRecovery rec;
+    ASSERT_TRUE(cm.load_rank_stage(c, 0, 0, 0, false, -1.0, rec, f).ok());
+    EXPECT_EQ(rec.map_tasks.size(), 1u);
+    EXPECT_TRUE(rec.map_tasks.count(2));
+    EXPECT_EQ(rec.partitions.size(), 1u);
+    EXPECT_TRUE(rec.partitions.count(5));
+  });
+}
+
+TEST_F(CkptFixture, StagesPresentLists) {
+  Runtime::run(1, [&](Comm& c) {
+    CkptOptions o;
+    CheckpointManager cm(fs.get(), 0, 0, o, 1);
+    ASSERT_TRUE(cm.map_ckpt(c, 0, 1, 1, kv({{"a", "1"}})).ok());
+    ASSERT_TRUE(cm.stage_output_ckpt(c, 2, 0, kv({{"z", "9"}})).ok());
+    auto stages = cm.stages_present(0, 0, false);
+    EXPECT_EQ(stages, (std::set<int>{0, 2}));
+  });
+}
+
+TEST_F(CkptFixture, PrefetchRecoveryReadsSameData) {
+  Runtime::run(1, [&](Comm& c) {
+    CkptOptions o;
+    o.prefetch_recovery = true;
+    CheckpointManager cm(fs.get(), 0, 3, o, 1);
+    ASSERT_TRUE(cm.map_ckpt(c, 0, 8, 40, kv({{"p", "q"}, {"r", "s"}})).ok());
+    RankRecovery rec;
+    ASSERT_TRUE(cm.load_rank_stage(c, 0, 3, 0, true, 1e9, rec).ok());
+    ASSERT_TRUE(rec.map_tasks.count(8));
+    EXPECT_EQ(rec.map_tasks[8].kv.size(), 2u);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Table-1 interfaces
+// ---------------------------------------------------------------------------
+
+TEST(Interfaces, TextLineReaderYieldsAndSkips) {
+  TextLineReader r;
+  r.open(0, "one\ntwo\nthree\nfour");
+  int64_t k;
+  std::string v;
+  ASSERT_TRUE(r.next(k, v));
+  EXPECT_EQ(k, 0);
+  EXPECT_EQ(v, "one");
+  r.skip(2);
+  EXPECT_EQ(r.position(), 3u);
+  ASSERT_TRUE(r.next(k, v));
+  EXPECT_EQ(v, "four");
+  EXPECT_FALSE(r.next(k, v));
+}
+
+TEST(Interfaces, KvWriterAndKmvReaderEncodeTyped) {
+  mr::KvBuffer buf;
+  KVWriter<std::string, int64_t> w(&buf);
+  w.emit("answer", 42);
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.pairs()[0].value, "42");
+
+  mr::KmvEntry e;
+  e.key = "answer";
+  e.values = {"1", "2", "3"};
+  KMVReader<std::string, int64_t> r(&e);
+  EXPECT_EQ(r.key(), "answer");
+  EXPECT_EQ(r.count(), 3u);
+  EXPECT_EQ(r.value(2), 3);
+  EXPECT_EQ(r.values(), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(Interfaces, TsvWriterFormats) {
+  TsvRecordWriter<std::string, int64_t> w;
+  std::string sink;
+  w.write("word", 7, sink);
+  EXPECT_EQ(sink, "word\t7\n");
+}
+
+// A Mapper/Reducer pair through the adapter produces a working StageFns.
+struct CountMapper final : Mapper<std::string, std::string, std::string, int64_t> {
+  int32_t map(std::string&, std::string& value,
+              KVWriter<std::string, int64_t>& out, void*) override {
+    out.emit(value, 1);
+    return 1;
+  }
+};
+struct SumReducer final : Reducer<std::string, int64_t, std::string, int64_t> {
+  int32_t reduce(std::string& key, KMVReader<std::string, int64_t>& values,
+                 KVWriter<std::string, int64_t>& out, void*) override {
+    int64_t sum = 0;
+    for (size_t i = 0; i < values.count(); ++i) sum += values.value(i);
+    out.emit(key, sum);
+    return 1;
+  }
+};
+
+TEST(Adapters, MapperReducerThroughStageFns) {
+  StageFns fns = make_stage<std::string, std::string, std::string, int64_t,
+                            std::string, int64_t>(
+      std::make_shared<CountMapper>(), std::make_shared<SumReducer>());
+  mr::KvBuffer mapped;
+  EXPECT_EQ(fns.map("0", "apple", mapped), 1);
+  EXPECT_EQ(fns.map("1", "apple", mapped), 1);
+  EXPECT_EQ(mapped.size(), 2u);
+  mr::KvBuffer reduced;
+  fns.reduce("apple", {"1", "1"}, reduced);
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_EQ(reduced.pairs()[0].value, "2");
+}
+
+}  // namespace
+}  // namespace ftmr::core

@@ -1,0 +1,249 @@
+// Boundary-condition coverage: degenerate inputs, single-rank jobs,
+// near-total failure, and codec round-trips.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/textgen.hpp"
+#include "apps/wordcount.hpp"
+#include "core/codec.hpp"
+#include "core/ftjob.hpp"
+#include "simmpi/runtime.hpp"
+#include "storage/storage.hpp"
+
+namespace ftmr {
+namespace {
+
+using core::Codec;
+using core::FtJob;
+using core::FtJobOptions;
+using core::FtMode;
+using simmpi::Comm;
+using simmpi::Runtime;
+
+// ---------------------------------------------------------------------------
+// Codecs
+// ---------------------------------------------------------------------------
+
+TEST(Codec, IntegerRoundTrips) {
+  EXPECT_EQ(Codec<int64_t>::decode(Codec<int64_t>::encode(-123456789012345LL)),
+            -123456789012345LL);
+  EXPECT_EQ(Codec<uint64_t>::decode(Codec<uint64_t>::encode(~0ULL)), ~0ULL);
+  EXPECT_EQ(Codec<int32_t>::decode(Codec<int32_t>::encode(-42)), -42);
+  EXPECT_EQ(Codec<int64_t>::decode("0"), 0);
+}
+
+TEST(Codec, DoubleRoundTripIsExact) {
+  // std::to_chars/from_chars guarantee exact round-trips — the PageRank
+  // verification depends on this.
+  for (double v : {0.0, 1.0, 0.15, 1.0 / 3.0, 1e-300, 1.7976931348623157e308,
+                   -2.2250738585072014e-308}) {
+    EXPECT_EQ(Codec<double>::decode(Codec<double>::encode(v)), v);
+  }
+}
+
+TEST(Codec, StringIsIdentity) {
+  EXPECT_EQ(Codec<std::string>::encode("x\ty\nz"), "x\ty\nz");
+  EXPECT_EQ(Codec<std::string>::decode(""), "");
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate jobs
+// ---------------------------------------------------------------------------
+
+struct Sandbox {
+  Sandbox() : tmp("ftmr-edge") {
+    storage::StorageOptions so;
+    so.root = tmp.path();
+    fs = std::make_unique<storage::StorageSystem>(so);
+  }
+  storage::TempDir tmp;
+  std::unique_ptr<storage::StorageSystem> fs;
+};
+
+TEST(EdgeJobs, EmptyInputDirectoryYieldsEmptyOutput) {
+  Sandbox sb;
+  Runtime::run(4, [&](Comm& c) {
+    FtJobOptions o;
+    o.mode = FtMode::kDetectResumeWC;
+    o.ppn = 2;
+    FtJob job(c, sb.fs.get(), o);
+    ASSERT_TRUE(job.run([&](FtJob& j) {
+      if (auto s = j.run_stage(apps::wordcount_stage(), false, nullptr); !s.ok()) {
+        return s;
+      }
+      return j.write_output();
+    }).ok());
+  });
+  std::vector<std::string> parts;
+  ASSERT_TRUE(sb.fs->list_dir(storage::Tier::kShared, 0, "output", parts).ok());
+  size_t bytes = 0;
+  for (const auto& name : parts) {
+    bytes += static_cast<size_t>(
+        sb.fs->file_size(storage::Tier::kShared, 0, "output/" + name));
+  }
+  EXPECT_EQ(bytes, 0u);
+}
+
+TEST(EdgeJobs, SingleRankJobWorks) {
+  Sandbox sb;
+  apps::TextGenOptions tg;
+  tg.nchunks = 4;
+  tg.lines_per_chunk = 8;
+  std::map<std::string, int64_t> expected;
+  ASSERT_TRUE(apps::generate_text(*sb.fs, tg, &expected).ok());
+  Runtime::run(1, [&](Comm& c) {
+    FtJobOptions o;
+    o.mode = FtMode::kCheckpointRestart;
+    o.ppn = 1;
+    FtJob job(c, sb.fs.get(), o);
+    ASSERT_TRUE(job.run([&](FtJob& j) {
+      if (auto s = j.run_stage(apps::wordcount_stage(), false, nullptr); !s.ok()) {
+        return s;
+      }
+      return j.write_output();
+    }).ok());
+  });
+  Bytes data;
+  std::map<std::string, int64_t> counts;
+  std::vector<std::string> parts;
+  ASSERT_TRUE(sb.fs->list_dir(storage::Tier::kShared, 0, "output", parts).ok());
+  for (const auto& name : parts) {
+    ASSERT_TRUE(
+        sb.fs->read_file(storage::Tier::kShared, 0, "output/" + name, data).ok());
+    ByteReader r(data);
+    while (!r.exhausted()) {
+      std::string k, v;
+      if (!r.get_string(k).ok() || !r.get_string(v).ok()) break;
+      counts[k] += std::strtoll(v.c_str(), nullptr, 10);
+    }
+  }
+  EXPECT_EQ(counts, expected);
+}
+
+TEST(EdgeJobs, AllButOneRankDies) {
+  Sandbox sb;
+  apps::TextGenOptions tg;
+  tg.nchunks = 8;
+  tg.lines_per_chunk = 16;
+  std::map<std::string, int64_t> expected;
+  ASSERT_TRUE(apps::generate_text(*sb.fs, tg, &expected).ok());
+  simmpi::JobOptions jo;
+  // Ranks 1..3 die at staggered times; rank 0 finishes alone.
+  jo.kills.push_back({1, 2e-3, -1});
+  jo.kills.push_back({2, 5e-3, -1});
+  jo.kills.push_back({3, 8e-3, -1});
+  simmpi::JobResult r = Runtime::run(4, [&](Comm& c) {
+    FtJobOptions o;
+    o.mode = FtMode::kDetectResumeWC;
+    o.ppn = 2;
+    o.ckpt.records_per_ckpt = 8;
+    // Slow the job down so every scheduled kill lands while it is running.
+    o.map_cost_per_record = 2e-4;
+    FtJob job(c, sb.fs.get(), o);
+    Status s = job.run([&](FtJob& j) {
+      if (auto st = j.run_stage(apps::wordcount_stage(), false, nullptr); !st.ok()) {
+        return st;
+      }
+      return j.write_output();
+    });
+    if (c.global_rank() == 0) {
+      EXPECT_TRUE(s.ok()) << s.to_string();
+      EXPECT_EQ(job.work_comm().size(), 1);
+      EXPECT_GE(job.recoveries(), 1);
+    }
+  }, jo);
+  EXPECT_EQ(r.killed_count(), 3);
+  EXPECT_EQ(r.finished_count(), 1);
+  std::map<std::string, int64_t> counts;
+  std::vector<std::string> parts;
+  ASSERT_TRUE(sb.fs->list_dir(storage::Tier::kShared, 0, "output", parts).ok());
+  for (const auto& name : parts) {
+    Bytes data;
+    ASSERT_TRUE(
+        sb.fs->read_file(storage::Tier::kShared, 0, "output/" + name, data).ok());
+    ByteReader r2(data);
+    while (!r2.exhausted()) {
+      std::string k, v;
+      if (!r2.get_string(k).ok() || !r2.get_string(v).ok()) break;
+      counts[k] += std::strtoll(v.c_str(), nullptr, 10);
+    }
+  }
+  EXPECT_EQ(counts, expected);
+}
+
+TEST(EdgeJobs, EmptyLinesAndChunksHandled) {
+  Sandbox sb;
+  ASSERT_TRUE(sb.fs->write_file(storage::Tier::kShared, 0, "input/a",
+                                as_bytes_view("\n\nword\n\n")).ok());
+  ASSERT_TRUE(
+      sb.fs->write_file(storage::Tier::kShared, 0, "input/b", {}).ok());
+  Runtime::run(2, [&](Comm& c) {
+    FtJobOptions o;
+    o.mode = FtMode::kDetectResumeWC;
+    o.ppn = 1;
+    FtJob job(c, sb.fs.get(), o);
+    ASSERT_TRUE(job.run([&](FtJob& j) {
+      if (auto s = j.run_stage(apps::wordcount_stage(), false, nullptr); !s.ok()) {
+        return s;
+      }
+      return j.write_output();
+    }).ok());
+  });
+  std::map<std::string, int64_t> counts;
+  std::vector<std::string> parts;
+  ASSERT_TRUE(sb.fs->list_dir(storage::Tier::kShared, 0, "output", parts).ok());
+  for (const auto& name : parts) {
+    Bytes data;
+    ASSERT_TRUE(
+        sb.fs->read_file(storage::Tier::kShared, 0, "output/" + name, data).ok());
+    ByteReader r(data);
+    while (!r.exhausted()) {
+      std::string k, v;
+      if (!r.get_string(k).ok() || !r.get_string(v).ok()) break;
+      counts[k] += std::strtoll(v.c_str(), nullptr, 10);
+    }
+  }
+  EXPECT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts["word"], 1);
+}
+
+
+TEST(EdgeJobs, FormattedOutputViaFileRecordWriter) {
+  Sandbox sb;
+  ASSERT_TRUE(sb.fs->write_file(storage::Tier::kShared, 0, "input/a",
+                                as_bytes_view("x y x\n")).ok());
+  Runtime::run(2, [&](Comm& c) {
+    FtJobOptions o;
+    o.mode = FtMode::kDetectResumeWC;
+    o.ppn = 1;
+    // Table 1 FileRecordWriter: serialize output as TSV text.
+    core::TsvRecordWriter<std::string, std::string> writer;
+    o.output_writer = [writer](const std::string& k, const std::string& v,
+                               std::string& sink) mutable {
+      writer.write(k, v, sink);
+    };
+    FtJob job(c, sb.fs.get(), o);
+    ASSERT_TRUE(job.run([&](FtJob& j) {
+      if (auto s = j.run_stage(apps::wordcount_stage(), false, nullptr); !s.ok()) {
+        return s;
+      }
+      return j.write_output();
+    }).ok());
+  });
+  std::string all;
+  std::vector<std::string> parts;
+  ASSERT_TRUE(sb.fs->list_dir(storage::Tier::kShared, 0, "output", parts).ok());
+  for (const auto& name : parts) {
+    Bytes data;
+    ASSERT_TRUE(
+        sb.fs->read_file(storage::Tier::kShared, 0, "output/" + name, data).ok());
+    all += to_string_copy(data);
+  }
+  // Human-readable TSV lines, counts included.
+  EXPECT_NE(all.find("x\t2\n"), std::string::npos);
+  EXPECT_NE(all.find("y\t1\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftmr

@@ -1,0 +1,296 @@
+// Extended engine coverage: the combiner extension, alternative checkpoint
+// placements end-to-end, clusters without local disks, prefetch-assisted
+// restart, and a randomized kill-time sweep.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/textgen.hpp"
+#include "apps/wordcount.hpp"
+#include "core/ftjob.hpp"
+#include "simmpi/runtime.hpp"
+#include "storage/storage.hpp"
+
+namespace ftmr::core {
+namespace {
+
+using simmpi::Comm;
+using simmpi::JobResult;
+using simmpi::Runtime;
+
+struct Cluster {
+  explicit Cluster(bool local_disk = true) : tmp("ftmr-extra") {
+    storage::StorageOptions so;
+    so.root = tmp.path();
+    so.has_local_disk = local_disk;
+    fs = std::make_unique<storage::StorageSystem>(so);
+    apps::TextGenOptions tg;
+    tg.nchunks = 16;
+    tg.lines_per_chunk = 32;
+    EXPECT_TRUE(apps::generate_text(*fs, tg, &expected_words).ok());
+    expected.clear();
+    for (auto& [w, c] : expected_words) expected[w] = c;
+  }
+  std::map<std::string, int64_t> read_output() {
+    std::vector<std::string> parts;
+    EXPECT_TRUE(fs->list_dir(storage::Tier::kShared, 0, "output", parts).ok());
+    std::map<std::string, int64_t> counts;
+    for (const auto& name : parts) {
+      Bytes data;
+      EXPECT_TRUE(
+          fs->read_file(storage::Tier::kShared, 0, "output/" + name, data).ok());
+      ByteReader r(data);
+      while (!r.exhausted()) {
+        std::string k, v;
+        if (!r.get_string(k).ok() || !r.get_string(v).ok()) break;
+        counts[k] += std::strtoll(v.c_str(), nullptr, 10);
+      }
+    }
+    return counts;
+  }
+  storage::TempDir tmp;
+  std::unique_ptr<storage::StorageSystem> fs;
+  std::map<std::string, int64_t> expected_words;
+  std::map<std::string, int64_t> expected;
+};
+
+StageFns wc_fns(bool with_combiner) {
+  StageFns fns = apps::wordcount_stage();
+  if (with_combiner) fns.combine = fns.reduce;  // sum is associative
+  return fns;
+}
+
+Status driver_of(FtJob& job, const StageFns& fns) {
+  if (auto s = job.run_stage(fns, false, nullptr); !s.ok()) return s;
+  return job.write_output();
+}
+
+// ---------------------------------------------------------------------------
+// Combiner
+// ---------------------------------------------------------------------------
+
+TEST(Combiner, OutputIdenticalAndShuffleSmaller) {
+  Cluster cl;
+  double saved = -1.0;
+  Runtime::run(4, [&](Comm& c) {
+    FtJobOptions o;
+    o.mode = FtMode::kDetectResumeWC;
+    o.ppn = 2;
+    FtJob job(c, cl.fs.get(), o);
+    StageFns fns = wc_fns(true);
+    ASSERT_TRUE(job.run([&](FtJob& j) { return driver_of(j, fns); }).ok());
+    if (c.rank() == 0) saved = job.times().get("combine_saved_bytes");
+  });
+  EXPECT_EQ(cl.read_output(), cl.expected);
+  // Zipf text has heavy duplication: the combiner must shrink the blocks.
+  EXPECT_GT(saved, 0.0);
+}
+
+TEST(Combiner, SurvivesFailureMidMap) {
+  Cluster cl;
+  simmpi::JobOptions jo;
+  jo.kills.push_back({1, 4e-3, -1});
+  Runtime::run(4, [&](Comm& c) {
+    FtJobOptions o;
+    o.mode = FtMode::kDetectResumeWC;
+    o.ppn = 2;
+    o.ckpt.records_per_ckpt = 16;
+    FtJob job(c, cl.fs.get(), o);
+    StageFns fns = wc_fns(true);
+    Status s = job.run([&](FtJob& j) { return driver_of(j, fns); });
+    if (c.global_rank() != 1) {
+      EXPECT_TRUE(s.ok()) << s.to_string();
+    }
+  }, jo);
+  EXPECT_EQ(cl.read_output(), cl.expected);
+}
+
+TEST(Combiner, SurvivesNwcRebuild) {
+  // Failure in the reduce phase with NWC forces the orphan-partition
+  // rebuild path, which must re-apply the combiner.
+  Cluster cl;
+  simmpi::JobOptions jo;
+  jo.kills.push_back({2, 5e-2, -1});
+  Runtime::run(4, [&](Comm& c) {
+    FtJobOptions o;
+    o.mode = FtMode::kDetectResumeNWC;
+    o.ppn = 2;
+    o.ckpt.enabled = false;
+    FtJob job(c, cl.fs.get(), o);
+    StageFns fns = wc_fns(true);
+    fns.reduce_cost_per_value = 2e-4;  // stretch the reduce phase
+    Status s = job.run([&](FtJob& j) { return driver_of(j, fns); });
+    if (c.global_rank() != 2) {
+      EXPECT_TRUE(s.ok()) << s.to_string();
+    }
+  }, jo);
+  EXPECT_EQ(cl.read_output(), cl.expected);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint placements end-to-end
+// ---------------------------------------------------------------------------
+
+TEST(Placement, SharedDirectRecoversAfterFailure) {
+  Cluster cl;
+  simmpi::JobOptions jo;
+  jo.kills.push_back({0, 8e-3, -1});
+  Runtime::run(4, [&](Comm& c) {
+    FtJobOptions o;
+    o.mode = FtMode::kDetectResumeWC;
+    o.ppn = 2;
+    o.ckpt.location = CkptOptions::Location::kSharedDirect;
+    o.ckpt.records_per_ckpt = 16;
+    FtJob job(c, cl.fs.get(), o);
+    Status s = job.run([&](FtJob& j) { return driver_of(j, wc_fns(false)); });
+    if (c.global_rank() != 0) {
+      EXPECT_TRUE(s.ok()) << s.to_string();
+    }
+  }, jo);
+  EXPECT_EQ(cl.read_output(), cl.expected);
+}
+
+TEST(Placement, LocalOnlyStillCorrectUnderResume) {
+  // Local-only checkpoints are invisible to survivors (the dead rank's
+  // local disk is not shared), so WC degrades to re-execution via the
+  // rebuild fallback — output must still be exact.
+  Cluster cl;
+  simmpi::JobOptions jo;
+  jo.kills.push_back({3, 8e-3, -1});
+  Runtime::run(4, [&](Comm& c) {
+    FtJobOptions o;
+    o.mode = FtMode::kDetectResumeWC;
+    o.ppn = 2;
+    o.ckpt.location = CkptOptions::Location::kLocalOnly;
+    FtJob job(c, cl.fs.get(), o);
+    Status s = job.run([&](FtJob& j) { return driver_of(j, wc_fns(false)); });
+    if (c.global_rank() != 3) {
+      EXPECT_TRUE(s.ok()) << s.to_string();
+    }
+  }, jo);
+  EXPECT_EQ(cl.read_output(), cl.expected);
+}
+
+TEST(Placement, NoLocalDiskClusterUsesSharedDirect) {
+  // Sec. 4.1.3 drawback: some clusters have no local disks. The library
+  // must run with direct-to-shared checkpoints there.
+  Cluster cl(/*local_disk=*/false);
+  Runtime::run(4, [&](Comm& c) {
+    FtJobOptions o;
+    o.mode = FtMode::kCheckpointRestart;
+    o.ppn = 2;
+    o.ckpt.location = CkptOptions::Location::kSharedDirect;
+    FtJob job(c, cl.fs.get(), o);
+    ASSERT_TRUE(job.run([&](FtJob& j) { return driver_of(j, wc_fns(false)); }).ok());
+  });
+  EXPECT_EQ(cl.read_output(), cl.expected);
+}
+
+TEST(Placement, NoLocalDiskWithLocalPlacementFailsCleanly) {
+  Cluster cl(/*local_disk=*/false);
+  Runtime::run(2, [&](Comm& c) {
+    FtJobOptions o;
+    o.mode = FtMode::kCheckpointRestart;
+    o.ppn = 2;
+    o.ckpt.location = CkptOptions::Location::kLocalWithCopier;
+    FtJob job(c, cl.fs.get(), o);
+    Status s = job.run([&](FtJob& j) { return driver_of(j, wc_fns(false)); });
+    EXPECT_EQ(s.code(), ErrorCode::kIo);  // surfaced, not crashed
+  });
+}
+
+TEST(Placement, RestartFromSharedWithPrefetch) {
+  // Fig. 15 path through the real engine: restart reads recovery state
+  // from the shared tier via the prefetcher.
+  Cluster cl;
+  FtJobOptions o;
+  o.mode = FtMode::kCheckpointRestart;
+  o.ppn = 2;
+  o.ckpt.location = CkptOptions::Location::kSharedDirect;
+  o.ckpt.prefetch_recovery = true;
+  o.restart_read_shared = true;
+  o.ckpt.records_per_ckpt = 16;
+  int submissions = 0;
+  for (;;) {
+    submissions++;
+    simmpi::JobOptions jo;
+    if (submissions == 1) jo.kills.push_back({1, 8e-3, -1});
+    JobResult r = Runtime::run(4, [&](Comm& c) {
+      FtJob job(c, cl.fs.get(), o);
+      (void)job.run([&](FtJob& j) { return driver_of(j, wc_fns(false)); });
+    }, jo);
+    if (!r.aborted) break;
+    ASSERT_LT(submissions, 5);
+  }
+  EXPECT_EQ(submissions, 2);
+  EXPECT_EQ(cl.read_output(), cl.expected);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized kill-time sweep: correctness must hold wherever the failure
+// lands in the job's timeline.
+// ---------------------------------------------------------------------------
+
+struct SweepCase {
+  FtMode mode;
+  double kill_vtime;
+};
+
+class KillSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(KillSweep, OutputAlwaysExact) {
+  const SweepCase tc = GetParam();
+  Cluster cl;
+  simmpi::JobOptions jo;
+  jo.kills.push_back({2, tc.kill_vtime, -1});
+  Runtime::run(6, [&](Comm& c) {
+    FtJobOptions o;
+    o.mode = tc.mode;
+    o.ppn = 2;
+    o.ckpt.records_per_ckpt = 16;
+    if (tc.mode == FtMode::kDetectResumeNWC) o.ckpt.enabled = false;
+    FtJob job(c, cl.fs.get(), o);
+    StageFns fns = wc_fns(false);
+    fns.reduce_cost_per_value = 1e-4;
+    Status s = job.run([&](FtJob& j) { return driver_of(j, fns); });
+    if (c.global_rank() != 2) {
+      EXPECT_TRUE(s.ok()) << s.to_string();
+    }
+  }, jo);
+  EXPECT_EQ(cl.read_output(), cl.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Times, KillSweep,
+    ::testing::Values(SweepCase{FtMode::kDetectResumeWC, 2e-3},
+                      SweepCase{FtMode::kDetectResumeWC, 9e-3},
+                      SweepCase{FtMode::kDetectResumeWC, 2.2e-2},
+                      SweepCase{FtMode::kDetectResumeWC, 4e-2},
+                      SweepCase{FtMode::kDetectResumeNWC, 2e-3},
+                      SweepCase{FtMode::kDetectResumeNWC, 9e-3},
+                      SweepCase{FtMode::kDetectResumeNWC, 2.2e-2},
+                      SweepCase{FtMode::kDetectResumeNWC, 4e-2}));
+
+// Two simultaneous failures (same virtual instant).
+TEST(MultiFailure, TwoRanksDieTogether) {
+  Cluster cl;
+  simmpi::JobOptions jo;
+  jo.kills.push_back({1, 6e-3, -1});
+  jo.kills.push_back({4, 6e-3, -1});
+  JobResult r = Runtime::run(6, [&](Comm& c) {
+    FtJobOptions o;
+    o.mode = FtMode::kDetectResumeWC;
+    o.ppn = 2;
+    FtJob job(c, cl.fs.get(), o);
+    Status s = job.run([&](FtJob& j) { return driver_of(j, wc_fns(false)); });
+    if (c.global_rank() != 1 && c.global_rank() != 4) {
+      EXPECT_TRUE(s.ok()) << s.to_string();
+      EXPECT_EQ(job.work_comm().size(), 4);
+    }
+  }, jo);
+  EXPECT_EQ(r.killed_count(), 2);
+  EXPECT_EQ(cl.read_output(), cl.expected);
+}
+
+}  // namespace
+}  // namespace ftmr::core

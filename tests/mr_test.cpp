@@ -1,0 +1,404 @@
+// Tests for the MR-MPI baseline engine: KV/KMV buffers, shuffle, both
+// KV→KMV conversion algorithms (incl. their equivalence property), and the
+// end-to-end baseline driver.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "mr/convert.hpp"
+#include "mr/mapreduce.hpp"
+#include "mr/shuffle.hpp"
+#include "simmpi/runtime.hpp"
+#include "storage/storage.hpp"
+
+namespace ftmr::mr {
+namespace {
+
+using simmpi::Comm;
+using simmpi::JobResult;
+using simmpi::Runtime;
+
+TEST(KvBuffer, AddAndAccounting) {
+  KvBuffer kv;
+  kv.add("key", "value");
+  kv.add("k", "v");
+  EXPECT_EQ(kv.size(), 2u);
+  EXPECT_EQ(kv.bytes(), 3 + 5 + 1 + 1 + 2 * KvBuffer::kPairOverhead);
+  kv.clear();
+  EXPECT_TRUE(kv.empty());
+  EXPECT_EQ(kv.bytes(), 0u);
+}
+
+TEST(KvBuffer, SerializeRoundTrip) {
+  KvBuffer kv;
+  kv.add("alpha", "1");
+  kv.add("", "empty-key");
+  kv.add("beta", "");
+  const Bytes wire = kv.serialize();
+  KvBuffer back;
+  ASSERT_TRUE(KvBuffer::deserialize(wire, back).ok());
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back.pairs()[0], (KvPair{"alpha", "1"}));
+  EXPECT_EQ(back.pairs()[1], (KvPair{"", "empty-key"}));
+  EXPECT_EQ(back.pairs()[2], (KvPair{"beta", ""}));
+}
+
+TEST(KvBuffer, DeserializeEmptyAndCorrupt) {
+  KvBuffer out;
+  EXPECT_TRUE(KvBuffer::deserialize({}, out).ok());
+  EXPECT_TRUE(out.empty());
+  Bytes garbage = to_bytes("zz");
+  EXPECT_FALSE(KvBuffer::deserialize(garbage, out).ok());
+}
+
+TEST(Partition, CoversAllPairsConsistently) {
+  KvBuffer kv;
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    kv.add("key" + std::to_string(rng.next_below(100)), "v");
+  }
+  auto parts = partition_by_key(kv, 7);
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  EXPECT_EQ(total, kv.size());
+  // Same key never lands in two partitions.
+  std::map<std::string, int> where;
+  for (int j = 0; j < 7; ++j) {
+    for (const auto& p : parts[j].pairs()) {
+      auto [it, inserted] = where.try_emplace(p.key, j);
+      if (!inserted) {
+        EXPECT_EQ(it->second, j);
+      }
+    }
+  }
+}
+
+KvBuffer random_kv(uint64_t seed, int npairs, int nkeys) {
+  KvBuffer kv;
+  Rng rng(seed);
+  for (int i = 0; i < npairs; ++i) {
+    kv.add("k" + std::to_string(rng.next_below(nkeys)),
+           "v" + std::to_string(rng.next_u64() % 1000));
+  }
+  return kv;
+}
+
+TEST(Convert, FourPassGroupsAllValues) {
+  KvBuffer kv;
+  kv.add("a", "1");
+  kv.add("b", "2");
+  kv.add("a", "3");
+  ConvertStats st;
+  KmvBuffer kmv = convert_4pass(kv, &st);
+  ASSERT_EQ(kmv.size(), 2u);
+  EXPECT_EQ(kmv.entries()[0].key, "a");
+  EXPECT_EQ(kmv.entries()[0].values, (std::vector<std::string>{"1", "3"}));
+  EXPECT_EQ(kmv.entries()[1].key, "b");
+  EXPECT_EQ(st.passes, 4);
+  EXPECT_EQ(st.distinct_keys, 2u);
+}
+
+TEST(Convert, TwoPassGroupsAllValues) {
+  KvBuffer kv;
+  kv.add("x", "1");
+  kv.add("y", "2");
+  kv.add("x", "3");
+  ConvertStats st;
+  KmvBuffer kmv = convert_2pass(kv, &st);
+  ASSERT_EQ(kmv.size(), 2u);
+  EXPECT_EQ(kmv.entries()[0].key, "x");
+  EXPECT_EQ(kmv.entries()[0].values, (std::vector<std::string>{"1", "3"}));
+  EXPECT_EQ(st.passes, 2);
+}
+
+TEST(Convert, TwoPassMovesHalfTheBytes) {
+  KvBuffer kv = random_kv(3, 5000, 200);
+  ConvertStats s4, s2;
+  convert_4pass(kv, &s4);
+  convert_2pass(kv, &s2);
+  // 4 passes of read+write vs 2 passes of read+write: exactly 2x.
+  EXPECT_DOUBLE_EQ(static_cast<double>(s4.bytes_moved),
+                   2.0 * static_cast<double>(s2.bytes_moved));
+}
+
+TEST(Convert, SmallSegmentsChainAcrossTheLog) {
+  KvBuffer kv;
+  for (int i = 0; i < 100; ++i) kv.add("samekey", std::string(40, 'v'));
+  ConvertStats st;
+  KmvBuffer kmv = convert_2pass(kv, &st, /*segment_bytes=*/128);
+  ASSERT_EQ(kmv.size(), 1u);
+  EXPECT_EQ(kmv.entries()[0].values.size(), 100u);
+  // 100 values * ~44B with 128B segments -> many non-contiguous segments.
+  EXPECT_GT(st.segments, 30u);
+}
+
+// Property: the two conversion algorithms produce identical KMV content on
+// random inputs, across a seed sweep.
+class ConvertEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConvertEquivalence, TwoPassMatchesFourPass) {
+  const KvBuffer kv = random_kv(GetParam(), 2000, 97);
+  const KmvBuffer a = convert_4pass(kv);
+  const KmvBuffer b = convert_2pass(kv, nullptr, 64 + GetParam() * 13);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.entries()[i].key, b.entries()[i].key);
+    EXPECT_EQ(a.entries()[i].values, b.entries()[i].values) << a.entries()[i].key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvertEquivalence,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Shuffle, EveryPairReachesItsKeyOwner) {
+  constexpr int kP = 4;
+  Runtime::run(kP, [](Comm& c) {
+    KvBuffer mine;
+    for (int i = 0; i < 50; ++i) {
+      mine.add("key" + std::to_string(i), "from" + std::to_string(c.rank()));
+    }
+    KvBuffer got;
+    ShuffleStats st;
+    ASSERT_TRUE(shuffle(c, mine, got, &st).ok());
+    EXPECT_EQ(st.pairs_sent, 50u);
+    // Each key appears kP times (once per sender) and only on its owner.
+    for (const KvPair& p : got.pairs()) {
+      EXPECT_EQ(partition_of_key(p.key, kP), c.rank());
+    }
+    int64_t total = 0;
+    ASSERT_TRUE(c.allreduce_one(simmpi::ReduceOp::kSum,
+                                static_cast<int64_t>(got.size()), total).ok());
+    EXPECT_EQ(total, 50 * kP);
+  });
+}
+
+// --- end-to-end baseline wordcount ---
+
+struct MiniCluster {
+  MiniCluster() : tmp("ftmr-mr-test") {
+    storage::StorageOptions o;
+    o.root = tmp.path();
+    fs = std::make_unique<storage::StorageSystem>(o);
+  }
+  storage::TempDir tmp;
+  std::unique_ptr<storage::StorageSystem> fs;
+};
+
+int64_t wordcount_map(uint64_t, std::string_view chunk, KvBuffer& out) {
+  int64_t n = 0;
+  size_t pos = 0;
+  while (pos < chunk.size()) {
+    size_t end = chunk.find(' ', pos);
+    if (end == std::string_view::npos) end = chunk.size();
+    if (end > pos) {
+      out.add(chunk.substr(pos, end - pos), "1");
+      ++n;
+    }
+    pos = end + 1;
+  }
+  return n;
+}
+
+void sum_reduce(const std::string& key, std::span<const std::string> values,
+                KvBuffer& out) {
+  int64_t sum = 0;
+  for (const auto& v : values) sum += std::strtoll(v.c_str(), nullptr, 10);
+  out.add(key, std::to_string(sum));
+}
+
+std::map<std::string, int64_t> read_counts(storage::StorageSystem& fs,
+                                           const std::string& dir) {
+  std::vector<std::string> parts;
+  EXPECT_TRUE(fs.list_dir(storage::Tier::kShared, 0, dir, parts).ok());
+  std::map<std::string, int64_t> counts;
+  for (const auto& name : parts) {
+    Bytes data;
+    EXPECT_TRUE(fs.read_file(storage::Tier::kShared, 0, dir + "/" + name, data).ok());
+    ByteReader r(data);
+    while (!r.exhausted()) {
+      std::string k, v;
+      if (!r.get_string(k).ok() || !r.get_string(v).ok()) {
+        ADD_FAILURE() << "corrupt output part " << name;
+        break;
+      }
+      counts[k] += std::strtoll(v.c_str(), nullptr, 10);
+    }
+  }
+  return counts;
+}
+
+TEST(BaselineJob, WordcountEndToEnd) {
+  MiniCluster cl;
+  // 6 chunks: "w0 w1 w0", "w1 w2 w1", ... deterministic counts.
+  for (int i = 0; i < 6; ++i) {
+    const std::string text = "w" + std::to_string(i % 3) + " common w" +
+                             std::to_string(i % 3);
+    char name[32];
+    std::snprintf(name, sizeof(name), "chunk_%03d", i);
+    ASSERT_TRUE(cl.fs->write_file(storage::Tier::kShared, 0,
+                                  std::string("input/") + name,
+                                  as_bytes_view(text)).ok());
+  }
+  JobResult r = Runtime::run(4, [&](Comm& c) {
+    JobOptions o;
+    o.ppn = 2;
+    MapReduce job(c, cl.fs.get(), o);
+    ASSERT_TRUE(job.run(wordcount_map, sum_reduce).ok());
+    EXPECT_GT(job.times().get("map"), 0.0);
+    EXPECT_GT(job.times().get("shuffle"), 0.0);
+    EXPECT_GT(job.times().get("merge"), 0.0);
+    EXPECT_GT(job.times().get("reduce"), 0.0);
+  });
+  ASSERT_EQ(r.finished_count(), 4);
+  auto counts = read_counts(*cl.fs, "output");
+  EXPECT_EQ(counts["common"], 6);
+  EXPECT_EQ(counts["w0"], 4);
+  EXPECT_EQ(counts["w1"], 4);
+  EXPECT_EQ(counts["w2"], 4);
+}
+
+TEST(BaselineJob, TwoPassConvertProducesSameOutput) {
+  MiniCluster cl;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cl.fs->write_file(storage::Tier::kShared, 0,
+                                  "input/c" + std::to_string(i),
+                                  as_bytes_view("a b a c b a")).ok());
+  }
+  for (bool two_pass : {false, true}) {
+    Runtime::run(3, [&](Comm& c) {
+      JobOptions o;
+      o.two_pass_convert = two_pass;
+      o.output_dir = two_pass ? "out2" : "out4";
+      MapReduce job(c, cl.fs.get(), o);
+      ASSERT_TRUE(job.run(wordcount_map, sum_reduce).ok());
+    });
+  }
+  EXPECT_EQ(read_counts(*cl.fs, "out2"), read_counts(*cl.fs, "out4"));
+}
+
+TEST(BaselineJob, FailureAbortsWholeJobWithFatalHandler) {
+  MiniCluster cl;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cl.fs->write_file(storage::Tier::kShared, 0,
+                                  "input/c" + std::to_string(i),
+                                  as_bytes_view("x y z")).ok());
+  }
+  simmpi::JobOptions jo;
+  jo.kills.push_back({1, 1e-7, -1});  // dies very early in the map phase
+  JobResult r = Runtime::run(4, [&](Comm& c) {
+    // Stock-MPI behaviour: errors are fatal.
+    c.set_error_handler([](Comm& comm, const Status&) { comm.abort(1); });
+    MapReduce job(c, cl.fs.get(), {});
+    (void)job.run(wordcount_map, sum_reduce);
+  }, jo);
+  EXPECT_TRUE(r.aborted);  // the whole job is lost — no fault tolerance
+}
+
+}  // namespace
+}  // namespace ftmr::mr
+
+// ---------------------------------------------------------------------------
+// Out-of-core paged KV (spill.hpp)
+// ---------------------------------------------------------------------------
+
+#include "mr/spill.hpp"
+
+namespace spill_tests {
+
+struct SpillFixture : ::testing::Test {
+  SpillFixture() : tmp("ftmr-spill") {
+    ftmr::storage::StorageOptions o;
+    o.root = tmp.path();
+    fs = std::make_unique<ftmr::storage::StorageSystem>(o);
+  }
+  ftmr::storage::TempDir tmp;
+  std::unique_ptr<ftmr::storage::StorageSystem> fs;
+};
+
+TEST_F(SpillFixture, SmallDataStaysInMemory) {
+  ftmr::mr::SpillableKvBuffer buf(fs.get(), 0, "spill", 1 << 10, 1 << 20);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(buf.add("k" + std::to_string(i), "v").ok());
+  }
+  EXPECT_EQ(buf.size(), 10u);
+  EXPECT_EQ(buf.stats().pages_spilled, 0);
+  ftmr::mr::KvBuffer out;
+  ASSERT_TRUE(buf.drain_to(out).ok());
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_EQ(out.pairs()[0].key, "k0");
+  EXPECT_EQ(out.pairs()[9].key, "k9");
+}
+
+TEST_F(SpillFixture, LargeDataSpillsAndStreamsBackInOrder) {
+  // Tiny pages + tiny budget: most pages must round-trip through disk.
+  ftmr::mr::SpillableKvBuffer buf(fs.get(), 0, "spill", 256, 512);
+  constexpr int kN = 500;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(
+        buf.add("key" + std::to_string(i), std::string(20, 'x')).ok());
+  }
+  EXPECT_EQ(buf.size(), static_cast<size_t>(kN));
+  EXPECT_GT(buf.stats().pages_spilled, 10);
+  EXPECT_GT(buf.stats().sim_io_seconds, 0.0);
+  int idx = 0;
+  bool ordered = true;
+  ASSERT_TRUE(buf.for_each([&](const ftmr::mr::KvPair& p) {
+    if (p.key != "key" + std::to_string(idx)) ordered = false;
+    idx++;
+  }).ok());
+  EXPECT_EQ(idx, kN);
+  EXPECT_TRUE(ordered);  // insertion order preserved across spills
+  EXPECT_GT(buf.stats().pages_loaded, 10);
+}
+
+TEST_F(SpillFixture, DrainEquivalentToPlainBuffer) {
+  ftmr::mr::SpillableKvBuffer spilled(fs.get(), 0, "spill", 128, 256);
+  ftmr::mr::KvBuffer plain;
+  ftmr::Rng rng(99);
+  for (int i = 0; i < 300; ++i) {
+    const std::string k = "k" + std::to_string(rng.next_below(40));
+    const std::string v = "v" + std::to_string(rng.next_u64() % 1000);
+    ASSERT_TRUE(spilled.add(k, v).ok());
+    plain.add(k, v);
+  }
+  ftmr::mr::KvBuffer out;
+  ASSERT_TRUE(spilled.drain_to(out).ok());
+  ASSERT_EQ(out.size(), plain.size());
+  EXPECT_EQ(out.pairs(), plain.pairs());
+  // Converting the round-tripped data groups identically too.
+  const auto a = ftmr::mr::convert_2pass(out);
+  const auto b = ftmr::mr::convert_2pass(plain);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.entries()[i].values, b.entries()[i].values);
+  }
+}
+
+TEST_F(SpillFixture, ClearRemovesSpillFiles) {
+  ftmr::mr::SpillableKvBuffer buf(fs.get(), 0, "spill", 64, 64);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(buf.add("key", "valuevaluevalue").ok());
+  }
+  EXPECT_GT(buf.stats().pages_spilled, 0);
+  ASSERT_TRUE(buf.clear().ok());
+  EXPECT_EQ(buf.size(), 0u);
+  std::vector<std::string> names;
+  ASSERT_TRUE(
+      fs->list_dir(ftmr::storage::Tier::kLocal, 0, "spill", names).ok());
+  EXPECT_TRUE(names.empty());
+}
+
+TEST_F(SpillFixture, NullStorageNeverSpills) {
+  ftmr::mr::SpillableKvBuffer buf(nullptr, 0, "spill", 64, 64);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(buf.add("k", "vvvvvvvvvvvv").ok());
+  }
+  EXPECT_EQ(buf.stats().pages_spilled, 0);
+  EXPECT_EQ(buf.size(), 200u);
+  int n = 0;
+  ASSERT_TRUE(buf.for_each([&](const ftmr::mr::KvPair&) { n++; }).ok());
+  EXPECT_EQ(n, 200);
+}
+
+}  // namespace spill_tests

@@ -1,0 +1,209 @@
+// Property tests on the analytic performance model: orderings and
+// monotonicities that must hold for any sane calibration, plus the paper's
+// headline bands.
+#include <gtest/gtest.h>
+
+#include "perfmodel/model.hpp"
+
+namespace ftmr::perf {
+namespace {
+
+JobModel make(Mode mode, int procs, WorkloadModel w = {},
+              bool two_pass = false) {
+  FtConfig ft;
+  ft.mode = mode;
+  ft.two_pass_convert = two_pass;
+  return JobModel(ClusterModel{}, w, ft, procs);
+}
+
+TEST(Phases, StrongScalingShrinksWork) {
+  double prev = 1e18;
+  for (int p : {32, 64, 128, 256, 512}) {
+    const double t = make(Mode::kMrMpi, p).failure_free().total();
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Phases, ScalingEfficiencyDegradesBeyondStorageSaturation) {
+  // Doubling procs should halve time at small scale but not at large scale
+  // (GPFS aggregate bandwidth floor).
+  const double t32 = make(Mode::kMrMpi, 32).failure_free().total();
+  const double t64 = make(Mode::kMrMpi, 64).failure_free().total();
+  const double t1024 = make(Mode::kCheckpointRestart, 1024).failure_free().total();
+  const double t2048 = make(Mode::kCheckpointRestart, 2048).failure_free().total();
+  EXPECT_NEAR(t32 / t64, 2.0, 0.05);
+  EXPECT_LT(t1024 / t2048, 2.0);
+}
+
+TEST(Phases, CheckpointingModesCostMore) {
+  for (int p : {32, 256, 2048}) {
+    const double base = make(Mode::kMrMpi, p).failure_free().total();
+    EXPECT_GT(make(Mode::kCheckpointRestart, p).failure_free().total(), base);
+    EXPECT_GT(make(Mode::kDetectResumeWC, p).failure_free().total(), base);
+    EXPECT_NEAR(make(Mode::kDetectResumeNWC, p).failure_free().total(), base,
+                base * 0.01);
+  }
+}
+
+TEST(Phases, HeadlineOverheadBand) {
+  // Paper Sec. 6.2: 10-13% at records_per_ckpt=100 (refinements off).
+  const double base = make(Mode::kMrMpi, 256).failure_free().total();
+  const double cr = make(Mode::kCheckpointRestart, 256).failure_free().total();
+  EXPECT_GT(cr / base, 1.08);
+  EXPECT_LT(cr / base, 1.16);
+}
+
+TEST(Phases, TwoPassConvertHalvesMergeTime) {
+  const double merge4 = make(Mode::kMrMpi, 256).failure_free().merge;
+  const double merge2 =
+      make(Mode::kMrMpi, 256, WorkloadModel{}, true).failure_free().merge;
+  EXPECT_NEAR(merge4, 2.0 * merge2, 1e-9);
+}
+
+TEST(CkptOverhead, MonotoneInFrequency) {
+  double prev = 1e18;
+  for (int64_t r : {int64_t{1}, int64_t{10}, int64_t{100}, int64_t{10000}}) {
+    FtConfig ft;
+    ft.mode = Mode::kCheckpointRestart;
+    ft.two_pass_convert = false;
+    ft.records_per_ckpt = r;
+    const double t =
+        JobModel(ClusterModel{}, WorkloadModel{}, ft, 256).failure_free().total();
+    EXPECT_LE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CkptOverhead, SharedDirectWorstLocalCheapest) {
+  auto total = [](CkptLocation loc) {
+    FtConfig ft;
+    ft.mode = Mode::kCheckpointRestart;
+    ft.two_pass_convert = false;
+    ft.location = loc;
+    return JobModel(ClusterModel{}, WorkloadModel{}, ft, 256).failure_free().total();
+  };
+  EXPECT_GT(total(CkptLocation::kSharedDirect),
+            total(CkptLocation::kLocalWithCopier));
+  EXPECT_GE(total(CkptLocation::kLocalWithCopier),
+            total(CkptLocation::kLocalOnly));
+}
+
+TEST(Recovery, FailedPlusRecoveryOrdering) {
+  // Paper Fig. 8: WC < CR < NWC < MR-MPI on the failed+recovery metric.
+  for (int p : {64, 256, 1024}) {
+    const double mr = make(Mode::kMrMpi, p).failed_plus_recovery(0.8);
+    const double cr = make(Mode::kCheckpointRestart, p).failed_plus_recovery(0.8);
+    const double wc = make(Mode::kDetectResumeWC, p).failed_plus_recovery(0.8);
+    const double nwc = make(Mode::kDetectResumeNWC, p).failed_plus_recovery(0.8);
+    EXPECT_LT(wc, cr) << p;
+    EXPECT_LT(cr, mr) << p;
+    EXPECT_LT(nwc, mr) << p;
+    EXPECT_GT(nwc, wc) << p;
+  }
+}
+
+TEST(Recovery, LaterFailuresLoseMoreWithoutCheckpoints) {
+  const auto m = make(Mode::kMrMpi, 256);
+  EXPECT_LT(m.failed_plus_recovery(0.2), m.failed_plus_recovery(0.9));
+}
+
+TEST(Recovery, RestartRecoveryGrowsWithProgress) {
+  const auto m = make(Mode::kCheckpointRestart, 256);
+  EXPECT_LT(m.restart_recovery(0.2).total(), m.restart_recovery(0.9).total());
+}
+
+TEST(Recovery, ChunkGranularityReprocessesMore) {
+  FtConfig rec, chunk;
+  rec.mode = chunk.mode = Mode::kCheckpointRestart;
+  chunk.chunk_granularity = true;
+  const JobModel a(ClusterModel{}, WorkloadModel{}, rec, 256);
+  const JobModel b(ClusterModel{}, WorkloadModel{}, chunk, 256);
+  EXPECT_GT(b.restart_recovery(0.5).reprocess, a.restart_recovery(0.5).reprocess);
+}
+
+TEST(Recovery, PrefetchBridgesTheGpfsGap) {
+  FtConfig gpfs, pf;
+  gpfs.mode = pf.mode = Mode::kCheckpointRestart;
+  gpfs.location = pf.location = CkptLocation::kSharedDirect;
+  pf.prefetch_recovery = true;
+  FtConfig local;
+  local.mode = Mode::kCheckpointRestart;
+  local.location = CkptLocation::kLocalOnly;
+  const double t_gpfs = JobModel(ClusterModel{}, WorkloadModel{}, gpfs, 256)
+                            .restart_recovery(0.8).state_read;
+  const double t_pf = JobModel(ClusterModel{}, WorkloadModel{}, pf, 256)
+                          .restart_recovery(0.8).state_read;
+  const double t_local = JobModel(ClusterModel{}, WorkloadModel{}, local, 256)
+                             .restart_recovery(0.8).state_read;
+  EXPECT_LT(t_pf, t_gpfs);
+  EXPECT_GT(t_pf, t_local);
+  // Paper Fig. 15: 52-57% reduction.
+  EXPECT_GT(1.0 - t_pf / t_gpfs, 0.35);
+  EXPECT_LT(1.0 - t_pf / t_gpfs, 0.70);
+}
+
+TEST(Continuous, WcDegradesGentlyNwcDiverges) {
+  WorkloadModel w;
+  w.stages = 6;
+  FtConfig wc_ft, nwc_ft;
+  wc_ft.mode = Mode::kDetectResumeWC;
+  nwc_ft.mode = Mode::kDetectResumeNWC;
+  const JobModel wc(ClusterModel{}, w, wc_ft, 256);
+  const JobModel nwc(ClusterModel{}, w, nwc_ft, 256);
+  const double wc1 = wc.continuous_failures(1, 5.0);
+  const double wc64 = wc.continuous_failures(64, 5.0);
+  const double nwc64 = nwc.continuous_failures(64, 5.0);
+  EXPECT_LT(wc64, wc1 * 2.0);       // gentle degradation
+  EXPECT_GT(nwc64, wc64 * 1.5);     // divergence
+}
+
+TEST(Continuous, MonotoneInKillCount) {
+  FtConfig ft;
+  ft.mode = Mode::kDetectResumeWC;
+  const JobModel m(ClusterModel{}, WorkloadModel{}, ft, 256);
+  double prev = 0;
+  for (int k : {1, 2, 4, 8, 16, 32, 64}) {
+    const double t = m.continuous_failures(k, 5.0);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Continuous, ReferenceUsesSameConfiguration) {
+  FtConfig ft;
+  ft.mode = Mode::kDetectResumeWC;
+  const JobModel m(ClusterModel{}, WorkloadModel{}, ft, 256);
+  // Reference with 0 absent equals the failure-free run.
+  EXPECT_NEAR(m.reference_time(0), m.failure_free().total(), 1e-9);
+  EXPECT_GT(m.reference_time(64), m.reference_time(1));
+}
+
+TEST(Copier, CpuSmallIoOverlapped) {
+  FtConfig ft;
+  ft.mode = Mode::kCheckpointRestart;
+  ft.two_pass_convert = false;
+  const JobModel m(ClusterModel{}, WorkloadModel{}, ft, 256);
+  const auto cc = m.copier_costs();
+  const double total = m.failure_free().total();
+  EXPECT_GT(cc.cpu, 0.0);
+  EXPECT_LT(cc.cpu, 0.06 * total);  // paper: ~3%
+  EXPECT_GT(cc.io, 0.0);
+}
+
+// Parameterized sweep: mode orderings hold across the whole scaling range.
+class ScalingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScalingSweep, NormalizedOverheadWithinSaneBounds) {
+  const int p = GetParam();
+  const double base = make(Mode::kMrMpi, p).failure_free().total();
+  const double cr = make(Mode::kCheckpointRestart, p).failure_free().total();
+  EXPECT_GT(cr / base, 1.0);
+  EXPECT_LT(cr / base, 1.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, ScalingSweep,
+                         ::testing::Values(32, 64, 128, 256, 512, 1024, 2048));
+
+}  // namespace
+}  // namespace ftmr::perf

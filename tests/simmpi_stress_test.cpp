@@ -1,0 +1,199 @@
+// Stress and randomized-property tests for the simulated MPI runtime:
+// larger rank counts, mixed traffic patterns, communicator churn, and a
+// generic shrink-retry loop under randomized kills.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace ftmr::simmpi {
+namespace {
+
+TEST(Stress, FortyEightRanksCollectives) {
+  constexpr int kP = 48;
+  JobResult r = Runtime::run(kP, [](Comm& c) {
+    for (int round = 0; round < 3; ++round) {
+      int64_t sum = 0;
+      ASSERT_TRUE(c.allreduce_one(ReduceOp::kSum, int64_t{c.rank()}, sum).ok());
+      EXPECT_EQ(sum, int64_t{kP} * (kP - 1) / 2);
+      Bytes data;
+      if (c.rank() == round) data = to_bytes("round" + std::to_string(round));
+      ASSERT_TRUE(c.bcast(round, data).ok());
+      EXPECT_EQ(to_string_copy(data), "round" + std::to_string(round));
+      ASSERT_TRUE(c.barrier().ok());
+    }
+  });
+  EXPECT_EQ(r.finished_count(), kP);
+}
+
+TEST(Stress, RingPassingAccumulates) {
+  constexpr int kP = 16;
+  Runtime::run(kP, [](Comm& c) {
+    // Token circulates the ring kP times, each hop increments it.
+    int64_t token = 0;
+    for (int lap = 0; lap < kP; ++lap) {
+      if (c.rank() == 0 && lap == 0) {
+        ByteWriter w;
+        w.put<int64_t>(1);
+        ASSERT_TRUE(c.send(1, 0, w.bytes()).ok());
+      }
+      // Everyone (except the origin on the first hop) receives and forwards.
+      Bytes in;
+      ASSERT_TRUE(c.recv((c.rank() + kP - 1) % kP, 0, in).ok());
+      ByteReader r(in);
+      ASSERT_TRUE(r.get(token).ok());
+      if (!(c.rank() == 0 && lap == kP - 1)) {
+        ByteWriter w;
+        w.put<int64_t>(token + 1);
+        ASSERT_TRUE(c.send((c.rank() + 1) % kP, 0, w.bytes()).ok());
+      }
+    }
+    if (c.rank() == 0) EXPECT_EQ(token, int64_t{kP} * kP);
+  });
+}
+
+TEST(Stress, ManyMessagesManyTags) {
+  Runtime::run(4, [](Comm& c) {
+    Rng rng(static_cast<uint64_t>(c.rank()) + 77);
+    // Everyone sends 64 tagged messages to everyone; receivers drain by
+    // (src, tag) in a shuffled order.
+    for (int dst = 0; dst < 4; ++dst) {
+      for (int t = 0; t < 64; ++t) {
+        ByteWriter w;
+        w.put<int32_t>(c.rank() * 1000 + t);
+        ASSERT_TRUE(c.send(dst, t, w.bytes()).ok());
+      }
+    }
+    std::vector<std::pair<int, int>> order;
+    for (int src = 0; src < 4; ++src) {
+      for (int t = 0; t < 64; ++t) order.push_back({src, t});
+    }
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+    for (auto [src, t] : order) {
+      Bytes in;
+      ASSERT_TRUE(c.recv(src, t, in).ok());
+      ByteReader r(in);
+      int32_t v = 0;
+      ASSERT_TRUE(r.get(v).ok());
+      EXPECT_EQ(v, src * 1000 + t);
+    }
+  });
+}
+
+TEST(Stress, CommunicatorChurn) {
+  Runtime::run(8, [](Comm& c) {
+    Comm cur = c;
+    for (int i = 0; i < 6; ++i) {
+      Comm next;
+      if (i % 2 == 0) {
+        ASSERT_TRUE(cur.dup(next).ok());
+      } else {
+        ASSERT_TRUE(cur.split(cur.rank() % 2, cur.rank(), next).ok());
+        int64_t sum = 0;
+        ASSERT_TRUE(next.allreduce_one(ReduceOp::kSum, int64_t{1}, sum).ok());
+        EXPECT_EQ(sum, next.size());  // everyone in the subcomm contributed
+        // Rejoin the full communicator for the next round.
+        ASSERT_TRUE(c.dup(next).ok());
+      }
+      cur = next;
+      ASSERT_TRUE(cur.barrier().ok());
+    }
+  });
+}
+
+// Generic resilient loop: retry the collective on a shrunken comm until it
+// succeeds. This is the canonical ULFM usage pattern FT-MRMPI builds on;
+// it must converge for a kill at any point.
+class ShrinkRetry : public ::testing::TestWithParam<double> {};
+
+TEST_P(ShrinkRetry, ConvergesWhereverTheKillLands) {
+  const double kill_at = GetParam();
+  JobOptions o;
+  o.kills.push_back({3, kill_at, -1});
+  JobResult r = Runtime::run(8, [](Comm& world) {
+    Comm c = world;
+    for (int round = 0; round < 20; ++round) {
+      world.compute(1e-3);  // failure trigger is vtime-based
+      int64_t sum = 0;
+      Status s = c.allreduce_one(ReduceOp::kSum, int64_t{world.global_rank()}, sum);
+      if (s.ok()) {
+        // Sum over the current (possibly shrunken) membership.
+        int64_t want = 0;
+        for (int i = 0; i < c.size(); ++i) {
+          want += c.global_of_rel(i);
+        }
+        EXPECT_EQ(sum, want);
+        continue;
+      }
+      (void)c.revoke();
+      Comm nc;
+      ASSERT_TRUE(c.shrink(nc).ok());
+      c = nc;
+      c.ack_failures();
+    }
+  }, o);
+  EXPECT_EQ(r.finished_count(), 7);
+  EXPECT_EQ(r.killed_count(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(KillTimes, ShrinkRetry,
+                         ::testing::Values(1e-4, 2e-3, 5e-3, 1.1e-2, 1.9e-2));
+
+TEST(Stress, AlltoallLargeBlocks) {
+  constexpr int kP = 8;
+  Runtime::run(kP, [](Comm& c) {
+    std::vector<Bytes> send(kP);
+    for (int j = 0; j < kP; ++j) {
+      send[j].assign(static_cast<size_t>(1024 * (c.rank() + 1)),
+                     static_cast<std::byte>(j));
+    }
+    std::vector<Bytes> recv;
+    ASSERT_TRUE(c.alltoall(send, recv).ok());
+    for (int i = 0; i < kP; ++i) {
+      EXPECT_EQ(recv[i].size(), static_cast<size_t>(1024 * (i + 1)));
+      if (!recv[i].empty()) {
+        EXPECT_EQ(recv[i][0], static_cast<std::byte>(c.rank()));
+      }
+    }
+  });
+}
+
+TEST(Stress, VirtualTimeMonotoneAcrossOps) {
+  Runtime::run(6, [](Comm& c) {
+    double last = c.now();
+    // MPI requires every rank to issue collectives in the same order, so
+    // the op sequence is drawn from a shared seed.
+    Rng rng(0xc0ffee);
+    for (int i = 0; i < 50; ++i) {
+      switch (rng.next_below(4)) {
+        case 0:
+          c.compute(1e-5);
+          break;
+        case 1:
+          ASSERT_TRUE(c.barrier().ok());
+          break;
+        case 2: {
+          int64_t x = 0;
+          ASSERT_TRUE(c.allreduce_one(ReduceOp::kMax, int64_t{i}, x).ok());
+          break;
+        }
+        case 3: {
+          ASSERT_TRUE(c.send_string(c.rank(), 9, "self").ok());
+          Bytes b;
+          ASSERT_TRUE(c.recv(c.rank(), 9, b).ok());
+          break;
+        }
+      }
+      const double now = c.now();
+      EXPECT_GE(now, last);
+      last = now;
+    }
+  });
+}
+
+}  // namespace
+}  // namespace ftmr::simmpi

@@ -1,0 +1,230 @@
+// Tests for the simulated storage hierarchy, the copier agent, and the
+// recovery prefetcher.
+#include <gtest/gtest.h>
+
+#include "storage/copier.hpp"
+#include "storage/storage.hpp"
+
+namespace ftmr::storage {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  StorageTest() : tmp_("ftmr-storage-test") {
+    StorageOptions opts;
+    opts.root = tmp_.path();
+    fs_ = std::make_unique<StorageSystem>(opts);
+  }
+  TempDir tmp_;
+  std::unique_ptr<StorageSystem> fs_;
+};
+
+TEST_F(StorageTest, WriteReadRoundTripShared) {
+  double wcost = 0, rcost = 0;
+  ASSERT_TRUE(fs_->write_file(Tier::kShared, 0, "dir/a.bin",
+                              as_bytes_view("hello storage"), &wcost).ok());
+  Bytes out;
+  ASSERT_TRUE(fs_->read_file(Tier::kShared, 0, "dir/a.bin", out, &rcost).ok());
+  EXPECT_EQ(to_string_copy(out), "hello storage");
+  EXPECT_GT(wcost, 0.0);
+  EXPECT_GT(rcost, 0.0);
+}
+
+TEST_F(StorageTest, LocalTierIsPerNode) {
+  ASSERT_TRUE(fs_->write_file(Tier::kLocal, 1, "f", as_bytes_view("n1")).ok());
+  ASSERT_TRUE(fs_->write_file(Tier::kLocal, 2, "f", as_bytes_view("n2")).ok());
+  Bytes out;
+  ASSERT_TRUE(fs_->read_file(Tier::kLocal, 1, "f", out).ok());
+  EXPECT_EQ(to_string_copy(out), "n1");
+  ASSERT_TRUE(fs_->read_file(Tier::kLocal, 2, "f", out).ok());
+  EXPECT_EQ(to_string_copy(out), "n2");
+  EXPECT_FALSE(fs_->exists(Tier::kLocal, 3, "f"));
+}
+
+TEST_F(StorageTest, AppendAccumulates) {
+  ASSERT_TRUE(fs_->append_file(Tier::kShared, 0, "log", as_bytes_view("ab")).ok());
+  ASSERT_TRUE(fs_->append_file(Tier::kShared, 0, "log", as_bytes_view("cd")).ok());
+  Bytes out;
+  ASSERT_TRUE(fs_->read_file(Tier::kShared, 0, "log", out).ok());
+  EXPECT_EQ(to_string_copy(out), "abcd");
+  EXPECT_EQ(fs_->file_size(Tier::kShared, 0, "log"), 4);
+}
+
+TEST_F(StorageTest, ReadMissingFileIsNotFound) {
+  Bytes out;
+  EXPECT_EQ(fs_->read_file(Tier::kShared, 0, "nope", out).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(fs_->file_size(Tier::kShared, 0, "nope"), -1);
+}
+
+TEST_F(StorageTest, ListDirRecursesAndSorts) {
+  ASSERT_TRUE(fs_->write_file(Tier::kShared, 0, "ck/b/2", as_bytes_view("x")).ok());
+  ASSERT_TRUE(fs_->write_file(Tier::kShared, 0, "ck/a/1", as_bytes_view("x")).ok());
+  ASSERT_TRUE(fs_->write_file(Tier::kShared, 0, "other/z", as_bytes_view("x")).ok());
+  std::vector<std::string> names;
+  ASSERT_TRUE(fs_->list_dir(Tier::kShared, 0, "ck", names).ok());
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a/1");
+  EXPECT_EQ(names[1], "b/2");
+  ASSERT_TRUE(fs_->list_dir(Tier::kShared, 0, "does-not-exist", names).ok());
+  EXPECT_TRUE(names.empty());
+}
+
+TEST_F(StorageTest, RemoveDeletes) {
+  ASSERT_TRUE(fs_->write_file(Tier::kShared, 0, "f", as_bytes_view("x")).ok());
+  ASSERT_TRUE(fs_->remove(Tier::kShared, 0, "f").ok());
+  EXPECT_FALSE(fs_->exists(Tier::kShared, 0, "f"));
+}
+
+TEST_F(StorageTest, CopyAcrossTiers) {
+  ASSERT_TRUE(fs_->write_file(Tier::kLocal, 0, "src", as_bytes_view("move me")).ok());
+  double cost = 0;
+  ASSERT_TRUE(fs_->copy(Tier::kLocal, 0, "src", Tier::kShared, 0, "dst", &cost).ok());
+  Bytes out;
+  ASSERT_TRUE(fs_->read_file(Tier::kShared, 0, "dst", out).ok());
+  EXPECT_EQ(to_string_copy(out), "move me");
+  EXPECT_GT(cost, 0.0);
+}
+
+TEST_F(StorageTest, WipeNodeLocalModelsNodeCrash) {
+  ASSERT_TRUE(fs_->write_file(Tier::kLocal, 5, "ck", as_bytes_view("x")).ok());
+  ASSERT_TRUE(fs_->write_file(Tier::kShared, 5, "ck", as_bytes_view("x")).ok());
+  fs_->wipe_node_local(5);
+  EXPECT_FALSE(fs_->exists(Tier::kLocal, 5, "ck"));
+  EXPECT_TRUE(fs_->exists(Tier::kShared, 5, "ck"));  // shared tier survives
+}
+
+TEST_F(StorageTest, StatsAreCounted) {
+  ASSERT_TRUE(fs_->write_file(Tier::kShared, 0, "s", as_bytes_view("abcd")).ok());
+  Bytes out;
+  ASSERT_TRUE(fs_->read_file(Tier::kShared, 0, "s", out).ok());
+  const TierStats st = fs_->stats(Tier::kShared);
+  EXPECT_EQ(st.bytes_written, 4u);
+  EXPECT_EQ(st.bytes_read, 4u);
+  EXPECT_EQ(st.write_ops, 1);
+  EXPECT_EQ(st.read_ops, 1);
+}
+
+TEST(TierModel, ContentionScalesCost) {
+  TierModel shared{1e-3, 4.0e8, 2.0e10};
+  // Below saturation (<= 50 writers at 400 MB/s vs 20 GB/s aggregate),
+  // per-process bandwidth is unaffected.
+  EXPECT_DOUBLE_EQ(shared.cost(4ull << 20, 1, 1), shared.cost(4ull << 20, 1, 50));
+  // Beyond saturation cost grows ~linearly with writers.
+  const double c256 = shared.cost(100 << 20, 1, 256);
+  const double c512 = shared.cost(100 << 20, 1, 512);
+  EXPECT_GT(c512, c256 * 1.8);
+}
+
+TEST(TierModel, OpLatencyDominatesSmallIo) {
+  TierModel shared{2e-3, 4.0e8, 0.0};
+  // 100 bytes: ~entirely op latency. This is the paper's "small I/O kills
+  // GPFS" premise that motivates the local+copier design.
+  const double c = shared.cost(100, 1, 1);
+  EXPECT_GT(2e-3 / c, 0.99);
+}
+
+TEST(NoLocalDisk, LocalOpsFail) {
+  TempDir tmp("ftmr-nolocal");
+  StorageOptions opts;
+  opts.root = tmp.path();
+  opts.has_local_disk = false;
+  StorageSystem fs(opts);
+  EXPECT_EQ(fs.write_file(Tier::kLocal, 0, "f", as_bytes_view("x")).code(),
+            ErrorCode::kIo);
+  EXPECT_TRUE(fs.write_file(Tier::kShared, 0, "f", as_bytes_view("x")).ok());
+}
+
+class CopierTest : public StorageTest {};
+
+TEST_F(CopierTest, CopiesArriveOnSharedTier) {
+  CopierAgent copier(fs_.get(), 0, 1);
+  ASSERT_TRUE(fs_->write_file(Tier::kLocal, 0, "ck/1", as_bytes_view("one")).ok());
+  double done = 0;
+  ASSERT_TRUE(copier.enqueue("ck/1", "job/ck/1", 10.0, &done).ok());
+  EXPECT_GT(done, 10.0);
+  Bytes out;
+  ASSERT_TRUE(fs_->read_file(Tier::kShared, 0, "job/ck/1", out).ok());
+  EXPECT_EQ(to_string_copy(out), "one");
+  EXPECT_EQ(copier.copies(), 1);
+  EXPECT_EQ(copier.bytes_copied(), 3u);
+}
+
+TEST_F(CopierTest, QueueingSerializesOnCopierTimeline) {
+  CopierAgent copier(fs_.get(), 0, 1);
+  Bytes big(10 << 20);  // 10 MB
+  ASSERT_TRUE(fs_->write_file(Tier::kLocal, 0, "a", big).ok());
+  ASSERT_TRUE(fs_->write_file(Tier::kLocal, 0, "b", big).ok());
+  double done_a = 0, done_b = 0;
+  ASSERT_TRUE(copier.enqueue("a", "a", 0.0, &done_a).ok());
+  ASSERT_TRUE(copier.enqueue("b", "b", 0.0, &done_b).ok());
+  EXPECT_GT(done_b, done_a);  // b waits for a on the copier's timeline
+  EXPECT_NEAR(done_b, 2 * done_a, 1e-9);
+}
+
+TEST_F(CopierTest, DrainWaitIsZeroWhenCaughtUp) {
+  CopierAgent copier(fs_.get(), 0, 1);
+  ASSERT_TRUE(fs_->write_file(Tier::kLocal, 0, "x", as_bytes_view("x")).ok());
+  double done = 0;
+  ASSERT_TRUE(copier.enqueue("x", "x", 0.0, &done).ok());
+  EXPECT_NEAR(copier.drain_wait(done + 1.0), 0.0, 1e-12);
+  EXPECT_GT(copier.drain_wait(0.0), 0.0);
+}
+
+TEST_F(CopierTest, CpuCostIsSmallFractionOfIo) {
+  CopierAgent copier(fs_.get(), 0, 1);
+  Bytes big(4 << 20);
+  ASSERT_TRUE(fs_->write_file(Tier::kLocal, 0, "big", big).ok());
+  ASSERT_TRUE(copier.enqueue("big", "big", 0.0).ok());
+  // Fig. 7: copier CPU ~3% of job; at minimum CPU << IO for the copier.
+  EXPECT_LT(copier.cpu_seconds(), 0.2 * copier.io_seconds());
+}
+
+class PrefetcherTest : public StorageTest {};
+
+TEST_F(PrefetcherTest, StagesFilesInOrder) {
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(fs_->write_file(Tier::kShared, 0, "ck/f" + std::to_string(i),
+                                as_bytes_view("data" + std::to_string(i))).ok());
+  }
+  Prefetcher pf(fs_.get(), 0, 1);
+  std::vector<std::string> paths{"ck/f0", "ck/f1", "ck/f2", "ck/f3"};
+  ASSERT_TRUE(pf.start(paths, "stage", 100.0).ok());
+  ASSERT_EQ(pf.count(), 4u);
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_GT(pf.available_at(i), pf.available_at(i - 1));
+  }
+  EXPECT_GT(pf.available_at(0), 100.0);
+  Bytes out;
+  double cost = 0;
+  ASSERT_TRUE(pf.read(2, /*now=*/pf.available_at(3) + 1.0, out, &cost).ok());
+  EXPECT_EQ(to_string_copy(out), "data2");
+}
+
+TEST_F(PrefetcherTest, ReaderStallsOnlyUntilAvailable) {
+  Bytes big(4 << 20);
+  ASSERT_TRUE(fs_->write_file(Tier::kShared, 0, "ck/big0", big).ok());
+  ASSERT_TRUE(fs_->write_file(Tier::kShared, 0, "ck/big1", big).ok());
+  Prefetcher pf(fs_.get(), 0, 1);
+  std::vector<std::string> paths{"ck/big0", "ck/big1"};
+  ASSERT_TRUE(pf.start(paths, "stage", 0.0).ok());
+  Bytes out;
+  double early = 0, late = 0;
+  ASSERT_TRUE(pf.read(1, 0.0, out, &early).ok());          // reader ahead: stalls
+  ASSERT_TRUE(pf.read(1, pf.available_at(1), out, &late).ok());  // caught up
+  EXPECT_GT(early, late);
+  const double local_read = fs_->cost_of(Tier::kLocal, big.size(), 1);
+  EXPECT_NEAR(late, local_read, 1e-9);
+}
+
+TEST_F(PrefetcherTest, MissingSharedFileFails) {
+  Prefetcher pf(fs_.get(), 0, 1);
+  std::vector<std::string> paths{"ck/missing"};
+  EXPECT_FALSE(pf.start(paths, "stage", 0.0).ok());
+  Bytes out;
+  double c;
+  EXPECT_EQ(pf.read(7, 0.0, out, &c).code(), ErrorCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace ftmr::storage
