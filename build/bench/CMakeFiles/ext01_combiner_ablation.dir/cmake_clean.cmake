@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext01_combiner_ablation.dir/ext01_combiner_ablation.cpp.o"
+  "CMakeFiles/ext01_combiner_ablation.dir/ext01_combiner_ablation.cpp.o.d"
+  "ext01_combiner_ablation"
+  "ext01_combiner_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext01_combiner_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

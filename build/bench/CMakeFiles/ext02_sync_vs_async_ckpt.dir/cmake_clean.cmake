@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext02_sync_vs_async_ckpt.dir/ext02_sync_vs_async_ckpt.cpp.o"
+  "CMakeFiles/ext02_sync_vs_async_ckpt.dir/ext02_sync_vs_async_ckpt.cpp.o.d"
+  "ext02_sync_vs_async_ckpt"
+  "ext02_sync_vs_async_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext02_sync_vs_async_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

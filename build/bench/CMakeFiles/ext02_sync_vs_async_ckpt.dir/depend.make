@@ -1,0 +1,2 @@
+# Empty dependencies file for ext02_sync_vs_async_ckpt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_ckpt_granularity.dir/fig03_ckpt_granularity.cpp.o"
+  "CMakeFiles/fig03_ckpt_granularity.dir/fig03_ckpt_granularity.cpp.o.d"
+  "fig03_ckpt_granularity"
+  "fig03_ckpt_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_ckpt_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_ckpt_location.dir/fig04_ckpt_location.cpp.o"
+  "CMakeFiles/fig04_ckpt_location.dir/fig04_ckpt_location.cpp.o.d"
+  "fig04_ckpt_location"
+  "fig04_ckpt_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_ckpt_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_overhead_scaling.dir/fig05_overhead_scaling.cpp.o"
+  "CMakeFiles/fig05_overhead_scaling.dir/fig05_overhead_scaling.cpp.o.d"
+  "fig05_overhead_scaling"
+  "fig05_overhead_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_overhead_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

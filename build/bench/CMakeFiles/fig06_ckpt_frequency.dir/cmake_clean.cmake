@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_ckpt_frequency.dir/fig06_ckpt_frequency.cpp.o"
+  "CMakeFiles/fig06_ckpt_frequency.dir/fig06_ckpt_frequency.cpp.o.d"
+  "fig06_ckpt_frequency"
+  "fig06_ckpt_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_ckpt_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

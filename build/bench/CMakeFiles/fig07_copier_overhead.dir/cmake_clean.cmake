@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_copier_overhead.dir/fig07_copier_overhead.cpp.o"
+  "CMakeFiles/fig07_copier_overhead.dir/fig07_copier_overhead.cpp.o.d"
+  "fig07_copier_overhead"
+  "fig07_copier_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_copier_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_failure_recovery_256.cpp" "bench/CMakeFiles/fig09_failure_recovery_256.dir/fig09_failure_recovery_256.cpp.o" "gcc" "bench/CMakeFiles/fig09_failure_recovery_256.dir/fig09_failure_recovery_256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/ftmr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ftmr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/ftmr_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/ftmr_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/ftmr_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ftmr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ftmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

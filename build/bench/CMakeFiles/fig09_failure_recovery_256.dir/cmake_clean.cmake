@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_failure_recovery_256.dir/fig09_failure_recovery_256.cpp.o"
+  "CMakeFiles/fig09_failure_recovery_256.dir/fig09_failure_recovery_256.cpp.o.d"
+  "fig09_failure_recovery_256"
+  "fig09_failure_recovery_256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_failure_recovery_256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

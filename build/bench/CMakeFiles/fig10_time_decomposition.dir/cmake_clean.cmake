@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_time_decomposition.dir/fig10_time_decomposition.cpp.o"
+  "CMakeFiles/fig10_time_decomposition.dir/fig10_time_decomposition.cpp.o.d"
+  "fig10_time_decomposition"
+  "fig10_time_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_time_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

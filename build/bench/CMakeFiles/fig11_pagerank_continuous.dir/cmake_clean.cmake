@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_pagerank_continuous.dir/fig11_pagerank_continuous.cpp.o"
+  "CMakeFiles/fig11_pagerank_continuous.dir/fig11_pagerank_continuous.cpp.o.d"
+  "fig11_pagerank_continuous"
+  "fig11_pagerank_continuous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_pagerank_continuous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_bfs_continuous.dir/fig12_bfs_continuous.cpp.o"
+  "CMakeFiles/fig12_bfs_continuous.dir/fig12_bfs_continuous.cpp.o.d"
+  "fig12_bfs_continuous"
+  "fig12_bfs_continuous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_bfs_continuous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_blast_recovery.dir/fig14_blast_recovery.cpp.o"
+  "CMakeFiles/fig14_blast_recovery.dir/fig14_blast_recovery.cpp.o.d"
+  "fig14_blast_recovery"
+  "fig14_blast_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_blast_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

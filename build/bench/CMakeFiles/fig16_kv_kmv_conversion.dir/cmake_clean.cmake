@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_kv_kmv_conversion.dir/fig16_kv_kmv_conversion.cpp.o"
+  "CMakeFiles/fig16_kv_kmv_conversion.dir/fig16_kv_kmv_conversion.cpp.o.d"
+  "fig16_kv_kmv_conversion"
+  "fig16_kv_kmv_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_kv_kmv_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

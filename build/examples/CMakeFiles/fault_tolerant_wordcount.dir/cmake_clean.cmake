@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_wordcount.dir/fault_tolerant_wordcount.cpp.o"
+  "CMakeFiles/fault_tolerant_wordcount.dir/fault_tolerant_wordcount.cpp.o.d"
+  "fault_tolerant_wordcount"
+  "fault_tolerant_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

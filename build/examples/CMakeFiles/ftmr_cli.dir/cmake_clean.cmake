@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmr_cli.dir/ftmr_cli.cpp.o"
+  "CMakeFiles/ftmr_cli.dir/ftmr_cli.cpp.o.d"
+  "ftmr_cli"
+  "ftmr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

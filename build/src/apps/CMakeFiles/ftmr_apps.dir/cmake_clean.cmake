@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmr_apps.dir/blast.cpp.o"
+  "CMakeFiles/ftmr_apps.dir/blast.cpp.o.d"
+  "CMakeFiles/ftmr_apps.dir/graph.cpp.o"
+  "CMakeFiles/ftmr_apps.dir/graph.cpp.o.d"
+  "CMakeFiles/ftmr_apps.dir/textgen.cpp.o"
+  "CMakeFiles/ftmr_apps.dir/textgen.cpp.o.d"
+  "CMakeFiles/ftmr_apps.dir/wordcount.cpp.o"
+  "CMakeFiles/ftmr_apps.dir/wordcount.cpp.o.d"
+  "libftmr_apps.a"
+  "libftmr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

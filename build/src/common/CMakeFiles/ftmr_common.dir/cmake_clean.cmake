@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmr_common.dir/bytes.cpp.o"
+  "CMakeFiles/ftmr_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/ftmr_common.dir/config.cpp.o"
+  "CMakeFiles/ftmr_common.dir/config.cpp.o.d"
+  "CMakeFiles/ftmr_common.dir/log.cpp.o"
+  "CMakeFiles/ftmr_common.dir/log.cpp.o.d"
+  "CMakeFiles/ftmr_common.dir/regression.cpp.o"
+  "CMakeFiles/ftmr_common.dir/regression.cpp.o.d"
+  "CMakeFiles/ftmr_common.dir/stats.cpp.o"
+  "CMakeFiles/ftmr_common.dir/stats.cpp.o.d"
+  "libftmr_common.a"
+  "libftmr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

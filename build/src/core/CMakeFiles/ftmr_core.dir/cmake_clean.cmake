@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmr_core.dir/balancer.cpp.o"
+  "CMakeFiles/ftmr_core.dir/balancer.cpp.o.d"
+  "CMakeFiles/ftmr_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/ftmr_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/ftmr_core.dir/ftjob.cpp.o"
+  "CMakeFiles/ftmr_core.dir/ftjob.cpp.o.d"
+  "CMakeFiles/ftmr_core.dir/master.cpp.o"
+  "CMakeFiles/ftmr_core.dir/master.cpp.o.d"
+  "libftmr_core.a"
+  "libftmr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

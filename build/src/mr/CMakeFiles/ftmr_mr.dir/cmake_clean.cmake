@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmr_mr.dir/convert.cpp.o"
+  "CMakeFiles/ftmr_mr.dir/convert.cpp.o.d"
+  "CMakeFiles/ftmr_mr.dir/kv.cpp.o"
+  "CMakeFiles/ftmr_mr.dir/kv.cpp.o.d"
+  "CMakeFiles/ftmr_mr.dir/mapreduce.cpp.o"
+  "CMakeFiles/ftmr_mr.dir/mapreduce.cpp.o.d"
+  "CMakeFiles/ftmr_mr.dir/shuffle.cpp.o"
+  "CMakeFiles/ftmr_mr.dir/shuffle.cpp.o.d"
+  "CMakeFiles/ftmr_mr.dir/spill.cpp.o"
+  "CMakeFiles/ftmr_mr.dir/spill.cpp.o.d"
+  "libftmr_mr.a"
+  "libftmr_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmr_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

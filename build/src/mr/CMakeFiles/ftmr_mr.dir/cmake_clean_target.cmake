@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libftmr_mr.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmr_perfmodel.dir/model.cpp.o"
+  "CMakeFiles/ftmr_perfmodel.dir/model.cpp.o.d"
+  "libftmr_perfmodel.a"
+  "libftmr_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmr_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmr_simmpi.dir/comm.cpp.o"
+  "CMakeFiles/ftmr_simmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/ftmr_simmpi.dir/job.cpp.o"
+  "CMakeFiles/ftmr_simmpi.dir/job.cpp.o.d"
+  "CMakeFiles/ftmr_simmpi.dir/runtime.cpp.o"
+  "CMakeFiles/ftmr_simmpi.dir/runtime.cpp.o.d"
+  "libftmr_simmpi.a"
+  "libftmr_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmr_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

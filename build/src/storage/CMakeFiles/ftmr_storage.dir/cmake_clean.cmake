@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmr_storage.dir/copier.cpp.o"
+  "CMakeFiles/ftmr_storage.dir/copier.cpp.o.d"
+  "CMakeFiles/ftmr_storage.dir/storage.cpp.o"
+  "CMakeFiles/ftmr_storage.dir/storage.cpp.o.d"
+  "libftmr_storage.a"
+  "libftmr_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmr_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

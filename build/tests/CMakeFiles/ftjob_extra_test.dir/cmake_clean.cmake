@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftjob_extra_test.dir/ftjob_extra_test.cpp.o"
+  "CMakeFiles/ftjob_extra_test.dir/ftjob_extra_test.cpp.o.d"
+  "ftjob_extra_test"
+  "ftjob_extra_test.pdb"
+  "ftjob_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftjob_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftjob_test.dir/ftjob_test.cpp.o"
+  "CMakeFiles/ftjob_test.dir/ftjob_test.cpp.o.d"
+  "ftjob_test"
+  "ftjob_test.pdb"
+  "ftjob_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftjob_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi_basic_test.dir/simmpi_basic_test.cpp.o"
+  "CMakeFiles/simmpi_basic_test.dir/simmpi_basic_test.cpp.o.d"
+  "simmpi_basic_test"
+  "simmpi_basic_test.pdb"
+  "simmpi_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

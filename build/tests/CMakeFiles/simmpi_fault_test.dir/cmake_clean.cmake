@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi_fault_test.dir/simmpi_fault_test.cpp.o"
+  "CMakeFiles/simmpi_fault_test.dir/simmpi_fault_test.cpp.o.d"
+  "simmpi_fault_test"
+  "simmpi_fault_test.pdb"
+  "simmpi_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
