@@ -1,0 +1,63 @@
+// crc32.hpp — CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used to frame every checkpoint file (header + payload + CRC trailer) so
+// torn writes, truncation, and bit rot are *detected* at recovery time
+// instead of surfacing as garbage state or deserialization UB. The table is
+// computed at compile time; the function is pure and identical across ranks
+// and restarts, which the recovery protocol requires (every survivor must
+// agree on which files are valid).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace ftmr {
+
+namespace detail {
+
+constexpr std::array<uint32_t, 256> make_crc32_table() noexcept {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+/// Incremental update: feed `crc32_update(seed, chunk)` chunk by chunk with
+/// seed = previous return value (start from crc32_init()).
+[[nodiscard]] constexpr uint32_t crc32_init() noexcept { return 0xFFFFFFFFu; }
+
+[[nodiscard]] constexpr uint32_t crc32_update(uint32_t state,
+                                              std::span<const std::byte> data) noexcept {
+  for (std::byte b : data) {
+    state = detail::kCrc32Table[(state ^ static_cast<uint8_t>(b)) & 0xFFu] ^
+            (state >> 8);
+  }
+  return state;
+}
+
+[[nodiscard]] constexpr uint32_t crc32_final(uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a byte span.
+[[nodiscard]] constexpr uint32_t crc32(std::span<const std::byte> data) noexcept {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+[[nodiscard]] inline uint32_t crc32(std::string_view s) noexcept {
+  return crc32(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(s.data()), s.size()));
+}
+
+}  // namespace ftmr

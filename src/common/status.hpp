@@ -24,6 +24,9 @@ enum class ErrorCode : int {
   kAborted,          // job-wide abort in progress (MPI_Abort semantics)
   kComm,             // other communication error
   kIo,               // storage error
+  kCorrupt,          // data present but failed integrity verification (CRC,
+                     // framing, truncation) — distinct from kNotFound so
+                     // recovery can branch: absent file vs invalid file
   kNotFound,
   kInvalidArgument,
   kFailedPrecondition,
@@ -42,6 +45,7 @@ constexpr std::string_view to_string(ErrorCode c) noexcept {
     case ErrorCode::kAborted: return "ABORTED";
     case ErrorCode::kComm: return "COMM";
     case ErrorCode::kIo: return "IO";
+    case ErrorCode::kCorrupt: return "CORRUPT";
     case ErrorCode::kNotFound: return "NOT_FOUND";
     case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";

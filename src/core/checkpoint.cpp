@@ -3,10 +3,61 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 
+#include "common/crc32.hpp"
 #include "common/log.hpp"
 
 namespace ftmr::core {
+
+// ---------------------------------------------------------------------------
+// framing
+// ---------------------------------------------------------------------------
+
+Bytes frame_checkpoint(std::span<const std::byte> payload) {
+  ByteWriter w;
+  w.put<uint32_t>(kCkptMagic);
+  w.put<uint16_t>(kCkptVersion);
+  w.put<uint16_t>(0);  // reserved
+  w.put<uint64_t>(payload.size());
+  w.put_bytes(payload);
+  w.put<uint32_t>(crc32(w.bytes()));
+  return std::move(w).take();
+}
+
+Status unframe_checkpoint(std::span<const std::byte> framed, Bytes& payload) {
+  if (framed.size() < kCkptFrameOverhead) {
+    return {ErrorCode::kCorrupt, "ckpt frame: truncated (torn write?)"};
+  }
+  ByteReader r(framed);
+  uint32_t magic = 0;
+  uint16_t version = 0, reserved = 0;
+  uint64_t len = 0;
+  (void)r.get(magic);
+  (void)r.get(version);
+  (void)r.get(reserved);
+  (void)r.get(len);
+  if (magic != kCkptMagic) {
+    return {ErrorCode::kCorrupt, "ckpt frame: bad magic"};
+  }
+  if (version != kCkptVersion) {
+    return {ErrorCode::kCorrupt,
+            "ckpt frame: unsupported version " + std::to_string(version)};
+  }
+  if (len != framed.size() - kCkptFrameOverhead) {
+    return {ErrorCode::kCorrupt, "ckpt frame: payload length mismatch"};
+  }
+  uint32_t stored = 0;
+  std::memcpy(&stored, framed.data() + framed.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  if (stored != crc32(framed.first(framed.size() - sizeof(uint32_t)))) {
+    return {ErrorCode::kCorrupt, "ckpt frame: CRC mismatch"};
+  }
+  constexpr size_t kHeader = kCkptFrameOverhead - sizeof(uint32_t);
+  payload.assign(framed.begin() + static_cast<ptrdiff_t>(kHeader),
+                 framed.end() - static_cast<ptrdiff_t>(sizeof(uint32_t)));
+  return Status::Ok();
+}
 
 namespace {
 
@@ -59,55 +110,97 @@ Status CheckpointManager::put(simmpi::Comm& comm, const std::string& name,
                               const Bytes& payload) {
   if (!opts_.enabled) return Status::Ok();
   const std::string rank_dir = "ck/r" + std::to_string(rank_);
+  const Bytes framed = frame_checkpoint(payload);
   count_++;
-  bytes_written_ += payload.size();
+  bytes_written_ += framed.size();
+
+  // Checkpoint writes are best-effort: a write that still fails after the
+  // retry budget costs future recovery work (that delta is simply not
+  // durable), never correctness, so it is counted and dropped rather than
+  // failing the job — the whole point of this layer is surviving faulty
+  // checkpoint I/O.
+  auto write_retrying = [&](storage::Tier tier, const std::string& path,
+                            int concurrency) -> Status {
+    Status last;
+    for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+      double cost = 0.0;
+      last = fs_->write_file(tier, node_, path, framed, &cost, concurrency);
+      if (last.ok()) {
+        comm.compute(cost);
+        write_seconds_ += cost;
+        return last;
+      }
+      // Not transient — retrying cannot help and dropping would hide a
+      // misconfiguration (e.g. local placement on a cluster with no local
+      // disks).
+      if (last.code() == ErrorCode::kFailedPrecondition ||
+          last.code() == ErrorCode::kInvalidArgument) {
+        return last;
+      }
+      if (attempt < retry_.max_attempts) {
+        const double backoff = retry_.backoff_before(attempt);
+        comm.compute(backoff);
+        write_seconds_ += backoff;
+        integ_.io_retries++;
+      }
+    }
+    return last;
+  };
+
   switch (opts_.location) {
     case CkptOptions::Location::kSharedDirect: {
       // The inferior baseline: every (small) checkpoint pays a shared-
       // storage op, with full contention.
-      double cost = 0.0;
-      const double done = comm.now();
       const std::string shared_name =
-          name + "_d" + std::to_string(static_cast<int64_t>(done * 1e6));
-      if (auto s = fs_->write_file(storage::Tier::kShared, node_,
-                                   rank_dir + "/" + shared_name, payload, &cost,
-                                   conc_);
+          name + "_d" + std::to_string(static_cast<int64_t>(comm.now() * 1e6));
+      if (auto s = write_retrying(storage::Tier::kShared,
+                                  rank_dir + "/" + shared_name, conc_);
           !s.ok()) {
-        return s;
+        if (s.code() == ErrorCode::kFailedPrecondition) return s;
+        integ_.ckpt_write_failures++;
+        FTMR_WARN << "rank " << rank_ << " dropped checkpoint " << name << ": "
+                  << s.to_string();
       }
-      comm.compute(cost);
-      write_seconds_ += cost;
       return Status::Ok();
     }
     case CkptOptions::Location::kLocalOnly:
     case CkptOptions::Location::kLocalWithCopier: {
-      double cost = 0.0;
-      if (auto s = fs_->write_file(storage::Tier::kLocal, node_,
-                                   rank_dir + "/" + name, payload, &cost);
+      if (auto s = write_retrying(storage::Tier::kLocal, rank_dir + "/" + name, 1);
           !s.ok()) {
-        return s;
+        if (s.code() == ErrorCode::kFailedPrecondition) return s;
+        integ_.ckpt_write_failures++;
+        FTMR_WARN << "rank " << rank_ << " dropped checkpoint " << name << ": "
+                  << s.to_string();
+        return Status::Ok();
       }
-      comm.compute(cost);
-      write_seconds_ += cost;
       if (opts_.location == CkptOptions::Location::kLocalWithCopier) {
         double done_at = 0.0;
         // The copier drains in the background (its own virtual timeline);
         // the shared copy is stamped with its drain-completion time.
         const std::string probe = rank_dir + "/" + name;
         if (auto s = copier_.enqueue(probe, probe, comm.now(), &done_at); !s.ok()) {
-          return s;
+          // Permanently failed drain: reported by the copier, counted here.
+          // The local copy exists, so restart-on-same-node still works.
+          integ_.drain_failures++;
+          FTMR_WARN << "rank " << rank_ << " drain failed for " << probe << ": "
+                    << s.to_string();
+          return Status::Ok();
         }
         const std::string stamped =
             probe + "_d" + std::to_string(static_cast<int64_t>(done_at * 1e6));
-        // Rename the drained copy to carry its stamp.
+        // Rename the drained copy to carry its stamp. If the rename chain
+        // fails the unstamped probe remains readable, so this too degrades
+        // instead of failing the job.
         Bytes data;
         if (auto s = fs_->read_file(storage::Tier::kShared, node_, probe, data);
             !s.ok()) {
-          return s;
+          integ_.drain_failures++;
+          return Status::Ok();
         }
         if (auto s = fs_->write_file(storage::Tier::kShared, node_, stamped, data);
             !s.ok()) {
-          return s;
+          integ_.drain_failures++;
+          return Status::Ok();
         }
         (void)fs_->remove(storage::Tier::kShared, node_, probe);
       }
@@ -190,6 +283,110 @@ std::set<int> CheckpointManager::stages_present(int src_rank, int src_node,
   return stages;
 }
 
+Status CheckpointManager::read_verified(simmpi::Comm& comm, storage::Tier tier,
+                                        int src_node, const std::string& rank_dir,
+                                        const std::string& name,
+                                        storage::Prefetcher* prefetch,
+                                        size_t prefetch_index,
+                                        std::vector<std::string>* other_tier_listing,
+                                        Bytes& payload, RankRecovery& out) {
+  const bool from_shared = (tier == storage::Tier::kShared);
+  const std::string path = rank_dir + "/" + name;
+  Status last;
+
+  // 1) Primary tier, with bounded retry. A retry redraws both transient
+  //    read failures and transient corrupt-on-read; the backoff elapses on
+  //    the reader's virtual clock. Attempt 1 may come from the prefetch
+  //    pipeline; later attempts bypass it (its staged copy may be the
+  //    corrupt one).
+  for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    Bytes raw;
+    double cost = 0.0;
+    Status s = (prefetch && attempt == 1)
+                   ? prefetch->read(prefetch_index, comm.now(), raw, &cost)
+                   : fs_->read_file(tier, src_node, path, raw, &cost,
+                                    from_shared ? conc_ : 1);
+    if (s.ok()) {
+      comm.compute(cost);
+      if (Status v = unframe_checkpoint(raw, payload); v.ok()) {
+        out.files_read++;
+        out.bytes_read += raw.size();
+        return Status::Ok();
+      } else {
+        integ_.corrupt_frames++;
+        out.corrupt_frames++;
+        last = v;
+      }
+    } else {
+      last = s;
+      if (s.code() == ErrorCode::kNotFound) break;  // waiting will not help
+    }
+    if (attempt < retry_.max_attempts) {
+      comm.compute(retry_.backoff_before(attempt));
+      integ_.io_retries++;
+    }
+  }
+
+  // 2) The other tier's replica. Reading shared (detect/resume): a process
+  //    crash leaves the dead rank's node-local file intact — strip the
+  //    drain stamp to find it. Reading local (restart): the drained shared
+  //    copy carries a stamp suffix — search the shared listing for it.
+  Bytes raw;
+  double cost = 0.0;
+  Status fb;
+  if (from_shared) {
+    std::string local_name = name;
+    if (const auto pos = local_name.rfind("_d"); pos != std::string::npos) {
+      local_name.resize(pos);
+    }
+    fb = fs_->read_file(storage::Tier::kLocal, src_node,
+                        rank_dir + "/" + local_name, raw, &cost, 1);
+  } else {
+    if (other_tier_listing->empty()) {
+      (void)fs_->list_dir(storage::Tier::kShared, src_node, rank_dir,
+                          *other_tier_listing);
+    }
+    std::string found;
+    for (const std::string& cand : *other_tier_listing) {
+      if (cand == name ||
+          (cand.size() > name.size() + 2 &&
+           cand.compare(0, name.size(), name) == 0 &&
+           cand.compare(name.size(), 2, "_d") == 0)) {
+        found = cand;
+        break;
+      }
+    }
+    fb = found.empty()
+             ? Status{ErrorCode::kNotFound, "no shared replica of " + path}
+             : fs_->read_file(storage::Tier::kShared, src_node,
+                              rank_dir + "/" + found, raw, &cost, conc_);
+  }
+  if (fb.ok()) {
+    comm.compute(cost);
+    if (Status v = unframe_checkpoint(raw, payload); v.ok()) {
+      integ_.tier_fallbacks++;
+      out.tier_fallbacks++;
+      out.files_read++;
+      out.bytes_read += raw.size();
+      return Status::Ok();
+    } else {
+      integ_.corrupt_frames++;
+      out.corrupt_frames++;
+      last = v;
+    }
+  } else if (!last.ok() && last.code() == ErrorCode::kNotFound) {
+    last = fb;
+  }
+
+  // 3) Quarantine: no valid replica anywhere. The caller skips this file
+  //    (bounded work lost, reprocessed from input) instead of aborting.
+  integ_.files_quarantined++;
+  out.quarantined++;
+  FTMR_WARN << "rank " << rank_ << " quarantined checkpoint " << path << ": "
+            << last.to_string();
+  return {ErrorCode::kCorrupt, "no valid replica of " + path};
+}
+
 Status CheckpointManager::load_rank_stage(simmpi::Comm& comm, int stage,
                                           int src_rank, int src_node,
                                           bool from_shared, double horizon,
@@ -240,63 +437,81 @@ Status CheckpointManager::load_rank_stage(simmpi::Comm& comm, int stage,
     }
   }
 
+  // Files are applied in (kind, id, seq) order. Delta chains (map, red)
+  // must be replayed from a contiguous prefix: once one sequence element is
+  // quarantined, every later delta of that (kind, id) would merge onto an
+  // inconsistent base, so the chain is poisoned from that point on. The
+  // verified prefix already applied stays usable; the tail is bounded work
+  // the recovery engine reprocesses from input. Snapshot kinds (part, out)
+  // are independent files — a bad one loses only itself.
+  std::vector<std::string> other_listing;  // lazy shared listing for fallback
+  std::set<std::pair<std::string, uint64_t>> poisoned;
   for (size_t i = 0; i < files.size(); ++i) {
     const auto& [p, n] = files[i];
+    if (poisoned.count({p.kind, p.id})) continue;
     Bytes data;
-    double cost = 0.0;
-    if (prefetch) {
-      if (auto s = prefetch->read(i, comm.now(), data, &cost); !s.ok()) return s;
-    } else {
-      if (auto s = fs_->read_file(tier, src_node, rank_dir + "/" + n, data, &cost,
-                                  from_shared ? conc_ : 1);
-          !s.ok()) {
-        return s;
-      }
+    if (auto s = read_verified(comm, tier, src_node, rank_dir, n, prefetch.get(),
+                               i, &other_listing, data, out);
+        !s.ok()) {
+      if (p.kind == kMap || p.kind == kRed) poisoned.insert({p.kind, p.id});
+      continue;
     }
-    comm.compute(cost);
-    out.files_read++;
-    out.bytes_read += data.size();
 
-    ByteReader r(data);
-    if (p.kind == kMap) {
-      uint64_t task = 0, pos = 0;
-      Bytes blob;
-      if (auto s = r.get(task); !s.ok()) return s;
-      if (auto s = r.get(pos); !s.ok()) return s;
-      if (auto s = r.get_blob(blob); !s.ok()) return s;
-      mr::KvBuffer delta;
-      if (auto s = mr::KvBuffer::deserialize(blob, delta); !s.ok()) return s;
-      auto& mt = out.map_tasks[task];
-      mt.pos = std::max(mt.pos, pos);
-      mt.kv.merge_from(delta);
-    } else if (p.kind == kPart) {
-      int32_t part = 0;
-      Bytes blob;
-      if (auto s = r.get(part); !s.ok()) return s;
-      if (auto s = r.get_blob(blob); !s.ok()) return s;
-      mr::KvBuffer kv;
-      if (auto s = mr::KvBuffer::deserialize(blob, kv); !s.ok()) return s;
-      out.partitions[part].merge_from(kv);
-    } else if (p.kind == kRed) {
-      int32_t part = 0;
-      uint64_t done = 0;
-      Bytes blob;
-      if (auto s = r.get(part); !s.ok()) return s;
-      if (auto s = r.get(done); !s.ok()) return s;
-      if (auto s = r.get_blob(blob); !s.ok()) return s;
-      mr::KvBuffer delta;
-      if (auto s = mr::KvBuffer::deserialize(blob, delta); !s.ok()) return s;
-      auto& rr = out.reduce[part];
-      rr.entries_done = std::max(rr.entries_done, done);
-      rr.out.merge_from(delta);
-    } else if (p.kind == kOut) {
-      int32_t part = 0;
-      Bytes blob;
-      if (auto s = r.get(part); !s.ok()) return s;
-      if (auto s = r.get_blob(blob); !s.ok()) return s;
-      mr::KvBuffer kv;
-      if (auto s = mr::KvBuffer::deserialize(blob, kv); !s.ok()) return s;
-      out.stage_outputs[part].merge_from(kv);
+    // Decode only mutates `out` after every field of the payload has been
+    // read successfully, so a decode failure never leaves a partial merge.
+    const auto decode = [&]() -> Status {
+      ByteReader r(data);
+      if (p.kind == kMap) {
+        uint64_t task = 0, pos = 0;
+        Bytes blob;
+        if (auto s = r.get(task); !s.ok()) return s;
+        if (auto s = r.get(pos); !s.ok()) return s;
+        if (auto s = r.get_blob(blob); !s.ok()) return s;
+        mr::KvBuffer delta;
+        if (auto s = mr::KvBuffer::deserialize(blob, delta); !s.ok()) return s;
+        auto& mt = out.map_tasks[task];
+        mt.pos = std::max(mt.pos, pos);
+        mt.kv.merge_from(delta);
+      } else if (p.kind == kPart) {
+        int32_t part = 0;
+        Bytes blob;
+        if (auto s = r.get(part); !s.ok()) return s;
+        if (auto s = r.get_blob(blob); !s.ok()) return s;
+        mr::KvBuffer kv;
+        if (auto s = mr::KvBuffer::deserialize(blob, kv); !s.ok()) return s;
+        out.partitions[part].merge_from(kv);
+      } else if (p.kind == kRed) {
+        int32_t part = 0;
+        uint64_t done = 0;
+        Bytes blob;
+        if (auto s = r.get(part); !s.ok()) return s;
+        if (auto s = r.get(done); !s.ok()) return s;
+        if (auto s = r.get_blob(blob); !s.ok()) return s;
+        mr::KvBuffer delta;
+        if (auto s = mr::KvBuffer::deserialize(blob, delta); !s.ok()) return s;
+        auto& rr = out.reduce[part];
+        rr.entries_done = std::max(rr.entries_done, done);
+        rr.out.merge_from(delta);
+      } else if (p.kind == kOut) {
+        int32_t part = 0;
+        Bytes blob;
+        if (auto s = r.get(part); !s.ok()) return s;
+        if (auto s = r.get_blob(blob); !s.ok()) return s;
+        mr::KvBuffer kv;
+        if (auto s = mr::KvBuffer::deserialize(blob, kv); !s.ok()) return s;
+        out.stage_outputs[part].merge_from(kv);
+      }
+      return Status::Ok();
+    };
+    if (auto s = decode(); !s.ok()) {
+      // Passed CRC but would not decode (stale layout, format bug): treat
+      // exactly like a corrupt file — quarantine and skip, never abort.
+      integ_.files_quarantined++;
+      out.quarantined++;
+      if (p.kind == kMap || p.kind == kRed) poisoned.insert({p.kind, p.id});
+      FTMR_WARN << "rank " << rank_ << " quarantined undecodable checkpoint "
+                << rank_dir << "/" << n << ": " << s.to_string();
+      continue;
     }
   }
   return Status::Ok();

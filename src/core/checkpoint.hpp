@@ -32,6 +32,43 @@
 
 namespace ftmr::core {
 
+// ---------------------------------------------------------------------------
+// Checkpoint file framing (see DESIGN.md "Checkpoint file format")
+//
+// Every checkpoint file is self-verifying:
+//   [magic u32 "FTCK"][version u16][reserved u16][payload_len u64]
+//   [payload bytes][crc32 u32 over header+payload]
+// A torn write (any strict prefix), a truncation, a bit flip, or a stale
+// format all fail unframe_checkpoint with kCorrupt — never with garbage
+// state. kCorrupt is deliberately distinct from kNotFound so recovery can
+// branch: absent file = never written / wiped node; invalid file = written
+// but unusable, try the other tier's replica.
+// ---------------------------------------------------------------------------
+
+inline constexpr uint32_t kCkptMagic = 0x4B435446u;  // "FTCK" little-endian
+inline constexpr uint16_t kCkptVersion = 1;
+inline constexpr size_t kCkptFrameOverhead = 4 + 2 + 2 + 8 + 4;
+
+/// Wrap a checkpoint payload in the verified frame.
+[[nodiscard]] Bytes frame_checkpoint(std::span<const std::byte> payload);
+
+/// Verify and strip the frame. Returns kCorrupt (with a diagnostic message)
+/// on any integrity violation; `payload` is untouched on failure.
+Status unframe_checkpoint(std::span<const std::byte> framed, Bytes& payload);
+
+/// Robustness counters for the checkpoint integrity layer. Accumulated per
+/// CheckpointManager (i.e. per rank); benches/tests sum across ranks.
+struct IntegrityStats {
+  int64_t corrupt_frames = 0;       // framing/CRC verification failures seen
+  int64_t io_retries = 0;           // same-tier retries after an I/O error
+  int64_t tier_fallbacks = 0;       // other tier's replica used successfully
+  int64_t files_quarantined = 0;    // no valid replica on any tier; skipped
+  int64_t segments_reprocessed = 0; // tasks/partitions re-executed because
+                                    // their checkpoints were quarantined
+  int64_t ckpt_write_failures = 0;  // checkpoint writes dropped after retry
+  int64_t drain_failures = 0;       // copier drains that permanently failed
+};
+
 struct CkptOptions {
   enum class Granularity { kRecord, kChunk };
   enum class Location { kLocalWithCopier, kSharedDirect, kLocalOnly };
@@ -62,6 +99,10 @@ struct RankRecovery {
   std::map<int, mr::KvBuffer> stage_outputs;
   size_t files_read = 0;
   size_t bytes_read = 0;
+  // Integrity outcome of this load (also accumulated in the manager).
+  size_t corrupt_frames = 0;   // verification failures observed
+  size_t tier_fallbacks = 0;   // files served from the other tier's replica
+  size_t quarantined = 0;      // files with no valid replica (work lost)
 };
 
 /// Optional selection when loading another rank's checkpoints: a survivor
@@ -104,6 +145,13 @@ class CheckpointManager {
   ///   from_shared=true  — read the drained copies (detect/resume WC reads
   ///     a *dead* rank's state), honoring `horizon` and optionally staging
   ///     through the prefetcher.
+  /// Corruption-tolerant: every file is CRC-verified; a corrupt or
+  /// truncated file is re-read (transient bit rot), then served from the
+  /// other tier's replica (local torn -> drained shared copy; shared copy
+  /// corrupt -> the dead rank's intact local file), and finally
+  /// quarantined — recovery loses bounded work but never aborts on bad
+  /// bytes and never ingests garbage. Outcomes are counted in `out` and in
+  /// integrity().
   Status load_rank_stage(simmpi::Comm& comm, int stage, int src_rank, int src_node,
                          bool from_shared, double horizon, RankRecovery& out,
                          const LoadFilter& filter = LoadFilter{});
@@ -114,19 +162,34 @@ class CheckpointManager {
   [[nodiscard]] size_t bytes_written() const noexcept { return bytes_written_; }
   [[nodiscard]] int count() const noexcept { return count_; }
 
+  [[nodiscard]] IntegrityStats integrity() const noexcept { return integ_; }
+  /// Called by the recovery engine when quarantined checkpoints force work
+  /// (a map task or a partition) to be re-executed from scratch.
+  void note_segments_reprocessed(int n) noexcept { integ_.segments_reprocessed += n; }
+
  private:
   Status put(simmpi::Comm& comm, const std::string& name, const Bytes& payload);
+  /// Read `rank_dir`/`name` from `tier` and return its verified payload.
+  /// Implements retry -> other-tier fallback -> quarantine; returns
+  /// kCorrupt only when no valid replica exists anywhere.
+  Status read_verified(simmpi::Comm& comm, storage::Tier tier, int src_node,
+                       const std::string& rank_dir, const std::string& name,
+                       storage::Prefetcher* prefetch, size_t prefetch_index,
+                       std::vector<std::string>* other_tier_listing,
+                       Bytes& payload, RankRecovery& out);
 
   storage::StorageSystem* fs_;
   int node_;
   int rank_;
   CkptOptions opts_;
   int conc_;
+  storage::RetryPolicy retry_;
   storage::CopierAgent copier_;
   std::map<std::string, int> seq_;
   double write_seconds_ = 0.0;
   size_t bytes_written_ = 0;
   int count_ = 0;
+  IntegrityStats integ_;
 };
 
 }  // namespace ftmr::core

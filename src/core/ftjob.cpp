@@ -843,7 +843,13 @@ void FtJob::patch_state_after_shrink(const std::vector<int>& new_dead) {
           TaskProgress& tp = st.tasks[t];
           if (tp.done) continue;
           auto rit = rec.map_tasks.find(t);
-          if (rit == rec.map_tasks.end()) continue;  // no checkpoint: from 0
+          if (rit == rec.map_tasks.end()) {
+            // No usable checkpoint: the task reruns from record 0. When the
+            // load quarantined files this is work lost to corruption (not
+            // merely an undrained tail) — count it.
+            if (rec.quarantined > 0) ckpt_->note_segments_reprocessed(1);
+            continue;
+          }
           if (rit->second.pos <= tp.pos) continue;   // already have newer
           tp.pos = rit->second.pos;
           tp.last_ckpt_pos = tp.pos;
@@ -857,8 +863,9 @@ void FtJob::patch_state_after_shrink(const std::vector<int>& new_dead) {
         for (int p : my_new_parts) {
           auto pit = rec.partitions.find(p);
           if (pit == rec.partitions.end()) {
-            // Partition checkpoint missing (e.g. not drained in time):
-            // fall back to the NWC rebuild for this partition.
+            // Partition checkpoint missing (not drained in time, or
+            // quarantined as corrupt): fall back to the NWC rebuild.
+            if (rec.quarantined > 0) ckpt_->note_segments_reprocessed(1);
             st.partitions_missing.insert(p);
             for (uint64_t t : my_new_tasks) {
               if (!st.tasks.count(t)) st.tasks[t] = TaskProgress{};
@@ -909,10 +916,24 @@ void FtJob::prime_from_own_checkpoints() {
         break;
       }
     }
+    // Claiming shuffle-done requires *every* owned partition's checkpoint —
+    // with corruption-tolerant loading a quarantined partition file is
+    // simply absent from `rec`, and resuming reduce without it would
+    // silently drop its keys. Fall back to map phase (map progress is still
+    // usable) and let the shuffle regenerate the partitions.
+    bool all_parts = !rec.partitions.empty();
+    for (int p = 0; p < p0_ && all_parts; ++p) {
+      if (part_owner_[static_cast<size_t>(p)] == world_.global_rank() &&
+          !rec.partitions.count(p)) {
+        all_parts = false;
+      }
+    }
     if (all_out && !rec.stage_outputs.empty()) {
       phase = kPhaseDone;
-    } else if (!rec.partitions.empty()) {
+    } else if (all_parts) {
       phase = kPhaseShuffleDone;
+    } else if (rec.quarantined > 0 && !rec.partitions.empty()) {
+      ckpt_->note_segments_reprocessed(1);  // shuffle re-executed for corruption
     }
     my_composite = static_cast<int64_t>(sid) * 8 + phase;
     recs[sid] = std::move(rec);

@@ -8,16 +8,41 @@ namespace ftmr::storage {
 Status CopierAgent::enqueue(std::string_view local_path, std::string_view shared_path,
                             double now, double* done_at) {
   double io_cost = 0.0;
-  if (auto s = storage_->copy(Tier::kLocal, node_, local_path, Tier::kShared, node_,
-                              shared_path, &io_cost, concurrency_);
-      !s.ok()) {
-    return s;
+  double backoff_total = 0.0;
+  Status last = Status::Ok();
+  bool copied = false;
+  for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    last = storage_->copy(Tier::kLocal, node_, local_path, Tier::kShared, node_,
+                          shared_path, &io_cost, concurrency_);
+    if (last.ok()) {
+      copied = true;
+      break;
+    }
+    // A missing source or an unavailable tier cannot be cured by waiting —
+    // fail fast.
+    if (last.code() == ErrorCode::kNotFound ||
+        last.code() == ErrorCode::kFailedPrecondition) {
+      break;
+    }
+    if (attempt < retry_.max_attempts) {
+      const double b = retry_.backoff_before(attempt);
+      backoff_total += b;
+      std::lock_guard<std::mutex> lock(mu_);
+      retries_++;
+    }
+  }
+  if (!copied) {
+    std::lock_guard<std::mutex> lock(mu_);
+    busy_until_ = std::max(busy_until_, now) + backoff_total;
+    failed_.push_back({std::string(local_path), std::string(shared_path), last});
+    return last;
   }
   const int64_t size = storage_->file_size(Tier::kShared, node_, shared_path);
   std::lock_guard<std::mutex> lock(mu_);
-  // The copier starts this job when it's free and the job has been issued.
+  // The copier starts this job when it's free and the job has been issued;
+  // retries stretch its timeline by the backoff it sat out.
   const double start = std::max(busy_until_, now);
-  busy_until_ = start + io_cost;
+  busy_until_ = start + backoff_total + io_cost;
   io_seconds_ += io_cost;
   cpu_seconds_ += model_.dispatch_s +
                   model_.cpu_per_byte_s * static_cast<double>(std::max<int64_t>(size, 0));
@@ -57,23 +82,43 @@ int CopierAgent::copies() const {
   return copies_;
 }
 
+int CopierAgent::retries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retries_;
+}
+
+std::vector<FailedDrain> CopierAgent::failed_drains() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
 Status Prefetcher::start(std::span<const std::string> shared_paths,
                          std::string_view local_prefix, double start) {
   available_at_.clear();
   local_paths_.clear();
+  staged_error_.clear();
   double t = start;
   for (const std::string& sp : shared_paths) {
     const std::string base = std::filesystem::path(sp).filename().string();
     const std::string lp = std::string(local_prefix) + "/" + base;
     double io_cost = 0.0;
-    if (auto s = storage_->copy(Tier::kShared, node_, sp, Tier::kLocal, node_, lp,
-                                &io_cost, concurrency_);
-        !s.ok()) {
-      return s;
+    Status last = Status::Ok();
+    for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+      last = storage_->copy(Tier::kShared, node_, sp, Tier::kLocal, node_, lp,
+                            &io_cost, concurrency_);
+      if (last.ok() || last.code() == ErrorCode::kNotFound ||
+          last.code() == ErrorCode::kFailedPrecondition) {
+        break;
+      }
+      if (attempt < retry_.max_attempts) {
+        t += retry_.backoff_before(attempt);
+        retries_++;
+      }
     }
-    t += io_cost;
+    if (last.ok()) t += io_cost;
     available_at_.push_back(t);
     local_paths_.push_back(lp);
+    staged_error_.push_back(last);  // a failed stage is reported, not fatal
   }
   return Status::Ok();
 }
@@ -82,6 +127,7 @@ Status Prefetcher::read(size_t i, double now, Bytes& out, double* sim_cost) {
   if (i >= local_paths_.size()) {
     return {ErrorCode::kOutOfRange, "Prefetcher::read: index out of range"};
   }
+  if (!staged_error_[i].ok()) return staged_error_[i];
   double local_cost = 0.0;
   if (auto s = storage_->read_file(Tier::kLocal, node_, local_paths_[i], out,
                                    &local_cost);

@@ -32,19 +32,43 @@ struct CopierModel {
   double dispatch_s = 20e-6;
 };
 
+/// Bounded exponential backoff for transient I/O errors, accounted in
+/// virtual time on the retrying agent's timeline.
+struct RetryPolicy {
+  int max_attempts = 4;           // total tries, including the first
+  double backoff_s = 1e-3;        // virtual-time wait before the 1st retry
+  double multiplier = 4.0;        // backoff growth per retry
+  /// Backoff before retry number `retry` (1-based).
+  [[nodiscard]] double backoff_before(int retry) const noexcept {
+    double b = backoff_s;
+    for (int i = 1; i < retry; ++i) b *= multiplier;
+    return b;
+  }
+};
+
+/// A drain that exhausted its retry budget. Reported, never silently
+/// dropped: recovery treats the missing shared copy as lost-but-known work.
+struct FailedDrain {
+  std::string local_path;
+  std::string shared_path;
+  Status error;
+};
+
 /// Drains node-local files to shared storage on a simulated background
 /// timeline. Thread-safe (a master and a worker may both interact with it).
 class CopierAgent {
  public:
   CopierAgent(StorageSystem* storage, int node, int shared_concurrency,
-              CopierModel model = {})
+              CopierModel model = {}, RetryPolicy retry = {})
       : storage_(storage), node_(node), concurrency_(shared_concurrency),
-        model_(model) {}
+        model_(model), retry_(retry) {}
 
   /// Copy local:`local_path` -> shared:`shared_path`, issued at worker
   /// virtual time `now`. The real copy happens immediately; `*done_at`
   /// (if non-null) receives the simulated completion time on the copier's
-  /// timeline.
+  /// timeline. Transient I/O errors are retried with exponential backoff
+  /// (the backoff elapses on the copier's timeline); a drain that exhausts
+  /// the budget is recorded in failed_drains() and its error returned.
   Status enqueue(std::string_view local_path, std::string_view shared_path,
                  double now, double* done_at = nullptr);
 
@@ -59,18 +83,23 @@ class CopierAgent {
   [[nodiscard]] double io_seconds() const;       // copier-side I/O time
   [[nodiscard]] size_t bytes_copied() const;
   [[nodiscard]] int copies() const;
+  [[nodiscard]] int retries() const;             // transient errors retried
+  [[nodiscard]] std::vector<FailedDrain> failed_drains() const;
 
  private:
   StorageSystem* storage_;
   int node_;
   int concurrency_;
   CopierModel model_;
+  RetryPolicy retry_;
   mutable std::mutex mu_;
   double busy_until_ = 0.0;
   double cpu_seconds_ = 0.0;
   double io_seconds_ = 0.0;
   size_t bytes_ = 0;
   int copies_ = 0;
+  int retries_ = 0;
+  std::vector<FailedDrain> failed_;
 };
 
 /// Moves an ordered sequence of shared-storage files to the local disk
@@ -81,11 +110,17 @@ class CopierAgent {
 /// plus the local read cost — instead of the full shared read cost.
 class Prefetcher {
  public:
-  Prefetcher(StorageSystem* storage, int node, int shared_concurrency)
-      : storage_(storage), node_(node), concurrency_(shared_concurrency) {}
+  Prefetcher(StorageSystem* storage, int node, int shared_concurrency,
+             RetryPolicy retry = {})
+      : storage_(storage), node_(node), concurrency_(shared_concurrency),
+        retry_(retry) {}
 
   /// Start prefetching `shared_paths` (in consumption order) at virtual
   /// time `start`. Files are copied under local:`local_prefix`/<basename>.
+  /// Transient copy errors are retried with backoff on the pipeline
+  /// timeline; a file that exhausts the budget is marked unavailable (its
+  /// read() reports the error so the reader can fall back to the shared
+  /// tier directly) instead of aborting the whole pipeline.
   Status start(std::span<const std::string> shared_paths,
                std::string_view local_prefix, double start);
 
@@ -104,12 +139,21 @@ class Prefetcher {
   /// seconds the reader spends (stall-for-prefetch + local read).
   Status read(size_t i, double now, Bytes& out, double* sim_cost);
 
+  /// True if the i-th file was staged successfully (read() can serve it).
+  [[nodiscard]] bool staged_ok(size_t i) const {
+    return i < staged_error_.size() && staged_error_[i].ok();
+  }
+  [[nodiscard]] int retries() const { return retries_; }
+
  private:
   StorageSystem* storage_;
   int node_;
   int concurrency_;
+  RetryPolicy retry_;
+  int retries_ = 0;
   std::vector<double> available_at_;
   std::vector<std::string> local_paths_;
+  std::vector<Status> staged_error_;  // per-file: Ok or the permanent error
 };
 
 }  // namespace ftmr::storage

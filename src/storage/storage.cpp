@@ -34,12 +34,85 @@ Status StorageSystem::take_injected_failure() {
   std::lock_guard<std::mutex> lock(stats_mu_);
   if (injected_failures_ <= 0) return Status::Ok();
   --injected_failures_;
+  fault_stats_.count_failures++;
   return injected_error_;
+}
+
+void StorageSystem::set_fault_injector(FaultInjectorConfig cfg) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  injector_rng_ = Rng(cfg.seed);
+  injector_ = std::move(cfg);
+  injector_armed_ = true;
+}
+
+void StorageSystem::clear_fault_injector() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  injector_armed_ = false;
+}
+
+FaultStats StorageSystem::fault_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return fault_stats_;
+}
+
+StorageSystem::WriteFault StorageSystem::draw_write_fault(Tier tier,
+                                                          std::string_view path,
+                                                          size_t size,
+                                                          size_t* torn_prefix) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (!injector_armed_) return WriteFault::kNone;
+  if (!injector_.path_filter.empty() &&
+      path.find(injector_.path_filter) == std::string_view::npos) {
+    return WriteFault::kNone;
+  }
+  const TierFaults& f =
+      (tier == Tier::kLocal) ? injector_.local : injector_.shared;
+  if (f.p_write_fail > 0.0 && injector_rng_.next_double() < f.p_write_fail) {
+    fault_stats_.write_failures++;
+    return WriteFault::kFail;
+  }
+  if (f.p_torn_write > 0.0 && injector_rng_.next_double() < f.p_torn_write) {
+    fault_stats_.torn_writes++;
+    *torn_prefix = size > 0 ? injector_rng_.next_below(size) : 0;
+    return WriteFault::kTorn;
+  }
+  return WriteFault::kNone;
+}
+
+StorageSystem::ReadFault StorageSystem::draw_read_fault(Tier tier,
+                                                        std::string_view path) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (!injector_armed_) return ReadFault::kNone;
+  if (!injector_.path_filter.empty() &&
+      path.find(injector_.path_filter) == std::string_view::npos) {
+    return ReadFault::kNone;
+  }
+  const TierFaults& f =
+      (tier == Tier::kLocal) ? injector_.local : injector_.shared;
+  if (f.p_read_fail > 0.0 && injector_rng_.next_double() < f.p_read_fail) {
+    fault_stats_.read_failures++;
+    return ReadFault::kFail;
+  }
+  if (f.p_corrupt_read > 0.0 && injector_rng_.next_double() < f.p_corrupt_read) {
+    fault_stats_.corrupt_reads++;
+    return ReadFault::kCorrupt;
+  }
+  return ReadFault::kNone;
+}
+
+void StorageSystem::corrupt_buffer(Bytes& buf) {
+  if (buf.empty()) return;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  const size_t byte_idx = injector_rng_.next_below(buf.size());
+  const int bit = static_cast<int>(injector_rng_.next_below(8));
+  buf[byte_idx] ^= static_cast<std::byte>(1u << bit);
 }
 
 Status StorageSystem::check_tier(Tier tier) const {
   if (tier == Tier::kLocal && !opts_.has_local_disk) {
-    return {ErrorCode::kIo, "no node-local disk on this cluster"};
+    // A configuration error, not a transient fault: retry layers must not
+    // spin on it and best-effort checkpointing must surface it.
+    return {ErrorCode::kFailedPrecondition, "no node-local disk on this cluster"};
   }
   return Status::Ok();
 }
@@ -55,6 +128,12 @@ Status StorageSystem::write_file(Tier tier, int node, std::string_view path,
                                  int concurrency) {
   if (auto s = check_tier(tier); !s.ok()) return s;
   if (auto s = take_injected_failure(); !s.ok()) return s;
+  size_t torn_prefix = 0;
+  const WriteFault wf = draw_write_fault(tier, path, data.size(), &torn_prefix);
+  if (wf == WriteFault::kFail) {
+    return {ErrorCode::kIo, "injected write failure: " + std::string(path)};
+  }
+  if (wf == WriteFault::kTorn) data = data.subspan(0, torn_prefix);
   const fs::path p = real_path(tier, node, path);
   std::error_code ec;
   fs::create_directories(p.parent_path(), ec);
@@ -78,6 +157,12 @@ Status StorageSystem::append_file(Tier tier, int node, std::string_view path,
                                   int concurrency) {
   if (auto s = check_tier(tier); !s.ok()) return s;
   if (auto s = take_injected_failure(); !s.ok()) return s;
+  size_t torn_prefix = 0;
+  const WriteFault wf = draw_write_fault(tier, path, data.size(), &torn_prefix);
+  if (wf == WriteFault::kFail) {
+    return {ErrorCode::kIo, "injected append failure: " + std::string(path)};
+  }
+  if (wf == WriteFault::kTorn) data = data.subspan(0, torn_prefix);
   const fs::path p = real_path(tier, node, path);
   std::error_code ec;
   fs::create_directories(p.parent_path(), ec);
@@ -100,6 +185,10 @@ Status StorageSystem::read_file(Tier tier, int node, std::string_view path,
                                 Bytes& out, double* sim_cost, int concurrency) {
   if (auto s = check_tier(tier); !s.ok()) return s;
   if (auto s = take_injected_failure(); !s.ok()) return s;
+  const ReadFault rf = draw_read_fault(tier, path);
+  if (rf == ReadFault::kFail) {
+    return {ErrorCode::kIo, "injected read failure: " + std::string(path)};
+  }
   const fs::path p = real_path(tier, node, path);
   std::ifstream f(p, std::ios::binary | std::ios::ate);
   if (!f) return {ErrorCode::kNotFound, "read_file: no such file " + p.string()};
@@ -108,6 +197,7 @@ Status StorageSystem::read_file(Tier tier, int node, std::string_view path,
   out.resize(static_cast<size_t>(size));
   f.read(reinterpret_cast<char*>(out.data()), size);
   if (!f) return {ErrorCode::kIo, "read_file: short read from " + p.string()};
+  if (rf == ReadFault::kCorrupt) corrupt_buffer(out);
   if (sim_cost) *sim_cost = cost_of(tier, out.size(), 1, concurrency);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/rng.hpp"
 #include "common/status.hpp"
 
 namespace ftmr::storage {
@@ -67,6 +68,44 @@ struct TierStats {
   size_t bytes_read = 0;
   int64_t write_ops = 0;
   int64_t read_ops = 0;
+};
+
+/// Per-tier fault probabilities for the storage fault injector. Each
+/// operation draws independently from the injector's seeded RNG.
+struct TierFaults {
+  /// Write/append fails cleanly (kIo returned, nothing persisted).
+  double p_write_fail = 0.0;
+  /// Torn write: a random strict prefix of the data is persisted and the
+  /// operation *reports success* — the failure mode of a process dying
+  /// mid-write, detectable only by end-to-end verification (CRC framing).
+  double p_torn_write = 0.0;
+  /// Read fails cleanly with kIo (transient: a retry redraws).
+  double p_read_fail = 0.0;
+  /// Corrupt-on-read: one random bit of the returned buffer is flipped and
+  /// the read reports success. Transient (the file on disk is untouched),
+  /// modeling bus/media bit rot caught only by checksums.
+  double p_corrupt_read = 0.0;
+};
+
+/// Seeded, deterministic storage fault injector configuration.
+struct FaultInjectorConfig {
+  uint64_t seed = 0x5eedULL;
+  TierFaults local;
+  TierFaults shared;
+  /// If non-empty, only operations whose logical path contains this
+  /// substring are eligible for injection (e.g. "ck/r2" to attack one
+  /// rank's checkpoints while leaving job input/output pristine).
+  std::string path_filter;
+};
+
+/// Robustness counters: what the injector actually did. Benches and tests
+/// assert on these the way they assert on TierStats.
+struct FaultStats {
+  int64_t write_failures = 0;   // clean injected write failures
+  int64_t torn_writes = 0;      // silent prefix-only writes
+  int64_t read_failures = 0;    // clean injected read failures
+  int64_t corrupt_reads = 0;    // silent bit flips on read
+  int64_t count_failures = 0;   // legacy inject_io_failures() consumptions
 };
 
 class StorageSystem {
@@ -117,11 +156,20 @@ class StorageSystem {
   [[nodiscard]] TierStats stats(Tier tier) const;
   [[nodiscard]] const StorageOptions& options() const noexcept { return opts_; }
 
-  /// Fault injection: the next `count` read/write/append operations fail
-  /// with `error`. Used to test that I/O errors surface as clean Status
-  /// failures instead of hangs or corruption.
+  /// Deterministic fault injection: the next `count` read/write/append
+  /// operations fail with `error`. Kept for tests that need an exact
+  /// failure (e.g. "the first read fails, the retry succeeds"); the
+  /// probabilistic injector below is the general mechanism.
   void inject_io_failures(int count, Status error = {ErrorCode::kIo,
                                                      "injected I/O failure"});
+
+  /// Arm the seeded probabilistic fault injector (torn writes, bit flips,
+  /// clean failures; per tier, optionally path-filtered). Replaces any
+  /// previous configuration; fault statistics keep accumulating.
+  void set_fault_injector(FaultInjectorConfig cfg);
+  /// Disarm the probabilistic injector (stats are retained).
+  void clear_fault_injector();
+  [[nodiscard]] FaultStats fault_stats() const;
 
   /// Filesystem location of a logical path (for tests/debugging).
   [[nodiscard]] std::filesystem::path real_path(Tier tier, int node,
@@ -133,12 +181,24 @@ class StorageSystem {
   /// Consume one injected failure if armed (returns it), else OK.
   Status take_injected_failure();
 
+  /// Injector decision for one operation (locks stats_mu_ internally).
+  enum class WriteFault { kNone, kFail, kTorn };
+  enum class ReadFault { kNone, kFail, kCorrupt };
+  WriteFault draw_write_fault(Tier tier, std::string_view path, size_t size,
+                              size_t* torn_prefix);
+  ReadFault draw_read_fault(Tier tier, std::string_view path);
+  void corrupt_buffer(Bytes& buf);
+
   StorageOptions opts_;
   mutable std::mutex stats_mu_;
   TierStats local_stats_;
   TierStats shared_stats_;
   int injected_failures_ = 0;
   Status injected_error_;
+  bool injector_armed_ = false;
+  FaultInjectorConfig injector_;
+  Rng injector_rng_;
+  FaultStats fault_stats_;
 };
 
 /// RAII temp sandbox for tests/benches: creates a unique directory under

@@ -195,7 +195,9 @@ TEST(Placement, NoLocalDiskWithLocalPlacementFailsCleanly) {
     o.ckpt.location = CkptOptions::Location::kLocalWithCopier;
     FtJob job(c, cl.fs.get(), o);
     Status s = job.run([&](FtJob& j) { return driver_of(j, wc_fns(false)); });
-    EXPECT_EQ(s.code(), ErrorCode::kIo);  // surfaced, not crashed
+    // Surfaced as a configuration error, not crashed and not silently
+    // degraded to checkpoint-less execution.
+    EXPECT_EQ(s.code(), ErrorCode::kFailedPrecondition);
   });
 }
 

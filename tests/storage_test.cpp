@@ -130,8 +130,10 @@ TEST(NoLocalDisk, LocalOpsFail) {
   opts.root = tmp.path();
   opts.has_local_disk = false;
   StorageSystem fs(opts);
+  // Distinct from kIo: a missing tier is a configuration error, so retry
+  // layers fail fast instead of spinning on it.
   EXPECT_EQ(fs.write_file(Tier::kLocal, 0, "f", as_bytes_view("x")).code(),
-            ErrorCode::kIo);
+            ErrorCode::kFailedPrecondition);
   EXPECT_TRUE(fs.write_file(Tier::kShared, 0, "f", as_bytes_view("x")).ok());
 }
 
@@ -217,12 +219,18 @@ TEST_F(PrefetcherTest, ReaderStallsOnlyUntilAvailable) {
   EXPECT_NEAR(late, local_read, 1e-9);
 }
 
-TEST_F(PrefetcherTest, MissingSharedFileFails) {
+TEST_F(PrefetcherTest, MissingSharedFileReportedPerFile) {
+  // A file that cannot be staged no longer aborts the whole pipeline: start()
+  // succeeds, the file is marked unstaged, and its read() reports the error
+  // so the reader can fall back to the shared tier directly.
   Prefetcher pf(fs_.get(), 0, 1);
   std::vector<std::string> paths{"ck/missing"};
-  EXPECT_FALSE(pf.start(paths, "stage", 0.0).ok());
+  EXPECT_TRUE(pf.start(paths, "stage", 0.0).ok());
+  ASSERT_EQ(pf.count(), 1u);
+  EXPECT_FALSE(pf.staged_ok(0));
   Bytes out;
   double c;
+  EXPECT_EQ(pf.read(0, 0.0, out, &c).code(), ErrorCode::kNotFound);
   EXPECT_EQ(pf.read(7, 0.0, out, &c).code(), ErrorCode::kOutOfRange);
 }
 
