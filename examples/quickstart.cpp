@@ -7,6 +7,7 @@
 //   4. read the output back.
 //
 //   $ ./quickstart [nranks=4]
+#include <charconv>
 #include <cstdio>
 #include <map>
 
@@ -39,13 +40,13 @@ int main(int argc, char** argv) {
 
   // User logic: split lines into words, then sum the counts per word.
   core::StageFns wordcount;
-  wordcount.map = [](const std::string&, const std::string& line,
+  wordcount.map = [](std::string_view, std::string_view line,
                      mr::KvBuffer& out) -> int32_t {
     int32_t n = 0;
     size_t pos = 0;
     while (pos < line.size()) {
       size_t end = line.find(' ', pos);
-      if (end == std::string::npos) end = line.size();
+      if (end == std::string_view::npos) end = line.size();
       if (end > pos) {
         out.add(line.substr(pos, end - pos), "1");
         ++n;
@@ -54,11 +55,15 @@ int main(int argc, char** argv) {
     }
     return n;
   };
-  wordcount.reduce = [](const std::string& key,
-                        const std::vector<std::string>& values,
+  wordcount.reduce = [](std::string_view key,
+                        std::span<const std::string_view> values,
                         mr::KvBuffer& out) -> int32_t {
     int64_t sum = 0;
-    for (const auto& v : values) sum += std::strtoll(v.c_str(), nullptr, 10);
+    for (std::string_view v : values) {
+      int64_t n = 0;
+      std::from_chars(v.data(), v.data() + v.size(), n);
+      sum += n;
+    }
     out.add(key, std::to_string(sum));
     return 1;
   };

@@ -102,12 +102,12 @@ core::StageFns blast_stage(const BlastGenOptions& opts,
   // formatted BLAST DB does in MR-MPI-BLAST).
   auto db = std::make_shared<std::vector<std::string>>(make_database(opts));
   core::StageFns fns;
-  fns.map = [db](const std::string&, const std::string& line,
+  fns.map = [db](std::string_view, std::string_view line,
                  mr::KvBuffer& out) -> int32_t {
     const auto tab = line.find('\t');
-    if (tab == std::string::npos) return 0;
-    const std::string qid = line.substr(0, tab);
-    const std::string_view qseq = std::string_view(line).substr(tab + 1);
+    if (tab == std::string_view::npos) return 0;
+    const std::string_view qid = line.substr(0, tab);
+    const std::string_view qseq = line.substr(tab + 1);
     // Score against a deterministic sample of the DB partition (the real
     // BLAST prunes with k-mer seeding; sampling models that pruning while
     // keeping the kernel genuinely quadratic).
@@ -127,13 +127,13 @@ core::StageFns blast_stage(const BlastGenOptions& opts,
     }
     return emitted;
   };
-  fns.reduce = [](const std::string& key, const std::vector<std::string>& values,
+  fns.reduce = [](std::string_view key, std::span<const std::string_view> values,
                   mr::KvBuffer& out) -> int32_t {
     // Sort hits by E-value ascending and append (paper: "sorts each search
     // hit by the E-value and append hits to files").
     std::vector<Hit> hits;
     hits.reserve(values.size());
-    for (const auto& v : values) hits.push_back(parse_hit(v));
+    for (std::string_view v : values) hits.push_back(parse_hit(v));
     std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
       if (a.evalue != b.evalue) return a.evalue < b.evalue;
       return a.db_id < b.db_id;

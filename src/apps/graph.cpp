@@ -99,22 +99,24 @@ Status generate_graph(storage::StorageSystem& fs, const GraphGenOptions& opts,
 
 core::StageFns bfs_init_stage(int source) {
   core::StageFns fns;
-  fns.map = [source](const std::string&, const std::string& line,
+  fns.map = [source](std::string_view, std::string_view line,
                      mr::KvBuffer& out) -> int32_t {
     const auto tab = line.find('\t');
-    if (tab == std::string::npos) return 0;
-    const std::string node = line.substr(0, tab);
-    const std::string adj = line.substr(tab + 1);
+    if (tab == std::string_view::npos) return 0;
+    const std::string_view node = line.substr(0, tab);
+    const std::string_view adj = line.substr(tab + 1);
     const bool is_source = parse_int(node) == source;
-    out.add(node, std::string("A|") + (is_source ? "0" : "-1") + "|" + adj);
+    std::string state = is_source ? "A|0|" : "A|-1|";
+    state += adj;
+    out.add(node, state);
     return 1;
   };
-  fns.reduce = [](const std::string& key, const std::vector<std::string>& values,
+  fns.reduce = [](std::string_view key, std::span<const std::string_view> values,
                   mr::KvBuffer& out) -> int32_t {
     // One carrier per node at init.
-    for (const auto& v : values) {
+    for (std::string_view v : values) {
       auto [tag, rest] = split1(v);
-      if (tag == "A") out.add(key, std::string(rest));
+      if (tag == "A") out.add(key, rest);
     }
     return 1;
   };
@@ -123,11 +125,13 @@ core::StageFns bfs_init_stage(int source) {
 
 core::StageFns bfs_iter_stage() {
   core::StageFns fns;
-  fns.map = [](const std::string& node, const std::string& value,
+  fns.map = [](std::string_view node, std::string_view value,
                mr::KvBuffer& out) -> int32_t {
     auto [dist_s, adj_s] = split1(value);
     const int dist = parse_int(dist_s);
-    out.add(node, "A|" + value);  // carry state + adjacency forward
+    std::string carrier = "A|";
+    carrier += value;
+    out.add(node, carrier);  // carry state + adjacency forward
     int32_t n = 1;
     if (dist >= 0) {
       for (int v : parse_csv(adj_s)) {
@@ -137,11 +141,11 @@ core::StageFns bfs_iter_stage() {
     }
     return n;
   };
-  fns.reduce = [](const std::string& key, const std::vector<std::string>& values,
+  fns.reduce = [](std::string_view key, std::span<const std::string_view> values,
                   mr::KvBuffer& out) -> int32_t {
     int best = kInf;
     std::string adj;
-    for (const auto& v : values) {
+    for (std::string_view v : values) {
       auto [tag, rest] = split1(v);
       if (tag == "A") {
         auto [dist_s, adj_s] = split1(rest);
@@ -192,7 +196,7 @@ std::vector<int> bfs_reference(const std::vector<std::vector<int>>& adj,
   return dist;
 }
 
-int bfs_parse_dist(const std::string& value) {
+int bfs_parse_dist(std::string_view value) {
   return parse_int(split1(value).first);
 }
 
@@ -207,18 +211,20 @@ int bfs_parse_dist(const std::string& value) {
 
 core::StageFns pagerank_init_stage() {
   core::StageFns fns;
-  fns.map = [](const std::string&, const std::string& line,
+  fns.map = [](std::string_view, std::string_view line,
                mr::KvBuffer& out) -> int32_t {
     const auto tab = line.find('\t');
-    if (tab == std::string::npos) return 0;
-    out.add(line.substr(0, tab), "A|1.0|" + line.substr(tab + 1));
+    if (tab == std::string_view::npos) return 0;
+    std::string state = "A|1.0|";
+    state += line.substr(tab + 1);
+    out.add(line.substr(0, tab), state);
     return 1;
   };
-  fns.reduce = [](const std::string& key, const std::vector<std::string>& values,
+  fns.reduce = [](std::string_view key, std::span<const std::string_view> values,
                   mr::KvBuffer& out) -> int32_t {
-    for (const auto& v : values) {
+    for (std::string_view v : values) {
       auto [tag, rest] = split1(v);
-      if (tag == "A") out.add(key, std::string(rest));
+      if (tag == "A") out.add(key, rest);
     }
     return 1;
   };
@@ -227,12 +233,14 @@ core::StageFns pagerank_init_stage() {
 
 core::StageFns pagerank_contrib_stage() {
   core::StageFns fns;
-  fns.map = [](const std::string& node, const std::string& value,
+  fns.map = [](std::string_view node, std::string_view value,
                mr::KvBuffer& out) -> int32_t {
     auto [rank_s, adj_s] = split1(value);
     const double rank = core::Codec<double>::decode(rank_s);
     const std::vector<int> adj = parse_csv(adj_s);
-    out.add(node, "A|" + std::string(adj_s));
+    std::string carrier = "A|";
+    carrier += adj_s;
+    out.add(node, carrier);
     if (!adj.empty()) {
       const std::string contrib = core::Codec<double>::encode(
           rank / static_cast<double>(adj.size()));
@@ -240,11 +248,11 @@ core::StageFns pagerank_contrib_stage() {
     }
     return static_cast<int32_t>(adj.size() + 1);
   };
-  fns.reduce = [](const std::string& key, const std::vector<std::string>& values,
+  fns.reduce = [](std::string_view key, std::span<const std::string_view> values,
                   mr::KvBuffer& out) -> int32_t {
     double sum = 0.0;
     std::string adj;
-    for (const auto& v : values) {
+    for (std::string_view v : values) {
       auto [tag, rest] = split1(v);
       if (tag == "A") {
         adj = std::string(rest);
@@ -260,14 +268,14 @@ core::StageFns pagerank_contrib_stage() {
 
 core::StageFns pagerank_apply_stage() {
   core::StageFns fns;
-  fns.map = [](const std::string& node, const std::string& value,
+  fns.map = [](std::string_view node, std::string_view value,
                mr::KvBuffer& out) -> int32_t {
     out.add(node, value);  // pass-through
     return 1;
   };
-  fns.reduce = [](const std::string& key, const std::vector<std::string>& values,
+  fns.reduce = [](std::string_view key, std::span<const std::string_view> values,
                   mr::KvBuffer& out) -> int32_t {
-    for (const auto& v : values) {
+    for (std::string_view v : values) {
       auto [tag, rest] = split1(v);
       if (tag != "S") continue;
       auto [sum_s, adj_s] = split1(rest);
@@ -312,7 +320,7 @@ std::vector<double> pagerank_reference(const std::vector<std::vector<int>>& adj,
   return rank;
 }
 
-double pagerank_parse_rank(const std::string& value) {
+double pagerank_parse_rank(std::string_view value) {
   return core::Codec<double>::decode(split1(value).first);
 }
 

@@ -43,7 +43,7 @@ core::FtJob::Driver bfs_driver(int source, int iterations);
 /// Reference BFS for verification: node -> distance (-1 unreachable).
 std::vector<int> bfs_reference(const std::vector<std::vector<int>>& adj, int source);
 /// Parse a BFS output value "dist|adj" -> dist.
-int bfs_parse_dist(const std::string& value);
+int bfs_parse_dist(std::string_view value);
 
 // ---- PageRank ----
 
@@ -56,6 +56,6 @@ core::FtJob::Driver pagerank_driver(int iterations);
 /// approximate verification.
 std::vector<double> pagerank_reference(const std::vector<std::vector<int>>& adj,
                                        int iterations);
-double pagerank_parse_rank(const std::string& value);
+double pagerank_parse_rank(std::string_view value);
 
 }  // namespace ftmr::apps

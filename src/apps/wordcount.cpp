@@ -1,6 +1,6 @@
 #include "apps/wordcount.hpp"
 
-#include <cstdlib>
+#include <charconv>
 
 namespace ftmr::apps {
 
@@ -22,9 +22,16 @@ int32_t split_words(std::string_view line, const Emit& emit) {
   return n;
 }
 
-int64_t sum_values(const std::vector<std::string>& values) {
+int64_t parse_count(std::string_view v) {
+  // Arena views are not null-terminated, so parse with from_chars.
+  int64_t n = 0;
+  std::from_chars(v.data(), v.data() + v.size(), n);
+  return n;
+}
+
+int64_t sum_values(std::span<const std::string_view> values) {
   int64_t sum = 0;
-  for (const auto& v : values) sum += std::strtoll(v.c_str(), nullptr, 10);
+  for (std::string_view v : values) sum += parse_count(v);
   return sum;
 }
 
@@ -32,11 +39,11 @@ int64_t sum_values(const std::vector<std::string>& values) {
 
 core::StageFns wordcount_stage() {
   core::StageFns fns;
-  fns.map = [](const std::string&, const std::string& line,
+  fns.map = [](std::string_view, std::string_view line,
                mr::KvBuffer& out) -> int32_t {
     return split_words(line, [&](std::string_view w) { out.add(w, "1"); });
   };
-  fns.reduce = [](const std::string& key, const std::vector<std::string>& values,
+  fns.reduce = [](std::string_view key, std::span<const std::string_view> values,
                   mr::KvBuffer& out) -> int32_t {
     out.add(key, std::to_string(sum_values(values)));
     return 1;
@@ -61,12 +68,8 @@ mr::MapFn wordcount_map_baseline() {
 }
 
 mr::ReduceFn wordcount_reduce_baseline() {
-  return [](const std::string& key, std::span<const std::string> values,
-            mr::KvBuffer& out) {
-    int64_t sum = 0;
-    for (const auto& v : values) sum += std::strtoll(v.c_str(), nullptr, 10);
-    out.add(key, std::to_string(sum));
-  };
+  return [](std::string_view key, std::span<const std::string_view> values,
+            mr::KvBuffer& out) { out.add(key, std::to_string(sum_values(values))); };
 }
 
 }  // namespace ftmr::apps

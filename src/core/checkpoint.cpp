@@ -218,7 +218,7 @@ Status CheckpointManager::map_ckpt(simmpi::Comm& comm, int stage, uint64_t task,
   ByteWriter w;
   w.put<uint64_t>(task);
   w.put<uint64_t>(pos);
-  w.put_blob(delta.serialize());
+  w.put_blob(delta.wire_view());
   return put(comm, base_name(kMap, stage, task, seq), std::move(w).take());
 }
 
@@ -229,7 +229,7 @@ Status CheckpointManager::partition_ckpt(simmpi::Comm& comm, int stage,
   const int seq = seq_[key]++;
   ByteWriter w;
   w.put<int32_t>(partition);
-  w.put_blob(kv.serialize());
+  w.put_blob(kv.wire_view());
   return put(comm, base_name(kPart, stage, static_cast<uint64_t>(partition), seq),
              std::move(w).take());
 }
@@ -243,7 +243,7 @@ Status CheckpointManager::reduce_ckpt(simmpi::Comm& comm, int stage, int partiti
   ByteWriter w;
   w.put<int32_t>(partition);
   w.put<uint64_t>(entries_done);
-  w.put_blob(out_delta.serialize());
+  w.put_blob(out_delta.wire_view());
   return put(comm, base_name(kRed, stage, static_cast<uint64_t>(partition), seq),
              std::move(w).take());
 }
@@ -255,7 +255,7 @@ Status CheckpointManager::stage_output_ckpt(simmpi::Comm& comm, int stage,
   const int seq = seq_[key]++;
   ByteWriter w;
   w.put<int32_t>(partition);
-  w.put_blob(out.serialize());
+  w.put_blob(out.wire_view());
   return put(comm, base_name(kOut, stage, static_cast<uint64_t>(partition), seq),
              std::move(w).take());
 }
@@ -468,7 +468,7 @@ Status CheckpointManager::load_rank_stage(simmpi::Comm& comm, int stage,
         if (auto s = r.get(pos); !s.ok()) return s;
         if (auto s = r.get_blob(blob); !s.ok()) return s;
         mr::KvBuffer delta;
-        if (auto s = mr::KvBuffer::deserialize(blob, delta); !s.ok()) return s;
+        if (auto s = delta.adopt(std::move(blob)); !s.ok()) return s;
         auto& mt = out.map_tasks[task];
         mt.pos = std::max(mt.pos, pos);
         mt.kv.merge_from(delta);
@@ -478,8 +478,8 @@ Status CheckpointManager::load_rank_stage(simmpi::Comm& comm, int stage,
         if (auto s = r.get(part); !s.ok()) return s;
         if (auto s = r.get_blob(blob); !s.ok()) return s;
         mr::KvBuffer kv;
-        if (auto s = mr::KvBuffer::deserialize(blob, kv); !s.ok()) return s;
-        out.partitions[part].merge_from(kv);
+        if (auto s = kv.adopt(std::move(blob)); !s.ok()) return s;
+        out.partitions[part].absorb(std::move(kv));
       } else if (p.kind == kRed) {
         int32_t part = 0;
         uint64_t done = 0;
@@ -488,7 +488,7 @@ Status CheckpointManager::load_rank_stage(simmpi::Comm& comm, int stage,
         if (auto s = r.get(done); !s.ok()) return s;
         if (auto s = r.get_blob(blob); !s.ok()) return s;
         mr::KvBuffer delta;
-        if (auto s = mr::KvBuffer::deserialize(blob, delta); !s.ok()) return s;
+        if (auto s = delta.adopt(std::move(blob)); !s.ok()) return s;
         auto& rr = out.reduce[part];
         rr.entries_done = std::max(rr.entries_done, done);
         rr.out.merge_from(delta);
@@ -498,8 +498,8 @@ Status CheckpointManager::load_rank_stage(simmpi::Comm& comm, int stage,
         if (auto s = r.get(part); !s.ok()) return s;
         if (auto s = r.get_blob(blob); !s.ok()) return s;
         mr::KvBuffer kv;
-        if (auto s = mr::KvBuffer::deserialize(blob, kv); !s.ok()) return s;
-        out.stage_outputs[part].merge_from(kv);
+        if (auto s = kv.adopt(std::move(blob)); !s.ok()) return s;
+        out.stage_outputs[part].absorb(std::move(kv));
       }
       return Status::Ok();
     };

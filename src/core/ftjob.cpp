@@ -206,24 +206,30 @@ Status FtJob::run_one_map_task(const StageFns& fns, bool kv_input, int stage,
   // -- the Algorithm-1 loop: while next() { map(); commit(); } --
   const double map_cost = current_map_cost(fns);
   mr::KvBuffer emitted;
+  std::string key_storage, value_storage;
   for (;;) {
-    std::string key, value;
+    std::string_view key, value;
     if (!kv_input) {
       int64_t line_no = 0;
-      if (!reader.next(line_no, value)) break;
-      key = std::to_string(line_no);
+      if (!reader.next(line_no, value_storage)) break;
+      key_storage = std::to_string(line_no);
+      key = key_storage;
+      value = value_storage;
     } else {
       if (kv_cursor >= kv_in->size()) break;
-      const mr::KvPair& p = kv_in->pairs()[kv_cursor++];
+      const mr::KvView p = kv_in->view(kv_cursor++);
       key = p.key;
       value = p.value;
     }
     emitted.clear();
     fns.map(key, value, emitted);
-    for (const mr::KvPair& p : emitted.pairs()) {
-      const int part = partition_of_key(p.key, p0_);
-      tp.parts[static_cast<size_t>(part)].add(p);
-      tp.pending_delta.add(p);
+    for (size_t i = 0; i < emitted.size(); ++i) {
+      // Route each emitted record by key hash; the record bytes are already
+      // wire-encoded in `emitted`'s arena, so both the partition copy and
+      // the checkpoint delta are single memcpys.
+      const int part = partition_of_key(emitted.view(i).key, p0_);
+      tp.parts[static_cast<size_t>(part)].append_record_from(emitted, i);
+      tp.pending_delta.append_record_from(emitted, i);
     }
     wc_.compute(map_cost);
     map_bytes_done_ += static_cast<double>(key.size() + value.size());
@@ -272,7 +278,7 @@ Bytes encode_blocks(const std::vector<std::pair<int, const mr::KvBuffer*>>& bloc
   w.put<uint32_t>(static_cast<uint32_t>(blocks.size()));
   for (const auto& [p, kv] : blocks) {
     w.put<int32_t>(p);
-    w.put_blob(kv->serialize());
+    w.put_blob(kv->wire_view());  // the arena IS the wire image
   }
   return std::move(w).take();
 }
@@ -289,9 +295,9 @@ Status decode_blocks(std::span<const std::byte> data,
     if (auto s = r.get(p); !s.ok()) return s;
     if (auto s = r.get_blob(blob); !s.ok()) return s;
     mr::KvBuffer kv;
-    if (auto s = mr::KvBuffer::deserialize(blob, kv); !s.ok()) return s;
+    if (auto s = kv.adopt(std::move(blob)); !s.ok()) return s;
     if (replace) into[p].clear();
-    into[p].merge_from(kv);
+    into[p].absorb(std::move(kv));
   }
   return Status::Ok();
 }
@@ -307,8 +313,10 @@ mr::KvBuffer combine_block(const mr::KvBuffer& in,
   if (!fns.combine || in.empty()) return in;
   const mr::KmvBuffer grouped = mr::convert_2pass(in);
   mr::KvBuffer out;
-  for (const mr::KmvEntry& e : grouped.entries()) {
-    fns.combine(e.key, e.values, out);
+  std::vector<std::string_view> scratch;
+  for (size_t i = 0; i < grouped.size(); ++i) {
+    grouped.values_of(i, scratch);
+    fns.combine(grouped.entry(i).key(), scratch, out);
   }
   return out;
 }
@@ -453,13 +461,14 @@ Status FtJob::reduce_phase(const StageFns& fns, int stage, StageState& st) {
       wc_.compute(static_cast<double>(rp.entries_done) * opts_.skip_cost_per_record);
     }
     mr::KvBuffer emitted;
+    std::vector<std::string_view> vscratch;
     for (size_t i = rp.entries_done; i < kmv.size(); ++i) {
-      const mr::KmvEntry& e = kmv.entries()[i];
+      kmv.values_of(i, vscratch);
       emitted.clear();
-      fns.reduce(e.key, e.values, emitted);
+      fns.reduce(kmv.entry(i).key(), vscratch, emitted);
       rp.out.merge_from(emitted);
       rp.pending_delta.merge_from(emitted);
-      wc_.compute(reduce_cost * static_cast<double>(e.values.size()));
+      wc_.compute(reduce_cost * static_cast<double>(vscratch.size()));
       rp.entries_done = i + 1;
       if (opts_.ckpt.enabled &&
           opts_.ckpt.granularity == CkptOptions::Granularity::kRecord &&
@@ -598,13 +607,13 @@ Status FtJob::write_output() {
     if (opts_.output_writer) {
       // User-formatted records (Table 1 FileRecordWriter path).
       std::string sink;
-      for (const mr::KvPair& pair : st.outputs[p].pairs()) {
+      for (mr::KvView pair : st.outputs[p]) {
         opts_.output_writer(pair.key, pair.value, sink);
       }
       payload = to_bytes(sink);
     } else {
       ByteWriter w;
-      for (const mr::KvPair& pair : st.outputs[p].pairs()) {
+      for (mr::KvView pair : st.outputs[p]) {
         w.put_string(pair.key);
         w.put_string(pair.value);
       }
@@ -854,8 +863,10 @@ void FtJob::patch_state_after_shrink(const std::vector<int>& new_dead) {
           tp.pos = rit->second.pos;
           tp.last_ckpt_pos = tp.pos;
           tp.parts.assign(static_cast<size_t>(p0_), mr::KvBuffer{});
-          for (const mr::KvPair& pr : rit->second.kv.pairs()) {
-            tp.parts[static_cast<size_t>(partition_of_key(pr.key, p0_))].add(pr);
+          const mr::KvBuffer& rkv = rit->second.kv;
+          for (size_t i = 0; i < rkv.size(); ++i) {
+            tp.parts[static_cast<size_t>(partition_of_key(rkv.view(i).key, p0_))]
+                .append_record_from(rkv, i);
           }
           tp.pending_delta.clear();
         }
@@ -967,8 +978,9 @@ void FtJob::prime_from_own_checkpoints() {
       tp.pos = mrec.pos;
       tp.last_ckpt_pos = mrec.pos;
       tp.parts.assign(static_cast<size_t>(p0_), mr::KvBuffer{});
-      for (const mr::KvPair& pr : mrec.kv.pairs()) {
-        tp.parts[static_cast<size_t>(partition_of_key(pr.key, p0_))].add(pr);
+      for (size_t i = 0; i < mrec.kv.size(); ++i) {
+        tp.parts[static_cast<size_t>(partition_of_key(mrec.kv.view(i).key, p0_))]
+            .append_record_from(mrec.kv, i);
       }
     }
     if (st.phase >= kPhaseShuffleDone) {

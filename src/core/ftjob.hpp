@@ -72,27 +72,30 @@ struct FtJobOptions {
   /// Optional output formatter (Table 1: FileRecordWriter). When set,
   /// write_output() serializes each final record through it (e.g. a
   /// TsvRecordWriter produces "key<TAB>value" text); when unset, output is
-  /// the library's length-prefixed binary encoding.
-  std::function<void(const std::string& key, const std::string& value,
+  /// the library's length-prefixed binary encoding. The views alias the
+  /// output buffer's arena and are valid only for the duration of the call.
+  std::function<void(std::string_view key, std::string_view value,
                      std::string& sink)> output_writer;
 };
 
-/// User logic of one stage, string-typed (the Table-1 templates adapt onto
-/// this via ftjob_adapters.hpp).
+/// User logic of one stage, view-typed (the Table-1 templates adapt onto
+/// this via ftjob_adapters.hpp). All key/value views alias engine-owned
+/// arenas and are valid only for the duration of the call — callbacks must
+/// copy anything they keep.
 struct StageFns {
   /// Map one input record; returns number of KV pairs emitted.
-  std::function<int32_t(const std::string& key, const std::string& value,
+  std::function<int32_t(std::string_view key, std::string_view value,
                         mr::KvBuffer& out)> map;
   /// Reduce one key group; returns number of KV pairs emitted.
-  std::function<int32_t(const std::string& key,
-                        const std::vector<std::string>& values,
+  std::function<int32_t(std::string_view key,
+                        std::span<const std::string_view> values,
                         mr::KvBuffer& out)> reduce;
   /// Optional combiner: locally pre-aggregates each partition's KV pairs
   /// before the shuffle (classic MapReduce optimization; must be
   /// associative/commutative with `reduce`). Same signature as reduce.
   /// Cuts shuffle volume and shuffle-end partition checkpoints.
-  std::function<int32_t(const std::string& key,
-                        const std::vector<std::string>& values,
+  std::function<int32_t(std::string_view key,
+                        std::span<const std::string_view> values,
                         mr::KvBuffer& out)> combine;
   /// Optional custom input reader (Table 1: FileRecordReader). The factory
   /// is invoked per map task; default is the line-oriented TextLineReader.

@@ -22,20 +22,17 @@ StageFns make_stage(std::shared_ptr<Mapper<IK, IV, MK, MV>> mapper,
                     std::shared_ptr<Reducer<MK, MV, OK, OV>> reducer,
                     void* aux = nullptr) {
   StageFns fns;
-  fns.map = [mapper, aux](const std::string& key, const std::string& value,
+  fns.map = [mapper, aux](std::string_view key, std::string_view value,
                           mr::KvBuffer& out) -> int32_t {
     IK k = Codec<IK>::decode(key);
     IV v = Codec<IV>::decode(value);
     KVWriter<MK, MV> writer(&out);
     return mapper->map(k, v, writer, aux);
   };
-  fns.reduce = [reducer, aux](const std::string& key,
-                              const std::vector<std::string>& values,
+  fns.reduce = [reducer, aux](std::string_view key,
+                              std::span<const std::string_view> values,
                               mr::KvBuffer& out) -> int32_t {
-    mr::KmvEntry entry;
-    entry.key = key;
-    entry.values = values;
-    KMVReader<MK, MV> reader(&entry);
+    KMVReader<MK, MV> reader(key, values);
     MK k = Codec<MK>::decode(key);
     KVWriter<OK, OV> writer(&out);
     return reducer->reduce(k, reader, writer, aux);

@@ -72,27 +72,30 @@ class KVWriter {
 };
 
 /// Key-multivalue reader handed to reduce functions: typed view over one
-/// grouped entry.
+/// grouped entry. Wraps the engine's zero-copy views — the key and value
+/// views alias the KMV arena and must outlive the reader's use.
 template <typename K, typename V>
 class KMVReader {
  public:
-  explicit KMVReader(const mr::KmvEntry* e) : entry_(e) {}
-  [[nodiscard]] K key() const { return Codec<K>::decode(entry_->key); }
-  [[nodiscard]] size_t count() const noexcept { return entry_->values.size(); }
+  KMVReader(std::string_view key, std::span<const std::string_view> values)
+      : key_(key), values_(values) {}
+  [[nodiscard]] K key() const { return Codec<K>::decode(key_); }
+  [[nodiscard]] size_t count() const noexcept { return values_.size(); }
   [[nodiscard]] V value(size_t i) const {
-    return Codec<V>::decode(entry_->values[i]);
+    return Codec<V>::decode(values_[i]);
   }
   /// Decode all values (convenience; reducers over large groups should
   /// iterate with value(i) instead).
   [[nodiscard]] std::vector<V> values() const {
     std::vector<V> out;
-    out.reserve(entry_->values.size());
-    for (const auto& v : entry_->values) out.push_back(Codec<V>::decode(v));
+    out.reserve(values_.size());
+    for (std::string_view v : values_) out.push_back(Codec<V>::decode(v));
     return out;
   }
 
  private:
-  const mr::KmvEntry* entry_;
+  std::string_view key_;
+  std::span<const std::string_view> values_;
 };
 
 /// Map task: applies user logic to one input record. Returns the number of

@@ -1,21 +1,11 @@
 #include "mr/convert.hpp"
 
-#include <algorithm>
 #include <map>
 #include <unordered_map>
 
 #include "common/hash.hpp"
 
 namespace ftmr::mr {
-
-namespace {
-
-void sort_by_key(KmvBuffer& kmv) {
-  std::sort(kmv.mutable_entries().begin(), kmv.mutable_entries().end(),
-            [](const KmvEntry& a, const KmvEntry& b) { return a.key < b.key; });
-}
-
-}  // namespace
 
 KmvBuffer convert_4pass(const KvBuffer& in, ConvertStats* stats) {
   constexpr int kBuckets = 16;
@@ -27,45 +17,62 @@ KmvBuffer convert_4pass(const KvBuffer& in, ConvertStats* stats) {
   // (Read + write the full volume — MR-MPI's convert touches the
   // intermediate data in every pass.)
   std::vector<size_t> bucket_pairs(kBuckets, 0);
-  for (const KvPair& p : in.pairs()) {
+  for (KvView p : in) {
     bucket_pairs[fnv1a(p.key) % kBuckets]++;
   }
   st.passes++;
   st.bytes_moved += 2 * volume;
 
-  // Pass 2 — partition: rewrite every pair into its hash bucket.
+  // Pass 2 — partition: rewrite every pair into its hash bucket. The
+  // buckets hold pair indices; the record bytes never leave `in`'s arena.
   // (Read + write the full volume.)
-  std::vector<std::vector<const KvPair*>> buckets(kBuckets);
+  std::vector<std::vector<size_t>> buckets(kBuckets);
   for (int b = 0; b < kBuckets; ++b) buckets[b].reserve(bucket_pairs[b]);
-  for (const KvPair& p : in.pairs()) {
-    buckets[fnv1a(p.key) % kBuckets].push_back(&p);
+  for (size_t i = 0; i < in.size(); ++i) {
+    buckets[fnv1a(in.view(i).key) % kBuckets].push_back(i);
   }
   st.passes++;
   st.bytes_moved += 2 * volume;
 
-  // Pass 3 — group: within each bucket, gather each key's values.
+  // Pass 3 — group: within each bucket, gather each key's values. Keys and
+  // values stay as views into `in` (stable: `in` is not mutated here).
   // (Read + write the full volume.)
-  std::vector<std::map<std::string, std::vector<std::string>>> grouped(kBuckets);
+  std::vector<std::map<std::string_view, std::vector<std::string_view>>> grouped(
+      kBuckets);
   for (int b = 0; b < kBuckets; ++b) {
-    for (const KvPair* p : buckets[b]) {
-      grouped[b][p->key].push_back(p->value);
+    for (size_t i : buckets[b]) {
+      const KvView p = in.view(i);
+      grouped[b][p.key].push_back(p.value);
     }
   }
   st.passes++;
   st.bytes_moved += 2 * volume;
 
-  // Pass 4 — emit KMV pages. (Read + write the full volume.)
+  // Pass 4 — emit KMV pages, pre-sized from the grouping (walking the map
+  // nodes and value views is cheap next to the byte copies it saves).
+  // (Read + write the full volume.)
   KmvBuffer out;
+  size_t nentries = 0;
+  size_t kmv_payload = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    nentries += grouped[b].size();
+    for (const auto& [key, values] : grouped[b]) {
+      kmv_payload += key.size();
+      for (std::string_view v : values) kmv_payload += v.size();
+    }
+  }
+  out.reserve(nentries, in.size(), kmv_payload);
   for (int b = 0; b < kBuckets; ++b) {
     for (auto& [key, values] : grouped[b]) {
-      out.add(KmvEntry{key, std::move(values)});
+      out.begin_entry(key);
+      for (std::string_view v : values) out.append_value(v);
       st.distinct_keys++;
     }
   }
   st.passes++;
   st.bytes_moved += 2 * volume;
 
-  sort_by_key(out);
+  out.sort_by_key();
   if (stats) *stats = st;
   return out;
 }
@@ -77,61 +84,61 @@ KmvBuffer convert_2pass(const KvBuffer& in, ConvertStats* stats,
   ConvertStats st;
 
   // Log-structured segment store (paper Sec. 5.2, inspired by LFS): values
-  // are appended to fixed-size segments; each key owns a chain of segment
-  // indices. Non-contiguity is expected — pass 2 merges the chains.
+  // are appended to fixed-size segments; each key owns a chain of segments.
+  // A segment holds values of exactly one key, so the chain can own its
+  // segments directly and the open segment is simply chain.segments.back()
+  // — one hash lookup per pair, keyed by a view into `in`'s arena, and the
+  // segments store pair indices instead of copied value strings.
   struct Segment {
-    std::vector<std::string> values;
+    std::vector<size_t> value_pairs;  // indices into `in`, in append order
     size_t used = 0;
   };
-  std::vector<Segment> log;
   struct KeyChain {
-    std::vector<size_t> segments;  // indices into `log`, in append order
+    std::vector<Segment> segments;
     size_t nvalues = 0;
   };
-  std::unordered_map<std::string, KeyChain> chains;
-  std::unordered_map<std::string, size_t> open_segment;  // key -> log index
+  std::unordered_map<std::string_view, KeyChain> chains;
 
   // Pass 1 — read the KV data once, append each value to its key's open
   // segment, allocating a new segment when the current one fills up.
   // (Read + write the full volume.)
-  for (const KvPair& p : in.pairs()) {
-    auto [it, inserted] = open_segment.try_emplace(p.key, size_t{0});
-    bool need_new = inserted;
-    if (!inserted) {
-      Segment& seg = log[it->second];
-      if (seg.used + p.value.size() + 4 > segment_bytes) need_new = true;
+  size_t kmv_payload = 0;  // raw key+value bytes the KMV arena will hold
+  for (size_t i = 0; i < in.size(); ++i) {
+    const KvView p = in.view(i);
+    KeyChain& chain = chains[p.key];
+    if (chain.segments.empty()) kmv_payload += p.key.size();
+    kmv_payload += p.value.size();
+    const size_t vcost = p.value.size() + KmvBuffer::kValueOverhead;
+    if (chain.segments.empty() ||
+        chain.segments.back().used + vcost > segment_bytes) {
+      chain.segments.push_back({});
+      st.segments++;
     }
-    if (need_new) {
-      log.push_back({});
-      it->second = log.size() - 1;
-      chains[p.key].segments.push_back(it->second);
-    }
-    Segment& seg = log[it->second];
-    seg.values.push_back(p.value);
-    seg.used += p.value.size() + 4;
-    chains[p.key].nvalues++;
+    Segment& seg = chain.segments.back();
+    seg.value_pairs.push_back(i);
+    seg.used += vcost;
+    chain.nvalues++;
   }
   st.passes++;
   st.bytes_moved += 2 * volume;
-  st.segments = log.size();
 
-  // Pass 2 — for each key, merge its (possibly non-contiguous) segment
-  // chain into one contiguous KMV entry. (Read + write the full volume.)
+  // Pass 2 — single sweep over the chains: merge each key's (possibly
+  // non-contiguous) segment chain into one contiguous KMV entry. The pass-1
+  // census sized everything, so the sweep allocates once.
+  // (Read + write the full volume.)
   KmvBuffer out;
+  out.reserve(chains.size(), in.size(), kmv_payload);
   for (auto& [key, chain] : chains) {
-    KmvEntry e;
-    e.key = key;
-    e.values.reserve(chain.nvalues);
-    for (size_t si : chain.segments) {
-      for (auto& v : log[si].values) e.values.push_back(std::move(v));
+    out.begin_entry(key);
+    for (const Segment& seg : chain.segments) {
+      for (size_t i : seg.value_pairs) out.append_value(in.view(i).value);
     }
-    out.add(std::move(e));
     st.distinct_keys++;
   }
   st.passes++;
   st.bytes_moved += 2 * volume;
 
-  sort_by_key(out);
+  out.sort_by_key();
   if (stats) *stats = st;
   return out;
 }

@@ -1,34 +1,20 @@
 #include "mr/kv.hpp"
 
+#include <algorithm>
+
 namespace ftmr::mr {
 
-Bytes KvBuffer::serialize() const {
-  ByteWriter w;
-  w.put<uint64_t>(pairs_.size());
-  for (const KvPair& p : pairs_) {
-    w.put_string(p.key);
-    w.put_string(p.value);
-  }
-  return std::move(w).take();
-}
-
-Status KvBuffer::deserialize(std::span<const std::byte> data, KvBuffer& out) {
-  out.clear();
-  if (data.empty()) return Status::Ok();
-  ByteReader r(data);
-  uint64_t n = 0;
-  if (auto s = r.get(n); !s.ok()) return s;
-  for (uint64_t i = 0; i < n; ++i) {
-    KvPair p;
-    if (auto s = r.get_string(p.key); !s.ok()) return s;
-    if (auto s = r.get_string(p.value); !s.ok()) return s;
-    out.add(std::move(p));
-  }
-  return Status::Ok();
-}
-
-void KvBuffer::merge_from(const KvBuffer& other) {
-  for (const KvPair& p : other.pairs()) add(p);
+void KmvBuffer::sort_by_key() {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [&](const EntryMeta& a, const EntryMeta& b) {
+                     const std::string_view ka{
+                         reinterpret_cast<const char*>(arena_.data() + a.key_off),
+                         a.key_len};
+                     const std::string_view kb{
+                         reinterpret_cast<const char*>(arena_.data() + b.key_off),
+                         b.key_len};
+                     return ka < kb;
+                   });
 }
 
 }  // namespace ftmr::mr

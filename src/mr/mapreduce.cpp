@@ -56,10 +56,13 @@ Status MapReduce::map_over_kv(const KvBuffer& in, const MapFn& map_fn,
                               KvBuffer& out) {
   const double t0 = comm_.now();
   int64_t records = 0;
-  for (const KvPair& p : in.pairs()) {
+  std::string line;
+  for (KvView p : in) {
     // Present each pair as a "chunk" of the form key\tvalue; iterative
     // workloads parse it back. Task id is unused for in-memory stages.
-    const std::string line = p.key + "\t" + p.value;
+    line.assign(p.key);
+    line += '\t';
+    line += p.value;
     records += map_fn(0, line, out);
   }
   comm_.compute(static_cast<double>(records) * opts_.map_cost_per_record);
@@ -95,9 +98,11 @@ Status MapReduce::reduce_phase(const KmvBuffer& in, const ReduceFn& reduce_fn,
                                KvBuffer& out) {
   const double t0 = comm_.now();
   int64_t values = 0;
-  for (const KmvEntry& e : in.entries()) {
-    reduce_fn(e.key, e.values, out);
-    values += static_cast<int64_t>(e.values.size());
+  std::vector<std::string_view> scratch;
+  for (size_t i = 0; i < in.size(); ++i) {
+    in.values_of(i, scratch);
+    reduce_fn(in.entry(i).key(), scratch, out);
+    values += static_cast<int64_t>(scratch.size());
   }
   comm_.compute(static_cast<double>(values) * opts_.reduce_cost_per_value);
   if (auto s = comm_.barrier(); !s.ok()) return s;
@@ -107,7 +112,7 @@ Status MapReduce::reduce_phase(const KmvBuffer& in, const ReduceFn& reduce_fn,
 
 Status MapReduce::write_output(const KvBuffer& out) const {
   ByteWriter w;
-  for (const KvPair& p : out.pairs()) {
+  for (KvView p : out) {
     w.put_string(p.key);
     w.put_string(p.value);
   }

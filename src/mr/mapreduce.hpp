@@ -46,8 +46,10 @@ struct JobOptions {
 using MapFn = std::function<int64_t(uint64_t task_id, std::string_view chunk,
                                     KvBuffer& out)>;
 /// Reduce callback: one key with all its values; emits output KV pairs.
-using ReduceFn = std::function<void(const std::string& key,
-                                    std::span<const std::string> values,
+/// The key and value views alias the engine's KMV arena and are valid only
+/// for the duration of the call (copy anything kept longer).
+using ReduceFn = std::function<void(std::string_view key,
+                                    std::span<const std::string_view> values,
                                     KvBuffer& out)>;
 
 /// Baseline MapReduce engine bound to one rank of a running job.

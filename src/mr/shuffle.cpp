@@ -6,8 +6,29 @@ namespace ftmr::mr {
 
 std::vector<KvBuffer> partition_by_key(const KvBuffer& in, int nparts) {
   std::vector<KvBuffer> parts(static_cast<size_t>(nparts));
-  for (const KvPair& p : in.pairs()) {
-    parts[partition_of_key(p.key, nparts)].add(p);
+  // Census sweep: hash every key once, remember the destination, and size
+  // each partition exactly so the copy sweep below allocates once per
+  // destination arena.
+  const size_t n = in.size();
+  std::vector<int> dest(n);
+  std::vector<size_t> counts(static_cast<size_t>(nparts), 0);
+  std::vector<size_t> bytes(static_cast<size_t>(nparts), 0);
+  for (size_t i = 0; i < n; ++i) {
+    const KvView p = in.view(i);
+    const int d = partition_of_key(p.key, nparts);
+    dest[i] = d;
+    counts[static_cast<size_t>(d)]++;
+    bytes[static_cast<size_t>(d)] +=
+        p.key.size() + p.value.size() + KvBuffer::kPairOverhead;
+  }
+  for (int j = 0; j < nparts; ++j) {
+    parts[static_cast<size_t>(j)].reserve_records(counts[static_cast<size_t>(j)],
+                                                  bytes[static_cast<size_t>(j)]);
+  }
+  // Copy sweep: records are already wire-encoded in the arena; routing is
+  // one memcpy of the record into the (pre-sized) destination arena.
+  for (size_t i = 0; i < n; ++i) {
+    parts[static_cast<size_t>(dest[i])].append_record_from(in, i);
   }
   return parts;
 }
@@ -17,24 +38,38 @@ Status shuffle(simmpi::Comm& comm, const KvBuffer& in, KvBuffer& out,
   return shuffle_partitions(comm, partition_by_key(in, comm.size()), out, stats);
 }
 
-Status shuffle_partitions(simmpi::Comm& comm, const std::vector<KvBuffer>& parts,
+Status shuffle_partitions(simmpi::Comm& comm, std::vector<KvBuffer> parts,
                           KvBuffer& out, ShuffleStats* stats) {
   std::vector<Bytes> send(parts.size());
   ShuffleStats st;
   for (size_t j = 0; j < parts.size(); ++j) {
-    send[j] = parts[j].serialize();
-    st.bytes_sent += send[j].size();
     st.pairs_sent += parts[j].size();
+    // The partition arena IS the wire image: move it out, no re-encoding.
+    send[j] = std::move(parts[j]).take_wire();
+    st.bytes_sent += send[j].size();
   }
   std::vector<Bytes> recv;
   if (auto s = comm.alltoall(send, recv); !s.ok()) return s;
   out.clear();
-  for (const Bytes& b : recv) {
-    KvBuffer part;
-    if (auto s = KvBuffer::deserialize(b, part); !s.ok()) return s;
-    st.bytes_received += b.size();
-    st.pairs_received += part.size();
-    out.merge_from(part);
+  // Validating adoption of every received block first: zero-copy, and it
+  // yields exact totals so the merge below reserves once.
+  std::vector<KvBuffer> got(recv.size());
+  size_t total_pairs = 0;
+  size_t total_bytes = 0;
+  for (size_t j = 0; j < recv.size(); ++j) {
+    st.bytes_received += recv[j].size();
+    if (auto s = got[j].adopt(std::move(recv[j])); !s.ok()) return s;
+    st.pairs_received += got[j].size();
+    total_pairs += got[j].size();
+    total_bytes += got[j].bytes();
+  }
+  for (size_t j = 0; j < got.size(); ++j) {
+    out.absorb(std::move(got[j]));
+    if (j == 0) {
+      // First block moved in wholesale; grow the arena once for the
+      // remaining merges (rank order is preserved for determinism).
+      out.reserve_records(total_pairs - out.size(), total_bytes - out.bytes());
+    }
   }
   if (stats) *stats = st;
   return Status::Ok();

@@ -27,8 +27,10 @@ Status shuffle(simmpi::Comm& comm, const KvBuffer& in, KvBuffer& out,
                ShuffleStats* stats = nullptr);
 
 /// Exchange pre-partitioned buffers (used when the caller already split the
-/// data, e.g. to checkpoint partitions individually).
-Status shuffle_partitions(simmpi::Comm& comm, const std::vector<KvBuffer>& parts,
+/// data, e.g. to checkpoint partitions individually). Takes the partitions
+/// by value: each partition arena is moved out as the send buffer, so pass
+/// std::move(parts) when they are no longer needed, or a copy otherwise.
+Status shuffle_partitions(simmpi::Comm& comm, std::vector<KvBuffer> parts,
                           KvBuffer& out, ShuffleStats* stats = nullptr);
 
 }  // namespace ftmr::mr

@@ -36,7 +36,7 @@ Status SpillableKvBuffer::spill_page() {
   char name[64];
   std::snprintf(name, sizeof(name), "page_%06d", next_page_id_++);
   const std::string path = spill_dir_ + "/" + name;
-  const Bytes wire = page.serialize();
+  const Bytes wire = std::move(page).take_wire();  // arena IS the wire image
   double cost = 0.0;
   if (auto s = storage_->write_file(storage::Tier::kLocal, node_, path, wire,
                                     &cost);
@@ -50,7 +50,7 @@ Status SpillableKvBuffer::spill_page() {
   return Status::Ok();
 }
 
-Status SpillableKvBuffer::for_each(const std::function<void(const KvPair&)>& fn) {
+Status SpillableKvBuffer::for_each(const std::function<void(KvView)>& fn) {
   // Spilled pages first (they are the oldest), then resident, then open.
   for (const std::string& path : spilled_) {
     Bytes wire;
@@ -63,19 +63,37 @@ Status SpillableKvBuffer::for_each(const std::function<void(const KvPair&)>& fn)
     stats_.pages_loaded++;
     stats_.sim_io_seconds += cost;
     KvBuffer page;
-    if (auto s = KvBuffer::deserialize(wire, page); !s.ok()) return s;
-    for (const KvPair& p : page.pairs()) fn(p);
+    // Zero-copy: the loaded wire image becomes the page arena directly.
+    if (auto s = page.adopt(std::move(wire)); !s.ok()) return s;
+    for (KvView p : page) fn(p);
   }
   for (const KvBuffer& page : resident_) {
-    for (const KvPair& p : page.pairs()) fn(p);
+    for (KvView p : page) fn(p);
   }
-  for (const KvPair& p : open_page_.pairs()) fn(p);
+  for (KvView p : open_page_) fn(p);
   return Status::Ok();
 }
 
 Status SpillableKvBuffer::drain_to(KvBuffer& out) {
   out.clear();
-  if (auto s = for_each([&](const KvPair& p) { out.add(p); }); !s.ok()) return s;
+  // Adopt each spilled page's wire image and splice it in wholesale; move
+  // the resident and open pages. No per-pair re-encoding anywhere.
+  for (const std::string& path : spilled_) {
+    Bytes wire;
+    double cost = 0.0;
+    if (auto s = storage_->read_file(storage::Tier::kLocal, node_, path, wire,
+                                     &cost);
+        !s.ok()) {
+      return s;
+    }
+    stats_.pages_loaded++;
+    stats_.sim_io_seconds += cost;
+    KvBuffer page;
+    if (auto s = page.adopt(std::move(wire)); !s.ok()) return s;
+    out.absorb(std::move(page));
+  }
+  for (KvBuffer& page : resident_) out.absorb(std::move(page));
+  out.absorb(std::move(open_page_));
   return clear();
 }
 

@@ -46,9 +46,13 @@ class SpillableKvBuffer {
   [[nodiscard]] const SpillStats& stats() const noexcept { return stats_; }
 
   /// Visit every pair in insertion order, streaming spilled pages back.
-  Status for_each(const std::function<void(const KvPair&)>& fn);
+  /// The views passed to `fn` alias a page arena and are only valid for
+  /// the duration of the call.
+  Status for_each(const std::function<void(KvView)>& fn);
 
-  /// Move everything into a plain in-memory KvBuffer (insertion order).
+  /// Move everything into a plain in-memory KvBuffer (insertion order):
+  /// spilled pages are adopted wholesale from their wire image, resident
+  /// and open pages are moved — no per-pair copies.
   Status drain_to(KvBuffer& out);
 
   /// Drop all contents, including spilled pages.

@@ -192,7 +192,7 @@ TEST_F(CkptFixture, MapCheckpointRoundTripLocal) {
     ASSERT_TRUE(rec.map_tasks.count(5));
     EXPECT_EQ(rec.map_tasks[5].pos, 200u);
     ASSERT_EQ(rec.map_tasks[5].kv.size(), 3u);  // deltas concatenated in order
-    EXPECT_EQ(rec.map_tasks[5].kv.pairs()[2].key, "c");
+    EXPECT_EQ(rec.map_tasks[5].kv.view(2).key, "c");
     EXPECT_EQ(rec.files_read, 2u);
   });
 }
@@ -323,12 +323,10 @@ TEST(Interfaces, KvWriterAndKmvReaderEncodeTyped) {
   KVWriter<std::string, int64_t> w(&buf);
   w.emit("answer", 42);
   ASSERT_EQ(buf.size(), 1u);
-  EXPECT_EQ(buf.pairs()[0].value, "42");
+  EXPECT_EQ(buf.view(0).value, "42");
 
-  mr::KmvEntry e;
-  e.key = "answer";
-  e.values = {"1", "2", "3"};
-  KMVReader<std::string, int64_t> r(&e);
+  const std::vector<std::string_view> vals{"1", "2", "3"};
+  KMVReader<std::string, int64_t> r("answer", vals);
   EXPECT_EQ(r.key(), "answer");
   EXPECT_EQ(r.count(), 3u);
   EXPECT_EQ(r.value(2), 3);
@@ -369,9 +367,10 @@ TEST(Adapters, MapperReducerThroughStageFns) {
   EXPECT_EQ(fns.map("1", "apple", mapped), 1);
   EXPECT_EQ(mapped.size(), 2u);
   mr::KvBuffer reduced;
-  fns.reduce("apple", {"1", "1"}, reduced);
+  const std::vector<std::string_view> ones{"1", "1"};
+  fns.reduce("apple", ones, reduced);
   ASSERT_EQ(reduced.size(), 1u);
-  EXPECT_EQ(reduced.pairs()[0].value, "2");
+  EXPECT_EQ(reduced.view(0).value, "2");
 }
 
 }  // namespace

@@ -219,9 +219,10 @@ TEST(EdgeJobs, FormattedOutputViaFileRecordWriter) {
     o.ppn = 1;
     // Table 1 FileRecordWriter: serialize output as TSV text.
     core::TsvRecordWriter<std::string, std::string> writer;
-    o.output_writer = [writer](const std::string& k, const std::string& v,
+    o.output_writer = [writer](std::string_view k, std::string_view v,
                                std::string& sink) mutable {
-      writer.write(k, v, sink);
+      // TsvRecordWriter is string-typed; materialize the views for it.
+      writer.write(std::string(k), std::string(v), sink);
     };
     FtJob job(c, sb.fs.get(), o);
     ASSERT_TRUE(job.run([&](FtJob& j) {

@@ -4,6 +4,8 @@
 // (iterative) jobs. This is the paper's core correctness claim.
 #include <gtest/gtest.h>
 
+#include <charconv>
+
 #include <map>
 
 #include "core/ftjob.hpp"
@@ -72,13 +74,13 @@ struct World {
 
 StageFns wordcount_fns(double reduce_cost = -1.0) {
   StageFns fns;
-  fns.map = [](const std::string&, const std::string& line,
+  fns.map = [](std::string_view, std::string_view line,
                mr::KvBuffer& out) -> int32_t {
     int32_t n = 0;
     size_t pos = 0;
     while (pos < line.size()) {
       size_t end = line.find(' ', pos);
-      if (end == std::string::npos) end = line.size();
+      if (end == std::string_view::npos) end = line.size();
       if (end > pos) {
         out.add(line.substr(pos, end - pos), "1");
         ++n;
@@ -87,10 +89,14 @@ StageFns wordcount_fns(double reduce_cost = -1.0) {
     }
     return n;
   };
-  fns.reduce = [](const std::string& key, const std::vector<std::string>& values,
+  fns.reduce = [](std::string_view key, std::span<const std::string_view> values,
                   mr::KvBuffer& out) -> int32_t {
     int64_t sum = 0;
-    for (const auto& v : values) sum += std::strtoll(v.c_str(), nullptr, 10);
+    for (std::string_view v : values) {
+      int64_t n = 0;
+      std::from_chars(v.data(), v.data() + v.size(), n);
+      sum += n;
+    }
     out.add(key, std::to_string(sum));
     return 1;
   };
@@ -326,15 +332,19 @@ TEST(CheckpointRestart, SurvivesTwoConsecutiveFailedSubmissions) {
 // Stage 2 regroups word counts by word-length bucket.
 StageFns bucket_fns() {
   StageFns fns;
-  fns.map = [](const std::string& key, const std::string& value,
+  fns.map = [](std::string_view key, std::string_view value,
                mr::KvBuffer& out) -> int32_t {
     out.add("len" + std::to_string(key.size() % 3), value);
     return 1;
   };
-  fns.reduce = [](const std::string& key, const std::vector<std::string>& values,
+  fns.reduce = [](std::string_view key, std::span<const std::string_view> values,
                   mr::KvBuffer& out) -> int32_t {
     int64_t sum = 0;
-    for (const auto& v : values) sum += std::strtoll(v.c_str(), nullptr, 10);
+    for (std::string_view v : values) {
+      int64_t n = 0;
+      std::from_chars(v.data(), v.data() + v.size(), n);
+      sum += n;
+    }
     out.add(key, std::to_string(sum));
     return 1;
   };

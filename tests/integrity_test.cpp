@@ -318,7 +318,7 @@ TEST_F(IntegrityCkptFixture, PoisonedDeltaChainKeepsVerifiedPrefixOnly) {
     ASSERT_TRUE(rec.map_tasks.count(5));
     EXPECT_EQ(rec.map_tasks[5].pos, 100u);
     ASSERT_EQ(rec.map_tasks[5].kv.size(), 1u);
-    EXPECT_EQ(rec.map_tasks[5].kv.pairs()[0].key, "a");
+    EXPECT_EQ(rec.map_tasks[5].kv.view(0).key, "a");
     EXPECT_EQ(rec.quarantined, 1u);
   });
 }

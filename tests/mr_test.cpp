@@ -3,6 +3,7 @@
 // end-to-end baseline driver.
 #include <gtest/gtest.h>
 
+#include <charconv>
 #include <map>
 
 #include "common/rng.hpp"
@@ -18,6 +19,12 @@ namespace {
 using simmpi::Comm;
 using simmpi::JobResult;
 using simmpi::Runtime;
+
+std::vector<std::string> values_of(const KmvBuffer& kmv, size_t i) {
+  std::vector<std::string_view> views;
+  kmv.values_of(i, views);
+  return {views.begin(), views.end()};
+}
 
 TEST(KvBuffer, AddAndAccounting) {
   KvBuffer kv;
@@ -39,9 +46,9 @@ TEST(KvBuffer, SerializeRoundTrip) {
   KvBuffer back;
   ASSERT_TRUE(KvBuffer::deserialize(wire, back).ok());
   ASSERT_EQ(back.size(), 3u);
-  EXPECT_EQ(back.pairs()[0], (KvPair{"alpha", "1"}));
-  EXPECT_EQ(back.pairs()[1], (KvPair{"", "empty-key"}));
-  EXPECT_EQ(back.pairs()[2], (KvPair{"beta", ""}));
+  EXPECT_EQ(back.view(0), (KvView{"alpha", "1"}));
+  EXPECT_EQ(back.view(1), (KvView{"", "empty-key"}));
+  EXPECT_EQ(back.view(2), (KvView{"beta", ""}));
 }
 
 TEST(KvBuffer, DeserializeEmptyAndCorrupt) {
@@ -63,10 +70,10 @@ TEST(Partition, CoversAllPairsConsistently) {
   for (const auto& p : parts) total += p.size();
   EXPECT_EQ(total, kv.size());
   // Same key never lands in two partitions.
-  std::map<std::string, int> where;
+  std::map<std::string, int, std::less<>> where;
   for (int j = 0; j < 7; ++j) {
-    for (const auto& p : parts[j].pairs()) {
-      auto [it, inserted] = where.try_emplace(p.key, j);
+    for (KvView p : parts[j]) {
+      auto [it, inserted] = where.try_emplace(std::string(p.key), j);
       if (!inserted) {
         EXPECT_EQ(it->second, j);
       }
@@ -92,9 +99,9 @@ TEST(Convert, FourPassGroupsAllValues) {
   ConvertStats st;
   KmvBuffer kmv = convert_4pass(kv, &st);
   ASSERT_EQ(kmv.size(), 2u);
-  EXPECT_EQ(kmv.entries()[0].key, "a");
-  EXPECT_EQ(kmv.entries()[0].values, (std::vector<std::string>{"1", "3"}));
-  EXPECT_EQ(kmv.entries()[1].key, "b");
+  EXPECT_EQ(kmv.entry(0).key(), "a");
+  EXPECT_EQ(values_of(kmv, 0), (std::vector<std::string>{"1", "3"}));
+  EXPECT_EQ(kmv.entry(1).key(), "b");
   EXPECT_EQ(st.passes, 4);
   EXPECT_EQ(st.distinct_keys, 2u);
 }
@@ -107,8 +114,8 @@ TEST(Convert, TwoPassGroupsAllValues) {
   ConvertStats st;
   KmvBuffer kmv = convert_2pass(kv, &st);
   ASSERT_EQ(kmv.size(), 2u);
-  EXPECT_EQ(kmv.entries()[0].key, "x");
-  EXPECT_EQ(kmv.entries()[0].values, (std::vector<std::string>{"1", "3"}));
+  EXPECT_EQ(kmv.entry(0).key(), "x");
+  EXPECT_EQ(values_of(kmv, 0), (std::vector<std::string>{"1", "3"}));
   EXPECT_EQ(st.passes, 2);
 }
 
@@ -128,7 +135,7 @@ TEST(Convert, SmallSegmentsChainAcrossTheLog) {
   ConvertStats st;
   KmvBuffer kmv = convert_2pass(kv, &st, /*segment_bytes=*/128);
   ASSERT_EQ(kmv.size(), 1u);
-  EXPECT_EQ(kmv.entries()[0].values.size(), 100u);
+  EXPECT_EQ(kmv.entry(0).size(), 100u);
   // 100 values * ~44B with 128B segments -> many non-contiguous segments.
   EXPECT_GT(st.segments, 30u);
 }
@@ -143,8 +150,8 @@ TEST_P(ConvertEquivalence, TwoPassMatchesFourPass) {
   const KmvBuffer b = convert_2pass(kv, nullptr, 64 + GetParam() * 13);
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a.entries()[i].key, b.entries()[i].key);
-    EXPECT_EQ(a.entries()[i].values, b.entries()[i].values) << a.entries()[i].key;
+    EXPECT_EQ(a.entry(i).key(), b.entry(i).key());
+    EXPECT_EQ(values_of(a, i), values_of(b, i)) << a.entry(i).key();
   }
 }
 
@@ -163,7 +170,7 @@ TEST(Shuffle, EveryPairReachesItsKeyOwner) {
     ASSERT_TRUE(shuffle(c, mine, got, &st).ok());
     EXPECT_EQ(st.pairs_sent, 50u);
     // Each key appears kP times (once per sender) and only on its owner.
-    for (const KvPair& p : got.pairs()) {
+    for (KvView p : got) {
       EXPECT_EQ(partition_of_key(p.key, kP), c.rank());
     }
     int64_t total = 0;
@@ -200,10 +207,14 @@ int64_t wordcount_map(uint64_t, std::string_view chunk, KvBuffer& out) {
   return n;
 }
 
-void sum_reduce(const std::string& key, std::span<const std::string> values,
+void sum_reduce(std::string_view key, std::span<const std::string_view> values,
                 KvBuffer& out) {
   int64_t sum = 0;
-  for (const auto& v : values) sum += std::strtoll(v.c_str(), nullptr, 10);
+  for (std::string_view v : values) {
+    int64_t n = 0;
+    std::from_chars(v.data(), v.data() + v.size(), n);
+    sum += n;
+  }
   out.add(key, std::to_string(sum));
 }
 
@@ -326,8 +337,8 @@ TEST_F(SpillFixture, SmallDataStaysInMemory) {
   ftmr::mr::KvBuffer out;
   ASSERT_TRUE(buf.drain_to(out).ok());
   ASSERT_EQ(out.size(), 10u);
-  EXPECT_EQ(out.pairs()[0].key, "k0");
-  EXPECT_EQ(out.pairs()[9].key, "k9");
+  EXPECT_EQ(out.view(0).key, "k0");
+  EXPECT_EQ(out.view(9).key, "k9");
 }
 
 TEST_F(SpillFixture, LargeDataSpillsAndStreamsBackInOrder) {
@@ -343,7 +354,7 @@ TEST_F(SpillFixture, LargeDataSpillsAndStreamsBackInOrder) {
   EXPECT_GT(buf.stats().sim_io_seconds, 0.0);
   int idx = 0;
   bool ordered = true;
-  ASSERT_TRUE(buf.for_each([&](const ftmr::mr::KvPair& p) {
+  ASSERT_TRUE(buf.for_each([&](ftmr::mr::KvView p) {
     if (p.key != "key" + std::to_string(idx)) ordered = false;
     idx++;
   }).ok());
@@ -365,13 +376,16 @@ TEST_F(SpillFixture, DrainEquivalentToPlainBuffer) {
   ftmr::mr::KvBuffer out;
   ASSERT_TRUE(spilled.drain_to(out).ok());
   ASSERT_EQ(out.size(), plain.size());
-  EXPECT_EQ(out.pairs(), plain.pairs());
+  EXPECT_EQ(out, plain);  // byte-wise arena equality
   // Converting the round-tripped data groups identically too.
   const auto a = ftmr::mr::convert_2pass(out);
   const auto b = ftmr::mr::convert_2pass(plain);
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a.entries()[i].values, b.entries()[i].values);
+    std::vector<std::string_view> va, vb;
+    a.values_of(i, va);
+    b.values_of(i, vb);
+    EXPECT_EQ(va, vb);
   }
 }
 
@@ -397,7 +411,7 @@ TEST_F(SpillFixture, NullStorageNeverSpills) {
   EXPECT_EQ(buf.stats().pages_spilled, 0);
   EXPECT_EQ(buf.size(), 200u);
   int n = 0;
-  ASSERT_TRUE(buf.for_each([&](const ftmr::mr::KvPair&) { n++; }).ok());
+  ASSERT_TRUE(buf.for_each([&](ftmr::mr::KvView) { n++; }).ok());
   EXPECT_EQ(n, 200);
 }
 
