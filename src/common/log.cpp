@@ -2,16 +2,27 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/sync.hpp"
 
 namespace ftmr {
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 thread_local int t_rank = -1;
-std::mutex& sink_mutex() {
-  static std::mutex m;
-  return m;
+
+// Sink state: mutated by set_log_sink (tests swap in capture sinks while
+// rank and copier threads keep emitting), read by every log_line. One
+// mutex serializes both, so a swap never races an emit and the previous
+// sink is fully quiesced once set_log_sink returns.
+struct SinkState {
+  Mutex mu;
+  LogSink sink FTMR_GUARDED_BY(mu);  // empty = default stderr sink
+};
+SinkState& sink_state() {
+  static SinkState s;
+  return s;
 }
+
 const char* level_name(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug: return "DEBUG";
@@ -29,12 +40,26 @@ LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
 void set_thread_rank(int rank) noexcept { t_rank = rank; }
 int thread_rank() noexcept { return t_rank; }
 
+void set_log_sink(LogSink sink) {
+  SinkState& st = sink_state();
+  MutexLock lock(st.mu);
+  st.sink = std::move(sink);
+}
+
 void log_line(LogLevel level, const std::string& line) {
-  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::string formatted;
   if (t_rank >= 0) {
-    std::fprintf(stderr, "[%s r%d] %s\n", level_name(level), t_rank, line.c_str());
+    formatted = "[" + std::string(level_name(level)) + " r" +
+                std::to_string(t_rank) + "] " + line;
   } else {
-    std::fprintf(stderr, "[%s] %s\n", level_name(level), line.c_str());
+    formatted = "[" + std::string(level_name(level)) + "] " + line;
+  }
+  SinkState& st = sink_state();
+  MutexLock lock(st.mu);
+  if (st.sink) {
+    st.sink(level, formatted);
+  } else {
+    std::fprintf(stderr, "%s\n", formatted.c_str());
   }
 }
 

@@ -4,6 +4,7 @@
 // tags them with the logical rank (set per-thread by the runtime).
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -11,7 +12,9 @@ namespace ftmr {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global minimum level; messages below it are discarded.
+/// Global minimum level; messages below it are discarded. May be flipped at
+/// any time, including while rank/copier threads are emitting (the level is
+/// an atomic; emission itself serializes on the sink mutex).
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
@@ -19,6 +22,14 @@ LogLevel log_level() noexcept;
 /// (-1 = untagged; used by driver threads).
 void set_thread_rank(int rank) noexcept;
 int thread_rank() noexcept;
+
+/// Sink receiving every emitted line (level, formatted line incl. rank
+/// tag). Install with set_log_sink; nullptr restores the default stderr
+/// sink. Sink swaps serialize with concurrent emits on the sink mutex, so
+/// a sink never observes lines after its replacement returns and two
+/// threads' lines never interleave inside the sink.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
 
 /// Emit one log line (already formatted) at `level`.
 void log_line(LogLevel level, const std::string& line);

@@ -1,4 +1,14 @@
 // stats.hpp — summary statistics and phase-time accounting.
+//
+// Thread model: Summary and TimeBuckets are accumulators, NOT thread-safe
+// singletons. Each rank thread owns its own instances (FtJob::times_, the
+// per-rank Summary in benches) and cross-thread aggregation happens only
+// after the owning threads have joined, via merge() on the collector's
+// thread. Sharing a live instance across threads is a data race; if a
+// future component needs a concurrently-written accumulator, wrap one of
+// these in an ftmr::Mutex (see common/sync.hpp) rather than adding atomics
+// here — Welford updates are multi-word and cannot be made lock-free
+// field-by-field.
 #pragma once
 
 #include <algorithm>

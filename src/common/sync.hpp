@@ -1,0 +1,157 @@
+// sync.hpp — annotated synchronization primitives.
+//
+// Thin wrappers over std::mutex / std::condition_variable carrying Clang
+// Thread Safety Analysis attributes (abseil style), so lock discipline is a
+// compiler-checked invariant instead of a comment convention:
+//
+//   * declare the lock as `ftmr::Mutex mu;`
+//   * mark what it protects: `int x FTMR_GUARDED_BY(mu);`
+//   * helpers that expect the caller to hold it: `void f() FTMR_REQUIRES(mu);`
+//   * take it with `MutexLock lock(mu);` (scoped, relockable)
+//
+// Under non-Clang compilers (and when the analysis is off) every attribute
+// expands to nothing and the wrappers compile down to the std primitives.
+// CI builds src/ with clang `-Wthread-safety -Werror`, which turns any
+// unannotated access to guarded state into a build failure.
+//
+// The analysis is static and intra-procedural; it cannot see through
+// std::function. Callbacks that run inside a caller's critical section
+// (e.g. the collective `compute` lambdas in simmpi) re-establish the fact
+// with `mu.assert_held()` as their first statement — a runtime no-op that
+// seeds the analysis state.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Attribute macros (see clang's Thread Safety Analysis documentation).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define FTMR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FTMR_THREAD_ANNOTATION(x)  // no-op: gcc/msvc have no such analysis
+#endif
+
+#define FTMR_CAPABILITY(x) FTMR_THREAD_ANNOTATION(capability(x))
+#define FTMR_SCOPED_CAPABILITY FTMR_THREAD_ANNOTATION(scoped_lockable)
+#define FTMR_GUARDED_BY(x) FTMR_THREAD_ANNOTATION(guarded_by(x))
+#define FTMR_PT_GUARDED_BY(x) FTMR_THREAD_ANNOTATION(pt_guarded_by(x))
+#define FTMR_ACQUIRED_BEFORE(...) FTMR_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define FTMR_ACQUIRED_AFTER(...) FTMR_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define FTMR_REQUIRES(...) FTMR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FTMR_ACQUIRE(...) FTMR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FTMR_RELEASE(...) FTMR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FTMR_TRY_ACQUIRE(...) FTMR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define FTMR_EXCLUDES(...) FTMR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define FTMR_ASSERT_CAPABILITY(x) FTMR_THREAD_ANNOTATION(assert_capability(x))
+#define FTMR_RETURN_CAPABILITY(x) FTMR_THREAD_ANNOTATION(lock_returned(x))
+#define FTMR_NO_THREAD_SAFETY_ANALYSIS FTMR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ftmr {
+
+class CondVar;
+
+/// std::mutex with a capability annotation.
+class FTMR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FTMR_ACQUIRE() { mu_.lock(); }
+  void unlock() FTMR_RELEASE() { mu_.unlock(); }
+  bool try_lock() FTMR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Assert (to the static analysis only — this is a runtime no-op) that
+  /// the calling context holds this mutex. For code the analysis cannot
+  /// follow into: callbacks invoked under the caller's critical section.
+  void assert_held() const FTMR_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped lock (std::lock_guard/unique_lock replacement). Relockable: the
+/// unusual paths that drop the lock early (to run an error handler or a
+/// kill check outside the critical section) call unlock() explicitly; the
+/// destructor releases only if still held.
+class FTMR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FTMR_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() FTMR_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() FTMR_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+  void unlock() FTMR_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+  [[nodiscard]] bool owns_lock() const noexcept { return held_; }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable waiting on an ftmr::Mutex. Waits take the Mutex
+/// itself (the caller must hold it — enforced by FTMR_REQUIRES); the
+/// capability is conceptually held across the wait, mirroring how the
+/// analysis models std::condition_variable usage.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(Mutex& mu) FTMR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();
+  }
+
+  template <typename Predicate>
+  void wait(Mutex& mu, Predicate pred) FTMR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk, std::move(pred));
+    lk.release();
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(Mutex& mu,
+                            const std::chrono::time_point<Clock, Duration>& tp)
+      FTMR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    const std::cv_status st = cv_.wait_until(lk, tp);
+    lk.release();
+    return st;
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& d)
+      FTMR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    const std::cv_status st = cv_.wait_for(lk, d);
+    lk.release();
+    return st;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ftmr

@@ -104,7 +104,23 @@ bool parse_name(const std::string& name, ParsedName& out) {
 CheckpointManager::CheckpointManager(storage::StorageSystem* fs, int node, int rank,
                                      CkptOptions opts, int io_concurrency)
     : fs_(fs), node_(node), rank_(rank), opts_(opts), conc_(io_concurrency),
-      copier_(fs, node, io_concurrency) {}
+      copier_(fs, node, io_concurrency) {
+  if (!opts_.enabled) return;
+  // Continue the file sequence after any earlier incarnation of this rank
+  // (checkpoint/restart resubmits the whole job): the chains on disk are
+  // append-only, and reusing a sequence number would overwrite an older
+  // delta segment in place — recovery would then see the chain's maximum
+  // position but miss the records the clobbered segment carried.
+  const std::string rank_dir = "ck/r" + std::to_string(rank_);
+  for (storage::Tier tier : {storage::Tier::kLocal, storage::Tier::kShared}) {
+    std::vector<std::string> names;
+    if (!fs_->list_dir(tier, node_, rank_dir, names).ok()) continue;
+    for (const std::string& n : names) {
+      ParsedName p;
+      if (parse_name(n, p) && p.seq >= next_seq_) next_seq_ = p.seq + 1;
+    }
+  }
+}
 
 Status CheckpointManager::put(simmpi::Comm& comm, const std::string& name,
                               const Bytes& payload) {
@@ -213,8 +229,7 @@ Status CheckpointManager::put(simmpi::Comm& comm, const std::string& name,
 Status CheckpointManager::map_ckpt(simmpi::Comm& comm, int stage, uint64_t task,
                                    uint64_t pos, const mr::KvBuffer& delta) {
   if (!opts_.enabled) return Status::Ok();
-  const std::string key = "m" + std::to_string(stage) + "_" + std::to_string(task);
-  const int seq = seq_[key]++;
+  const int seq = next_seq_++;
   ByteWriter w;
   w.put<uint64_t>(task);
   w.put<uint64_t>(pos);
@@ -225,8 +240,7 @@ Status CheckpointManager::map_ckpt(simmpi::Comm& comm, int stage, uint64_t task,
 Status CheckpointManager::partition_ckpt(simmpi::Comm& comm, int stage,
                                          int partition, const mr::KvBuffer& kv) {
   if (!opts_.enabled) return Status::Ok();
-  const std::string key = "p" + std::to_string(stage) + "_" + std::to_string(partition);
-  const int seq = seq_[key]++;
+  const int seq = next_seq_++;
   ByteWriter w;
   w.put<int32_t>(partition);
   w.put_blob(kv.wire_view());
@@ -238,8 +252,7 @@ Status CheckpointManager::reduce_ckpt(simmpi::Comm& comm, int stage, int partiti
                                       uint64_t entries_done,
                                       const mr::KvBuffer& out_delta) {
   if (!opts_.enabled) return Status::Ok();
-  const std::string key = "r" + std::to_string(stage) + "_" + std::to_string(partition);
-  const int seq = seq_[key]++;
+  const int seq = next_seq_++;
   ByteWriter w;
   w.put<int32_t>(partition);
   w.put<uint64_t>(entries_done);
@@ -251,8 +264,7 @@ Status CheckpointManager::reduce_ckpt(simmpi::Comm& comm, int stage, int partiti
 Status CheckpointManager::stage_output_ckpt(simmpi::Comm& comm, int stage,
                                             int partition, const mr::KvBuffer& out) {
   if (!opts_.enabled) return Status::Ok();
-  const std::string key = "o" + std::to_string(stage) + "_" + std::to_string(partition);
-  const int seq = seq_[key]++;
+  const int seq = next_seq_++;
   ByteWriter w;
   w.put<int32_t>(partition);
   w.put_blob(out.wire_view());
@@ -443,9 +455,15 @@ Status CheckpointManager::load_rank_stage(simmpi::Comm& comm, int stage,
   // inconsistent base, so the chain is poisoned from that point on. The
   // verified prefix already applied stays usable; the tail is bounded work
   // the recovery engine reprocesses from input. Snapshot kinds (part, out)
-  // are independent files — a bad one loses only itself.
+  // replace: the newest segment that verifies wins (a re-executed shuffle
+  // or stage rewrites its snapshot under a fresh sequence number). A red
+  // delta older than the applied partition snapshot reduced a superseded
+  // shuffle's content and is dropped — merging it would double-count; the
+  // kind sort order ("part" < "red") guarantees the snapshot's sequence
+  // number is known before its reduce chain is replayed.
   std::vector<std::string> other_listing;  // lazy shared listing for fallback
   std::set<std::pair<std::string, uint64_t>> poisoned;
+  std::map<int, int> part_seq_applied;  // partition -> seq of adopted snapshot
   for (size_t i = 0; i < files.size(); ++i) {
     const auto& [p, n] = files[i];
     if (poisoned.count({p.kind, p.id})) continue;
@@ -479,7 +497,8 @@ Status CheckpointManager::load_rank_stage(simmpi::Comm& comm, int stage,
         if (auto s = r.get_blob(blob); !s.ok()) return s;
         mr::KvBuffer kv;
         if (auto s = kv.adopt(std::move(blob)); !s.ok()) return s;
-        out.partitions[part].absorb(std::move(kv));
+        out.partitions[part] = std::move(kv);  // snapshot: newest wins
+        part_seq_applied[part] = p.seq;
       } else if (p.kind == kRed) {
         int32_t part = 0;
         uint64_t done = 0;
@@ -487,6 +506,10 @@ Status CheckpointManager::load_rank_stage(simmpi::Comm& comm, int stage,
         if (auto s = r.get(part); !s.ok()) return s;
         if (auto s = r.get(done); !s.ok()) return s;
         if (auto s = r.get_blob(blob); !s.ok()) return s;
+        auto psit = part_seq_applied.find(part);
+        if (psit != part_seq_applied.end() && p.seq < psit->second) {
+          return Status::Ok();  // reduced a superseded shuffle: stale
+        }
         mr::KvBuffer delta;
         if (auto s = delta.adopt(std::move(blob)); !s.ok()) return s;
         auto& rr = out.reduce[part];
@@ -499,7 +522,7 @@ Status CheckpointManager::load_rank_stage(simmpi::Comm& comm, int stage,
         if (auto s = r.get_blob(blob); !s.ok()) return s;
         mr::KvBuffer kv;
         if (auto s = kv.adopt(std::move(blob)); !s.ok()) return s;
-        out.stage_outputs[part].absorb(std::move(kv));
+        out.stage_outputs[part] = std::move(kv);  // snapshot: newest wins
       }
       return Status::Ok();
     };

@@ -9,11 +9,18 @@
 // paper discusses as inferior and which we keep selectable for the Fig. 4
 // ablation.
 //
-// Checkpoint kinds, all delta-encoded and replayed in sequence order:
-//   map  — (task, record position, KV delta emitted since last checkpoint)
-//   part — one shuffled partition's full KV content (made at shuffle end)
-//   red  — (partition, entries reduced so far, output KV delta)
-//   out  — one partition of a completed stage's reduce output
+// Checkpoint kinds, replayed in sequence order:
+//   map  — (task, record position, KV delta emitted since last checkpoint);
+//          a chain: recovery is the union of all segments
+//   part — one shuffled partition's full KV content (made at shuffle end);
+//          a snapshot: the newest valid segment wins
+//   red  — (partition, entries reduced so far, output KV delta); a chain,
+//          but only segments newer than the partition snapshot they reduce
+//          (an older one belongs to a superseded shuffle) are replayed
+//   out  — one partition of a completed stage's reduce output; a snapshot
+// Sequence numbers are per rank and survive restarts (a resubmitted job
+// appends new segments after its predecessor's), so one rank's files
+// totally order by write time across process incarnations.
 //
 // Shared-tier copies carry their simulated drain-completion time in the
 // file name; recovery ignores checkpoints that had not finished draining by
@@ -113,6 +120,11 @@ struct LoadFilter {
   const std::set<int>* partitions = nullptr;  // part/red/out checkpoints
 };
 
+/// Thread model: a CheckpointManager is confined to its rank's thread (one
+/// instance per rank, created by FtJob). Its CopierAgent member and the
+/// StorageSystem it writes through are the shared, internally-synchronized
+/// objects; everything else (sequence counters, integrity stats) is
+/// single-thread state and must not be shared across rank threads.
 class CheckpointManager {
  public:
   CheckpointManager(storage::StorageSystem* fs, int node, int rank,
@@ -185,7 +197,12 @@ class CheckpointManager {
   int conc_;
   storage::RetryPolicy retry_;
   storage::CopierAgent copier_;
-  std::map<std::string, int> seq_;
+  /// File sequence number, global across checkpoint kinds so names order
+  /// all of one rank's files by write time. Initialized past any sequence
+  /// numbers already on disk: a restarted submission must *append* to the
+  /// delta chains of its predecessor — reusing a number would overwrite an
+  /// older segment in place and silently sever the chain's prefix.
+  int next_seq_ = 0;
   double write_seconds_ = 0.0;
   size_t bytes_written_ = 0;
   int count_ = 0;

@@ -113,6 +113,11 @@ struct FailureDetected {
   Status cause;
 };
 
+/// Thread model: one FtJob per rank, confined to that rank's thread. The
+/// only cross-thread objects it touches are the shared StorageSystem (its
+/// stats/injector state is internally locked) and the simmpi Job state
+/// behind the communicators (guarded by the job-wide mutex). All stage
+/// state, KV buffers, and time buckets are rank-private by construction.
 class FtJob {
  public:
   /// Driver: calls job.run_stage(...) once per stage, in a fixed order, and

@@ -33,6 +33,11 @@ struct StatusMessage {
   double elapsed = 0.0;      // virtual seconds spent processing
 };
 
+/// Thread model: one DistributedMaster per rank, confined to that rank's
+/// thread. Cross-rank coordination happens exclusively through the
+/// dedicated communicator (whose Job-level state is lock-protected inside
+/// simmpi), never through shared memory — so the task tables and the
+/// balancer fit need no locks.
 class DistributedMaster {
  public:
   /// `mcomm` must be a dedicated communicator (typically a non-time-

@@ -49,13 +49,13 @@ Status Comm::handle(Status s) {
 }
 
 double Comm::now() const {
-  std::lock_guard<std::mutex> lock(job_->mu);
+  MutexLock lock(job_->mu);
   return job_->ranks[global_rank_].vtime;
 }
 
 void Comm::compute(double seconds) {
   {
-    std::lock_guard<std::mutex> lock(job_->mu);
+    MutexLock lock(job_->mu);
     if (job_->aborted) throw AbortError(job_->abort_code);
     RankState& st = job_->ranks[global_rank_];
     if (!st.alive) throw KilledError();
@@ -79,7 +79,7 @@ Status Comm::send(int dst, int tag, std::span<const std::byte> data) {
   if (dst < 0 || dst >= size()) {
     return handle({ErrorCode::kInvalidArgument, "send: bad destination rank"});
   }
-  std::unique_lock<std::mutex> lock(job_->mu);
+  MutexLock lock(job_->mu);
   if (state_->revoked) return handle({ErrorCode::kRevoked, "send on revoked comm"});
   const int dst_global = state_->group[dst];
   if (!job_->ranks[dst_global].alive) {
@@ -113,7 +113,7 @@ Status Comm::recv(int src, int tag, Bytes& out, MessageInfo* info) {
   job_->check_callable(global_rank_);
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(job_->opts.deadlock_timeout_s);
-  std::unique_lock<std::mutex> lock(job_->mu);
+  MutexLock lock(job_->mu);
   RankState& me = job_->ranks[global_rank_];
   for (;;) {
     job_->check_callable_locked(global_rank_);
@@ -151,7 +151,7 @@ Status Comm::recv(int src, int tag, Bytes& out, MessageInfo* info) {
                        "recv(ANY_SOURCE) with un-acked failures"});
       }
     }
-    if (job_->cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (job_->cv.wait_until(job_->mu, deadline) == std::cv_status::timeout) {
       return handle({ErrorCode::kInternal, "recv: deadlock timeout"});
     }
   }
@@ -159,7 +159,7 @@ Status Comm::recv(int src, int tag, Bytes& out, MessageInfo* info) {
 
 bool Comm::iprobe(int src, int tag, MessageInfo* info) {
   job_->check_callable(global_rank_);
-  std::lock_guard<std::mutex> lock(job_->mu);
+  MutexLock lock(job_->mu);
   for (const Message& m : job_->ranks[global_rank_].mailbox) {
     if (m.ctx != state_->ctx) continue;
     if (src != kAnySource && m.src_rel != src) continue;
@@ -260,7 +260,7 @@ Status Comm::run_collective(
   job_->check_callable(global_rank_);
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(job_->opts.deadlock_timeout_s);
-  std::unique_lock<std::mutex> lock(job_->mu);
+  MutexLock lock(job_->mu);
   RankState& me = job_->ranks[global_rank_];
   if (!tolerant && state_->revoked) {
     lock.unlock();
@@ -285,6 +285,7 @@ Status Comm::run_collective(
   job_->cv.notify_all();
 
   auto all_arrived_or_dead = [&]() {
+    job_->mu.assert_held();  // only called from the wait loop below
     for (int g : state_->group) {
       const int rel = state_->rel_rank_of(g);
       if (!slot->contribs.count(rel) && job_->ranks[g].alive) return false;
@@ -309,7 +310,7 @@ Status Comm::run_collective(
       job_->cv.notify_all();
       break;
     }
-    if (job_->cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (job_->cv.wait_until(job_->mu, deadline) == std::cv_status::timeout) {
       lock.unlock();
       return handle({ErrorCode::kInternal, "collective: deadlock timeout"});
     }
@@ -615,6 +616,7 @@ Status Comm::dup(Comm& out, bool accounts_time) {
   const double alpha = job_->opts.net.latency_s;
   auto compute = [alpha, accounts_time](CollectiveSlot& slot, const CommState& cs,
                                         Job& job) {
+    job.mu.assert_held();  // compute callbacks run inside run_collective's CS
     auto ns = std::make_shared<CommState>();
     ns->ctx = job.alloc_ctx_locked();
     ns->group = cs.group;
@@ -637,7 +639,7 @@ Status Comm::dup(Comm& out, bool accounts_time) {
   ByteReader reader(result);
   uint64_t ctx = 0;
   (void)reader.get(ctx);
-  std::lock_guard<std::mutex> lock(job_->mu);
+  MutexLock lock(job_->mu);
   out = Comm(job_, job_->comms.at(ctx), global_rank_);
   return Status::Ok();
 }
@@ -648,6 +650,7 @@ Status Comm::split(int color, int key, Comm& out) {
   w.put<int32_t>(key);
   const double alpha = job_->opts.net.latency_s;
   auto compute = [alpha](CollectiveSlot& slot, const CommState& cs, Job& job) {
+    job.mu.assert_held();  // compute callbacks run inside run_collective's CS
     // (color, key, old rel rank) triples, grouped by color.
     struct Entry {
       int color, key, rel;
@@ -699,7 +702,7 @@ Status Comm::split(int color, int key, Comm& out) {
     out = Comm();
     return Status::Ok();
   }
-  std::lock_guard<std::mutex> lock(job_->mu);
+  MutexLock lock(job_->mu);
   out = Comm(job_, job_->comms.at(ctx), global_rank_);
   return Status::Ok();
 }
@@ -710,7 +713,7 @@ Status Comm::split(int color, int key, Comm& out) {
 
 Status Comm::revoke() {
   job_->check_callable(global_rank_);
-  std::lock_guard<std::mutex> lock(job_->mu);
+  MutexLock lock(job_->mu);
   if (!state_->revoked) {
     FTMR_INFO << "rank " << global_rank_ << " revokes comm ctx=" << state_->ctx;
     state_->revoked = true;
@@ -720,7 +723,7 @@ Status Comm::revoke() {
 }
 
 bool Comm::is_revoked() const {
-  std::lock_guard<std::mutex> lock(job_->mu);
+  MutexLock lock(job_->mu);
   return state_->revoked;
 }
 
@@ -737,7 +740,7 @@ Status Comm::run_tolerant(
   job_->check_callable(global_rank_);
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(job_->opts.deadlock_timeout_s);
-  std::unique_lock<std::mutex> lock(job_->mu);
+  MutexLock lock(job_->mu);
   RankState& me = job_->ranks[global_rank_];
 
   const auto epoch_key = std::make_pair(state_->ctx, ns);
@@ -752,6 +755,7 @@ Status Comm::run_tolerant(
   job_->cv.notify_all();
 
   auto all_alive_arrived = [&]() {
+    job_->mu.assert_held();  // only called from the wait loop below
     for (int g : state_->group) {
       const int rel = state_->rel_rank_of(g);
       if (job_->ranks[g].alive && !slot->contribs.count(rel)) return false;
@@ -769,7 +773,7 @@ Status Comm::run_tolerant(
       job_->cv.notify_all();
       break;
     }
-    if (job_->cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (job_->cv.wait_until(job_->mu, deadline) == std::cv_status::timeout) {
       lock.unlock();
       return handle({ErrorCode::kInternal, "tolerant collective: deadlock timeout"});
     }
@@ -800,6 +804,7 @@ Status Comm::run_tolerant(
 Status Comm::shrink(Comm& out) {
   const double alpha = job_->opts.net.latency_s;
   auto compute = [alpha](CollectiveSlot& slot, const CommState& cs, Job& job) {
+    job.mu.assert_held();  // compute callbacks run inside run_tolerant's CS
     // Build the shrunken communicator from alive contributors, ordered by
     // old rel rank (dense new ranks) — ULFM MPI_Comm_shrink semantics.
     auto ns = std::make_shared<CommState>();
@@ -829,7 +834,7 @@ Status Comm::shrink(Comm& out) {
   ByteReader reader(result);
   uint64_t ctx = 0;
   (void)reader.get(ctx);
-  std::lock_guard<std::mutex> lock(job_->mu);
+  MutexLock lock(job_->mu);
   out = Comm(job_, job_->comms.at(ctx), global_rank_);
   return Status::Ok();
 }
@@ -867,7 +872,7 @@ Status Comm::agree(int& flag) {
   flag = v;
   bool unacked = false;
   {
-    std::lock_guard<std::mutex> lock(job_->mu);
+    MutexLock lock(job_->mu);
     unacked = !job_->unacked_dead_locked(global_rank_, *state_).empty();
   }
   if (unacked) {
@@ -880,12 +885,12 @@ Status Comm::agree(int& flag) {
 }
 
 void Comm::ack_failures() {
-  std::lock_guard<std::mutex> lock(job_->mu);
+  MutexLock lock(job_->mu);
   job_->ranks[global_rank_].acked[state_->ctx] = job_->dead_in_locked(*state_);
 }
 
 std::vector<int> Comm::failed_ranks() const {
-  std::lock_guard<std::mutex> lock(job_->mu);
+  MutexLock lock(job_->mu);
   std::vector<int> out;
   for (int rel = 0; rel < state_->size(); ++rel) {
     if (!job_->ranks[state_->group[rel]].alive) out.push_back(rel);
@@ -894,7 +899,7 @@ std::vector<int> Comm::failed_ranks() const {
 }
 
 std::vector<int> Comm::failed_global_ranks() const {
-  std::lock_guard<std::mutex> lock(job_->mu);
+  MutexLock lock(job_->mu);
   return job_->dead_in_locked(*state_);
 }
 

@@ -22,7 +22,7 @@ void Job::die_locked(int rank) {
 }
 
 void Job::check_callable(int rank) {
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   RankState& st = ranks[rank];
   if (aborted) throw AbortError(abort_code);
   if (!st.alive) throw KilledError();
@@ -44,7 +44,7 @@ void Job::check_callable_locked(int rank) {
 }
 
 void Job::check_vtime_kill(int rank) {
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   RankState& st = ranks[rank];
   if (!st.alive) throw KilledError();
   if (st.kill_vtime >= 0.0 && st.vtime >= st.kill_vtime) {
@@ -80,7 +80,7 @@ std::vector<int> Job::unacked_dead_locked(int rank, const CommState& cs) const {
 }
 
 void Job::abort_job(int code) {
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   if (!aborted) {
     aborted = true;
     abort_code = code;

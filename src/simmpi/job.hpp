@@ -9,14 +9,13 @@
 // and it makes the failure paths easy to audit.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/sync.hpp"
 #include "simmpi/types.hpp"
 
 namespace ftmr::simmpi {
@@ -36,6 +35,13 @@ struct Message {
 /// Shared state of a communicator. `group[i]` is the global rank of the
 /// comm-relative rank i. Revocation (ULFM MPI_Comm_revoke) is a flag here:
 /// every op except shrink/agree observes it.
+///
+/// Thread model: `ctx`, `group` and `accounts_time` are immutable once the
+/// CommState is published into Job::comms (they are filled inside the
+/// critical section that creates the comm and never change after), so they
+/// may be read without a lock. `revoked` is mutable shared state guarded by
+/// the owning Job's `mu` — the analysis cannot express a guard living in a
+/// different object, so that rule is enforced by review + TSan.
 struct CommState {
   uint64_t ctx = 0;
   std::vector<int> group;
@@ -66,7 +72,10 @@ struct CollectiveSlot {
   int pickups = 0;      // alive ranks that have taken their result
 };
 
-/// Per-rank runtime state.
+/// Per-rank runtime state. Every field is guarded by the owning Job's `mu`
+/// (expressed there via FTMR_GUARDED_BY on Job::ranks; access through
+/// references escaping the container is covered by TSan, not the static
+/// analysis).
 struct RankState {
   bool alive = true;
   bool killed = false;
@@ -91,52 +100,55 @@ class Job {
   Job& operator=(const Job&) = delete;
 
   // ---- guarded by mu ----
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
 
   const int nranks;
   const JobOptions opts;
-  std::vector<RankState> ranks;
-  std::map<std::pair<uint64_t, uint64_t>, std::shared_ptr<CollectiveSlot>> slots;
+  std::vector<RankState> ranks FTMR_GUARDED_BY(mu);
+  std::map<std::pair<uint64_t, uint64_t>, std::shared_ptr<CollectiveSlot>> slots
+      FTMR_GUARDED_BY(mu);
   /// Current epoch of the tolerant collectives (shrink/agree) per
   /// (ctx, namespace). Bumped by the rank that computes a slot, in the same
   /// critical section that sets `computed` — so a rank entering afterwards
   /// always lands in the next logical operation.
-  std::map<std::pair<uint64_t, uint64_t>, uint64_t> tol_epochs;
-  std::map<uint64_t, std::shared_ptr<CommState>> comms;
-  bool aborted = false;
-  int abort_code = 0;
-  uint64_t next_ctx = 1;  // 0 is the world comm
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> tol_epochs FTMR_GUARDED_BY(mu);
+  std::map<uint64_t, std::shared_ptr<CommState>> comms FTMR_GUARDED_BY(mu);
+  bool aborted FTMR_GUARDED_BY(mu) = false;
+  int abort_code FTMR_GUARDED_BY(mu) = 0;
+  uint64_t next_ctx FTMR_GUARDED_BY(mu) = 1;  // 0 is the world comm
 
   // ---- helpers; "locked" variants require mu held ----
 
   /// Mark `rank` dead and wake everyone. Idempotent.
-  void die_locked(int rank);
+  void die_locked(int rank) FTMR_REQUIRES(mu);
 
   /// Entry check for every MPI call issued on behalf of `rank` by any of
   /// its threads: throws AbortError when the job is aborted, KilledError
   /// when the rank is (or must now become) dead. Counts the op.
-  void check_callable(int rank);
+  void check_callable(int rank) FTMR_EXCLUDES(mu);
 
   /// Same check for use inside CV wait loops (mu already held, op not
   /// re-counted).
-  void check_callable_locked(int rank);
+  void check_callable_locked(int rank) FTMR_REQUIRES(mu);
 
   /// Called after advancing `rank`'s virtual clock: enforces vtime kills.
-  void check_vtime_kill(int rank);
+  void check_vtime_kill(int rank) FTMR_EXCLUDES(mu);
 
   /// Global ranks of dead members of `cs` (mu held).
-  [[nodiscard]] std::vector<int> dead_in_locked(const CommState& cs) const;
-  [[nodiscard]] bool any_dead_in_locked(const CommState& cs) const;
+  [[nodiscard]] std::vector<int> dead_in_locked(const CommState& cs) const
+      FTMR_REQUIRES(mu);
+  [[nodiscard]] bool any_dead_in_locked(const CommState& cs) const FTMR_REQUIRES(mu);
 
   /// Dead members not yet acked by `rank` on this comm (mu held).
-  [[nodiscard]] std::vector<int> unacked_dead_locked(int rank, const CommState& cs) const;
+  [[nodiscard]] std::vector<int> unacked_dead_locked(int rank, const CommState& cs)
+      const FTMR_REQUIRES(mu);
 
   /// Allocate a fresh communicator context id (mu held).
-  uint64_t alloc_ctx_locked() { return next_ctx++; }
+  uint64_t alloc_ctx_locked() FTMR_REQUIRES(mu) { return next_ctx++; }
 
   /// Trigger job-wide abort (MPI_Abort semantics).
-  void abort_job(int code);
+  void abort_job(int code) FTMR_EXCLUDES(mu);
 };
 
 }  // namespace ftmr::simmpi

@@ -18,7 +18,7 @@ JobResult Runtime::run(int nranks, const RankMain& main, JobOptions opts) {
   world_state->group.resize(nranks);
   for (int i = 0; i < nranks; ++i) world_state->group[i] = i;
   {
-    std::lock_guard<std::mutex> lock(job->mu);
+    MutexLock lock(job->mu);
     job->comms[0] = world_state;
   }
 
@@ -30,7 +30,7 @@ JobResult Runtime::run(int nranks, const RankMain& main, JobOptions opts) {
       Comm world(job.get(), world_state, r);
       try {
         main(world);
-        std::lock_guard<std::mutex> lock(job->mu);
+        MutexLock lock(job->mu);
         job->ranks[r].finished = true;
         // A finishing rank wakes peers blocked on it (they will time out /
         // error out per MPI semantics rather than hang silently).
@@ -38,12 +38,12 @@ JobResult Runtime::run(int nranks, const RankMain& main, JobOptions opts) {
       } catch (const KilledError&) {
         // die_locked already updated state and notified.
       } catch (const AbortError& e) {
-        std::lock_guard<std::mutex> lock(job->mu);
+        MutexLock lock(job->mu);
         job->ranks[r].exit_code = e.exit_code;
         job->cv.notify_all();
       } catch (const std::exception& e) {
         FTMR_ERROR << "rank " << r << " escaped exception: " << e.what();
-        std::lock_guard<std::mutex> lock(job->mu);
+        MutexLock lock(job->mu);
         job->cv.notify_all();
       }
     });
@@ -52,7 +52,7 @@ JobResult Runtime::run(int nranks, const RankMain& main, JobOptions opts) {
 
   JobResult result;
   {
-    std::lock_guard<std::mutex> lock(job->mu);
+    MutexLock lock(job->mu);
     result.aborted = job->aborted;
     result.abort_code = job->abort_code;
     result.ranks.resize(nranks);

@@ -27,18 +27,18 @@ Status CopierAgent::enqueue(std::string_view local_path, std::string_view shared
     if (attempt < retry_.max_attempts) {
       const double b = retry_.backoff_before(attempt);
       backoff_total += b;
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       retries_++;
     }
   }
   if (!copied) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     busy_until_ = std::max(busy_until_, now) + backoff_total;
     failed_.push_back({std::string(local_path), std::string(shared_path), last});
     return last;
   }
   const int64_t size = storage_->file_size(Tier::kShared, node_, shared_path);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // The copier starts this job when it's free and the job has been issued;
   // retries stretch its timeline by the backoff it sat out.
   const double start = std::max(busy_until_, now);
@@ -53,42 +53,42 @@ Status CopierAgent::enqueue(std::string_view local_path, std::string_view shared
 }
 
 double CopierAgent::busy_until() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return busy_until_;
 }
 
 double CopierAgent::drain_wait(double now) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::max(0.0, busy_until_ - now);
 }
 
 double CopierAgent::cpu_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cpu_seconds_;
 }
 
 double CopierAgent::io_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return io_seconds_;
 }
 
 size_t CopierAgent::bytes_copied() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bytes_;
 }
 
 int CopierAgent::copies() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return copies_;
 }
 
 int CopierAgent::retries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return retries_;
 }
 
 std::vector<FailedDrain> CopierAgent::failed_drains() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return failed_;
 }
 

@@ -15,11 +15,11 @@
 // paper's thread achieves, made deterministic.
 #pragma once
 
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 
+#include "common/sync.hpp"
 #include "storage/storage.hpp"
 
 namespace ftmr::storage {
@@ -87,19 +87,22 @@ class CopierAgent {
   [[nodiscard]] std::vector<FailedDrain> failed_drains() const;
 
  private:
+  // Configuration is immutable after construction; the copier's simulated
+  // timeline and its counters are shared between the enqueueing worker and
+  // anyone polling drain progress, so they live under mu_.
   StorageSystem* storage_;
   int node_;
   int concurrency_;
   CopierModel model_;
   RetryPolicy retry_;
-  mutable std::mutex mu_;
-  double busy_until_ = 0.0;
-  double cpu_seconds_ = 0.0;
-  double io_seconds_ = 0.0;
-  size_t bytes_ = 0;
-  int copies_ = 0;
-  int retries_ = 0;
-  std::vector<FailedDrain> failed_;
+  mutable Mutex mu_;
+  double busy_until_ FTMR_GUARDED_BY(mu_) = 0.0;
+  double cpu_seconds_ FTMR_GUARDED_BY(mu_) = 0.0;
+  double io_seconds_ FTMR_GUARDED_BY(mu_) = 0.0;
+  size_t bytes_ FTMR_GUARDED_BY(mu_) = 0;
+  int copies_ FTMR_GUARDED_BY(mu_) = 0;
+  int retries_ FTMR_GUARDED_BY(mu_) = 0;
+  std::vector<FailedDrain> failed_ FTMR_GUARDED_BY(mu_);
 };
 
 /// Moves an ordered sequence of shared-storage files to the local disk
@@ -108,6 +111,11 @@ class CopierAgent {
 ///   start + sum_{j<=i} (shared read + local write) costs.
 /// A reader consuming file i at time t pays max(0, available_at(i) - t)
 /// plus the local read cost — instead of the full shared read cost.
+///
+/// NOT thread-safe: a Prefetcher instance is confined to the recovering
+/// rank's thread (start() rebuilds all state, read() consumes it). Cross-
+/// thread sharing would race on the staging vectors; use one instance per
+/// recovering rank.
 class Prefetcher {
  public:
   Prefetcher(StorageSystem* storage, int node, int shared_concurrency,

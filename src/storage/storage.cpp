@@ -4,7 +4,6 @@
 #include <algorithm>
 #include <atomic>
 #include <fstream>
-#include <mutex>
 #include <system_error>
 
 #include "common/log.hpp"
@@ -25,13 +24,13 @@ fs::path StorageSystem::real_path(Tier tier, int node, std::string_view path) co
 }
 
 void StorageSystem::inject_io_failures(int count, Status error) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   injected_failures_ = count;
   injected_error_ = std::move(error);
 }
 
 Status StorageSystem::take_injected_failure() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   if (injected_failures_ <= 0) return Status::Ok();
   --injected_failures_;
   fault_stats_.count_failures++;
@@ -39,19 +38,19 @@ Status StorageSystem::take_injected_failure() {
 }
 
 void StorageSystem::set_fault_injector(FaultInjectorConfig cfg) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   injector_rng_ = Rng(cfg.seed);
   injector_ = std::move(cfg);
   injector_armed_ = true;
 }
 
 void StorageSystem::clear_fault_injector() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   injector_armed_ = false;
 }
 
 FaultStats StorageSystem::fault_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return fault_stats_;
 }
 
@@ -59,7 +58,7 @@ StorageSystem::WriteFault StorageSystem::draw_write_fault(Tier tier,
                                                           std::string_view path,
                                                           size_t size,
                                                           size_t* torn_prefix) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   if (!injector_armed_) return WriteFault::kNone;
   if (!injector_.path_filter.empty() &&
       path.find(injector_.path_filter) == std::string_view::npos) {
@@ -81,7 +80,7 @@ StorageSystem::WriteFault StorageSystem::draw_write_fault(Tier tier,
 
 StorageSystem::ReadFault StorageSystem::draw_read_fault(Tier tier,
                                                         std::string_view path) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   if (!injector_armed_) return ReadFault::kNone;
   if (!injector_.path_filter.empty() &&
       path.find(injector_.path_filter) == std::string_view::npos) {
@@ -102,7 +101,7 @@ StorageSystem::ReadFault StorageSystem::draw_read_fault(Tier tier,
 
 void StorageSystem::corrupt_buffer(Bytes& buf) {
   if (buf.empty()) return;
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   const size_t byte_idx = injector_rng_.next_below(buf.size());
   const int bit = static_cast<int>(injector_rng_.next_below(8));
   buf[byte_idx] ^= static_cast<std::byte>(1u << bit);
@@ -144,7 +143,7 @@ Status StorageSystem::write_file(Tier tier, int node, std::string_view path,
   if (!f) return {ErrorCode::kIo, "write_file: short write to " + p.string()};
   if (sim_cost) *sim_cost = cost_of(tier, data.size(), 1, concurrency);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     TierStats& st = (tier == Tier::kLocal) ? local_stats_ : shared_stats_;
     st.bytes_written += data.size();
     st.write_ops++;
@@ -173,7 +172,7 @@ Status StorageSystem::append_file(Tier tier, int node, std::string_view path,
   if (!f) return {ErrorCode::kIo, "append_file: short write to " + p.string()};
   if (sim_cost) *sim_cost = cost_of(tier, data.size(), 1, concurrency);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     TierStats& st = (tier == Tier::kLocal) ? local_stats_ : shared_stats_;
     st.bytes_written += data.size();
     st.write_ops++;
@@ -200,7 +199,7 @@ Status StorageSystem::read_file(Tier tier, int node, std::string_view path,
   if (rf == ReadFault::kCorrupt) corrupt_buffer(out);
   if (sim_cost) *sim_cost = cost_of(tier, out.size(), 1, concurrency);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     TierStats& st = (tier == Tier::kLocal) ? local_stats_ : shared_stats_;
     st.bytes_read += out.size();
     st.read_ops++;
@@ -269,7 +268,7 @@ void StorageSystem::wipe_node_local(int node) {
 }
 
 TierStats StorageSystem::stats(Tier tier) const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return tier == Tier::kLocal ? local_stats_ : shared_stats_;
 }
 

@@ -15,7 +15,6 @@
 #pragma once
 
 #include <filesystem>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,6 +22,7 @@
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
+#include "common/sync.hpp"
 
 namespace ftmr::storage {
 
@@ -179,26 +179,31 @@ class StorageSystem {
   Status check_tier(Tier tier) const;
 
   /// Consume one injected failure if armed (returns it), else OK.
-  Status take_injected_failure();
+  Status take_injected_failure() FTMR_EXCLUDES(stats_mu_);
 
   /// Injector decision for one operation (locks stats_mu_ internally).
   enum class WriteFault { kNone, kFail, kTorn };
   enum class ReadFault { kNone, kFail, kCorrupt };
   WriteFault draw_write_fault(Tier tier, std::string_view path, size_t size,
-                              size_t* torn_prefix);
-  ReadFault draw_read_fault(Tier tier, std::string_view path);
-  void corrupt_buffer(Bytes& buf);
+                              size_t* torn_prefix) FTMR_EXCLUDES(stats_mu_);
+  ReadFault draw_read_fault(Tier tier, std::string_view path)
+      FTMR_EXCLUDES(stats_mu_);
+  void corrupt_buffer(Bytes& buf) FTMR_EXCLUDES(stats_mu_);
 
+  // `opts_` is immutable after construction; real file I/O is delegated to
+  // the (thread-safe) filesystem. Everything mutable — counters and the
+  // fault injector, which share one seeded RNG stream — lives under
+  // stats_mu_, which rank threads and the stress tests hit concurrently.
   StorageOptions opts_;
-  mutable std::mutex stats_mu_;
-  TierStats local_stats_;
-  TierStats shared_stats_;
-  int injected_failures_ = 0;
-  Status injected_error_;
-  bool injector_armed_ = false;
-  FaultInjectorConfig injector_;
-  Rng injector_rng_;
-  FaultStats fault_stats_;
+  mutable Mutex stats_mu_;
+  TierStats local_stats_ FTMR_GUARDED_BY(stats_mu_);
+  TierStats shared_stats_ FTMR_GUARDED_BY(stats_mu_);
+  int injected_failures_ FTMR_GUARDED_BY(stats_mu_) = 0;
+  Status injected_error_ FTMR_GUARDED_BY(stats_mu_);
+  bool injector_armed_ FTMR_GUARDED_BY(stats_mu_) = false;
+  FaultInjectorConfig injector_ FTMR_GUARDED_BY(stats_mu_);
+  Rng injector_rng_ FTMR_GUARDED_BY(stats_mu_);
+  FaultStats fault_stats_ FTMR_GUARDED_BY(stats_mu_);
 };
 
 /// RAII temp sandbox for tests/benches: creates a unique directory under

@@ -1,0 +1,207 @@
+// Lifecycle stress for the storage-layer concurrency surfaces (run under
+// TSan in CI): a CopierAgent is shared between enqueueing workers and
+// pollers, and the invariant under repeated
+//   construct -> enqueue-under-load -> drain -> join -> destroy
+// cycles is that no drain is lost (every accepted copy is either counted in
+// copies() or reported in failed_drains()), the drain timeline stays
+// monotone, and every cycle shuts down cleanly with all threads joined.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/copier.hpp"
+#include "storage/storage.hpp"
+
+namespace ftmr::storage {
+namespace {
+
+struct StressWorld {
+  StressWorld() : tmp("ftmr-copier-stress") {
+    StorageOptions so;
+    so.root = tmp.path();
+    fs = std::make_unique<StorageSystem>(so);
+  }
+  TempDir tmp;
+  std::unique_ptr<StorageSystem> fs;
+};
+
+std::string src_name(int thread) { return "src/t" + std::to_string(thread); }
+
+void write_sources(StorageSystem& fs, int threads) {
+  for (int t = 0; t < threads; ++t) {
+    const std::string payload = "payload-of-thread-" + std::to_string(t);
+    ASSERT_TRUE(
+        fs.write_file(Tier::kLocal, 0, src_name(t), as_bytes_view(payload)).ok());
+  }
+}
+
+TEST(CopierStress, RepeatedCyclesLoseNoDrains) {
+  StressWorld w;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 40;
+  constexpr int kCycles = 5;
+  write_sources(*w.fs, kThreads);
+
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    CopierAgent copier(w.fs.get(), /*node=*/0, /*shared_concurrency=*/1);
+    std::atomic<int> accepted{0};
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const std::string dst = "drained/c" + std::to_string(cycle) + "/t" +
+                                  std::to_string(t) + "/f" + std::to_string(i);
+          double done = 0.0;
+          const double now = static_cast<double>(i) * 1e-3;
+          if (copier.enqueue(src_name(t), dst, now, &done).ok()) {
+            EXPECT_GT(done, now);
+            accepted.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& th : workers) th.join();
+
+    EXPECT_EQ(accepted.load(), kThreads * kPerThread);
+    EXPECT_EQ(copier.copies() + static_cast<int>(copier.failed_drains().size()),
+              kThreads * kPerThread);
+    EXPECT_TRUE(copier.failed_drains().empty());
+    // Fully drained exactly at busy_until(): the timeline balances.
+    EXPECT_GT(copier.busy_until(), 0.0);
+    EXPECT_NEAR(copier.drain_wait(copier.busy_until()), 0.0, 1e-12);
+    EXPECT_GT(copier.drain_wait(0.0), 0.0);
+    // Every copy really landed on the shared tier.
+    std::vector<std::string> names;
+    ASSERT_TRUE(w.fs->list_dir(Tier::kShared, 0, "drained/c" + std::to_string(cycle),
+                               names).ok());
+    EXPECT_EQ(names.size(), static_cast<size_t>(kThreads * kPerThread));
+  }
+}
+
+TEST(CopierStress, PollersObserveMonotoneProgressUnderLoad) {
+  StressWorld w;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 60;
+  constexpr int kPollers = 3;
+  write_sources(*w.fs, kThreads);
+
+  CopierAgent copier(w.fs.get(), 0, 1);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> pollers;
+  pollers.reserve(kPollers);
+  for (int pi = 0; pi < kPollers; ++pi) {
+    pollers.emplace_back([&] {
+      double last_busy = 0.0;
+      int last_copies = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        // Both progress measures are append-only: a poller may see stale
+        // values but never regressions.
+        const double busy = copier.busy_until();
+        const int n = copier.copies();
+        EXPECT_GE(busy, last_busy);
+        EXPECT_GE(n, last_copies);
+        EXPECT_GE(copier.drain_wait(0.0), 0.0);
+        EXPECT_GE(copier.cpu_seconds(), 0.0);
+        last_busy = busy;
+        last_copies = n;
+      }
+    });
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string dst =
+            "poll/t" + std::to_string(t) + "/f" + std::to_string(i);
+        EXPECT_TRUE(copier.enqueue(src_name(t), dst, 0.0).ok());
+      }
+    });
+  }
+  for (std::thread& th : workers) th.join();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& th : pollers) th.join();
+
+  EXPECT_EQ(copier.copies(), kThreads * kPerThread);
+  EXPECT_EQ(copier.bytes_copied(),
+            static_cast<size_t>(kThreads) * kPerThread *
+                std::string("payload-of-thread-0").size());
+}
+
+TEST(CopierStress, TransientFaultsRetryWithoutLosingAccounting) {
+  StressWorld w;
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 30;
+  write_sources(*w.fs, kThreads);
+
+  // Fault the copier's shared-tier writes only: transient failures force
+  // the retry path while worker threads keep enqueueing concurrently.
+  FaultInjectorConfig cfg;
+  cfg.seed = 0xc0ffee;
+  cfg.shared.p_write_fail = 0.15;
+  cfg.path_filter = "faulty/";
+  w.fs->set_fault_injector(cfg);
+
+  CopierAgent copier(w.fs.get(), 0, 1);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string dst =
+            "faulty/t" + std::to_string(t) + "/f" + std::to_string(i);
+        (void)copier.enqueue(src_name(t), dst, 0.0);
+      }
+    });
+  }
+  for (std::thread& th : workers) th.join();
+  w.fs->clear_fault_injector();
+
+  // The no-lost-drains ledger: every enqueue ends up copied or reported.
+  EXPECT_EQ(copier.copies() + static_cast<int>(copier.failed_drains().size()),
+            kThreads * kPerThread);
+  EXPECT_GT(copier.retries(), 0);
+  for (const FailedDrain& f : copier.failed_drains()) {
+    EXPECT_FALSE(f.error.ok());
+    EXPECT_FALSE(f.shared_path.empty());
+  }
+}
+
+TEST(PrefetcherStress, RepeatedLifecycleCyclesStayConsistent) {
+  StressWorld w;
+  constexpr int kFiles = 12;
+  std::vector<std::string> paths;
+  for (int i = 0; i < kFiles; ++i) {
+    const std::string p = "ck/f" + std::to_string(i);
+    ASSERT_TRUE(w.fs->write_file(Tier::kShared, 0, p,
+                                 as_bytes_view("file-" + std::to_string(i))).ok());
+    paths.push_back(p);
+  }
+  // The prefetcher is single-thread-confined; its lifecycle hazard is state
+  // leaking between start() cycles (stale staging tables, cost drift).
+  Prefetcher pf(w.fs.get(), 0, 1);
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    const double start = 5.0 * cycle;
+    ASSERT_TRUE(pf.start(paths, "stage/c" + std::to_string(cycle), start).ok());
+    ASSERT_EQ(pf.count(), static_cast<size_t>(kFiles));
+    for (size_t i = 0; i < pf.count(); ++i) {
+      ASSERT_TRUE(pf.staged_ok(i));
+      if (i > 0) {
+        EXPECT_GT(pf.available_at(i), pf.available_at(i - 1));
+      }
+      Bytes out;
+      double cost = 0.0;
+      ASSERT_TRUE(pf.read(i, start, out, &cost).ok());
+      EXPECT_EQ(to_string_copy(out), "file-" + std::to_string(i));
+      EXPECT_GT(cost, 0.0);
+    }
+    EXPECT_GT(pf.available_at(0), start);
+  }
+}
+
+}  // namespace
+}  // namespace ftmr::storage

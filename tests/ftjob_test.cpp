@@ -4,8 +4,8 @@
 // (iterative) jobs. This is the paper's core correctness claim.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <charconv>
-
 #include <map>
 
 #include "core/ftjob.hpp"
@@ -263,7 +263,8 @@ TEST(CheckpointRestart, RestartResumesAndFinishes) {
   World w;
   FtJobOptions opts = base_opts(FtMode::kCheckpointRestart);
   int submissions = 0;
-  bool resumed = false;
+  // Written concurrently by the rank threads of one submission.
+  std::atomic<bool> resumed{false};
   for (;;) {
     submissions++;
     simmpi::JobOptions jo;
