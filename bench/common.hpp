@@ -9,15 +9,22 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "perfmodel/model.hpp"
 
 namespace ftmr::bench {
 
 class Report {
  public:
-  Report(const std::string& figure, const std::string& paper_claim) {
+  /// `slug`, when non-empty, names the machine-readable sidecar: finish()
+  /// writes the recorded metric() values to BENCH_<slug>.json in the
+  /// working directory (the CI artifact convention).
+  Report(const std::string& figure, const std::string& paper_claim,
+         std::string slug = {})
+      : slug_(std::move(slug)) {
     std::printf("================================================================\n");
     std::printf("%s\n", figure.c_str());
     std::printf("paper: %s\n", paper_claim.c_str());
@@ -39,13 +46,35 @@ class Report {
     if (!pass) ++failed_;
   }
 
+  /// Record a named series value for the machine-readable sidecar.
+  void metric(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+  }
+
   /// Call last; returns the process exit code.
   int finish() {
     std::printf("\nshape checks: %d/%d passed\n", total_ - failed_, total_);
+    if (!slug_.empty()) write_sidecar();
     return failed_;
   }
 
  private:
+  void write_sidecar() const {
+    const std::string path = "BENCH_" + slug_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {\n", slug_.c_str());
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "    \"%s\": %.9g%s\n", metrics_[i].first.c_str(),
+                   metrics_[i].second, i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "  },\n  \"checks_total\": %d,\n  \"checks_failed\": %d\n}\n",
+                 total_, failed_);
+    std::fclose(f);
+  }
+
+  std::string slug_;
+  std::vector<std::pair<std::string, double>> metrics_;
   int total_ = 0;
   int failed_ = 0;
 };

@@ -3,6 +3,7 @@
 // shuffle / merge / reduce / recovery shares.
 #include "bench/common.hpp"
 #include "bench/minicluster.hpp"
+#include "common/config.hpp"
 
 using namespace ftmr;
 using namespace ftmr::bench;
@@ -37,14 +38,20 @@ void print_decomposition(Report& rep, const char* name, const MiniResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const std::string trace_out = cfg.get_or("trace_out", std::string());
+  const std::string metrics_out = cfg.get_or("metrics_out", std::string());
+
   Report rep("Figure 10: decomposition of aggregated time (C/R vs D/R-WC)",
              "recovery takes a visibly larger share under checkpoint/restart "
              "than under detect/resume(WC), which only reads the failed "
-             "process's checkpoints");
+             "process's checkpoints",
+             "fig10_decomposition");
 
   rep.section("functional mini-cluster, rank-count sweep");
   double last_cr_rec = 0, last_wc_rec = 0;
+  metrics::TraceRecorder trace;
   for (int n : {4, 8, 12}) {
     const MiniResult cr = run_with_kill(core::FtMode::kCheckpointRestart, n);
     const MiniResult wc = run_with_kill(core::FtMode::kDetectResumeWC, n);
@@ -58,9 +65,40 @@ int main() {
     last_cr_rec = cr.times.get("init_recover") + cr.times.get("skip");
     last_wc_rec = wc.times.get("recovery_io") + wc.times.get("skip");
     rep.row("  state-read+skip: C/R=%.5fs D/R-WC=%.5fs", last_cr_rec, last_wc_rec);
+    if (n == 12) {
+      // Keep the largest sweep point's timeline for the trace artifact.
+      trace.merge(*cr.trace);
+      trace.merge(*wc.trace);
+      rep.metric("cr_total_s", cr.times.total());
+      rep.metric("wc_total_s", wc.times.total());
+      rep.metric("cr_recovery_s", cr.times.get("recovery") +
+                                      cr.times.get("recovery_io") +
+                                      cr.times.get("init_recover"));
+      rep.metric("wc_recovery_s", wc.times.get("recovery") +
+                                      wc.times.get("recovery_io") +
+                                      wc.times.get("init_recover"));
+    }
   }
+  rep.metric("cr_state_read_skip_s", last_cr_rec);
+  rep.metric("wc_state_read_skip_s", last_wc_rec);
   rep.check("C/R re-reads more checkpoint state than D/R-WC",
             last_cr_rec > last_wc_rec);
+
+  if (!trace_out.empty()) {
+    if (auto s = metrics::write_trace_json(trace_out, trace); !s.ok()) {
+      rep.check("trace export", false, s.to_string());
+    } else {
+      rep.row("wrote trace (%zu events) to %s", trace.size(), trace_out.c_str());
+    }
+  }
+  if (!metrics_out.empty()) {
+    if (auto s = metrics::MetricsRegistry::global().write_json(metrics_out);
+        !s.ok()) {
+      rep.check("metrics export", false, s.to_string());
+    } else {
+      rep.row("wrote metrics to %s", metrics_out.c_str());
+    }
+  }
 
   rep.section("model @ 256 procs (recovery seconds on the critical path)");
   const auto w = wordcount_workload();

@@ -12,6 +12,7 @@
 #include "apps/graph.hpp"
 #include "apps/textgen.hpp"
 #include "apps/wordcount.hpp"
+#include "common/metrics.hpp"
 #include "core/ftjob.hpp"
 #include "simmpi/runtime.hpp"
 #include "storage/storage.hpp"
@@ -27,6 +28,10 @@ struct MiniResult {
   TimeBuckets times;         // aggregated across ranks
   double copier_cpu = 0.0;
   double copier_io = 0.0;
+  // All ranks' spans/instants, merged at teardown (shared_ptr because
+  // TraceRecorder owns a mutex and is non-copyable).
+  std::shared_ptr<metrics::TraceRecorder> trace =
+      std::make_shared<metrics::TraceRecorder>();
   bool ok = false;
 };
 
@@ -59,6 +64,7 @@ inline MiniResult run_mini(const MiniJob& job) {
       Status s = ft.run(job.driver());
       std::lock_guard<std::mutex> lock(mu);
       res.times.merge(ft.times());
+      res.trace->merge(ft.trace());
       res.recoveries = std::max(res.recoveries, ft.recoveries());
       res.copier_cpu += ft.ckpt().copier().cpu_seconds();
       res.copier_io += ft.ckpt().copier().io_seconds();

@@ -8,12 +8,17 @@
 //   $ ./fault_tolerant_wordcount mode=cr                  # checkpoint/restart
 //
 // Other knobs: nranks=8 victim=3 chunks=16 records_per_ckpt=25
+//
+// Observability: --trace-out=<path> emits a Chrome trace_event JSON with
+// phase/ckpt/recovery spans for every rank; --metrics-out=<path> emits the
+// flat metrics registry (counters, gauges, histograms).
 #include <cstdio>
 #include <map>
 
 #include "apps/textgen.hpp"
 #include "apps/wordcount.hpp"
 #include "common/config.hpp"
+#include "common/metrics.hpp"
 #include "core/ftjob.hpp"
 #include "simmpi/runtime.hpp"
 #include "storage/storage.hpp"
@@ -80,7 +85,13 @@ int main(int argc, char** argv) {
     return job.write_output();
   };
 
+  const std::string trace_out = cfg.get_or("trace_out", std::string());
+  const std::string metrics_out = cfg.get_or("metrics_out", std::string());
+
   // Submit (and, under checkpoint/restart, resubmit) until the job is done.
+  // TraceRecorder is internally synchronized, so rank threads merge into it
+  // directly at job teardown.
+  metrics::TraceRecorder trace;
   int submissions = 0;
   double total_vtime = 0.0;
   for (;;) {
@@ -97,6 +108,7 @@ int main(int argc, char** argv) {
         std::printf("[submission %d] in-place recoveries: %d, final comm size %d\n",
                     submissions, job.recoveries(), job.work_comm().size());
       }
+      trace.merge(job.trace());
       (void)s;
     }, sim);
     for (const auto& rr : result.ranks) total_vtime = std::max(total_vtime, rr.vtime);
@@ -108,6 +120,24 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "job did not converge\n");
       return 1;
     }
+  }
+
+  if (!trace_out.empty()) {
+    if (auto s = metrics::write_trace_json(trace_out, trace); !s.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote trace (%zu events) to %s\n", trace.size(),
+                trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    if (auto s = metrics::MetricsRegistry::global().write_json(metrics_out);
+        !s.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   s.to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
   }
 
   const auto counts = read_counts(fs);

@@ -11,6 +11,10 @@
 // records_per_ckpt, chunk_granularity, combiner, two_pass, prefetch,
 // iterations (graph jobs), chunks/lines (text), nodes (graphs),
 // queries (blast).
+//
+// Observability: --trace-out=<path> writes a Chrome trace_event JSON of
+// every rank's phase/ckpt/copier/shuffle spans (load in chrome://tracing
+// or Perfetto); --metrics-out=<path> writes the flat metrics registry.
 #include <cstdio>
 
 #include "apps/blast.hpp"
@@ -18,6 +22,7 @@
 #include "apps/textgen.hpp"
 #include "apps/wordcount.hpp"
 #include "common/config.hpp"
+#include "common/metrics.hpp"
 #include "core/ftjob.hpp"
 #include "simmpi/runtime.hpp"
 #include "storage/storage.hpp"
@@ -98,10 +103,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const std::string trace_out = cfg.get_or("trace_out", std::string());
+  const std::string metrics_out = cfg.get_or("metrics_out", std::string());
+
   // Run (with the checkpoint/restart resubmission loop).
   int submissions = 0;
   double total_vtime = 0.0;
   int recoveries = 0, final_comm = nranks;
+  metrics::TraceRecorder trace;
   std::mutex mu;
   for (;;) {
     submissions++;
@@ -117,6 +126,7 @@ int main(int argc, char** argv) {
       std::lock_guard<std::mutex> lock(mu);
       recoveries = std::max(recoveries, job.recoveries());
       final_comm = std::min(final_comm, job.work_comm().size());
+      trace.merge(job.trace());
       (void)s;
     }, sim);
     double sub = 0;
@@ -125,6 +135,24 @@ int main(int argc, char** argv) {
     if (!r.aborted) break;
     std::printf("[submission %d aborted; resubmitting]\n", submissions);
     if (submissions > 6) return 1;
+  }
+
+  if (!trace_out.empty()) {
+    if (auto s = metrics::write_trace_json(trace_out, trace); !s.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote trace (%zu events) to %s\n", trace.size(),
+                trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    if (auto s = metrics::MetricsRegistry::global().write_json(metrics_out);
+        !s.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   s.to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
   }
 
   std::vector<std::string> parts;

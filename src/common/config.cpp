@@ -10,7 +10,17 @@ Config Config::from_args(int argc, char** argv) {
     std::string_view tok{argv[i]};
     const auto eq = tok.find('=');
     if (eq == std::string_view::npos || eq == 0) continue;
-    c.set(std::string(tok.substr(0, eq)), std::string(tok.substr(eq + 1)));
+    // Accept both "key=value" and GNU-style "--some-key=value": leading
+    // dashes are stripped and interior dashes fold to underscores, so
+    // --trace-out=t.json and trace_out=t.json name the same key.
+    std::string_view key = tok.substr(0, eq);
+    while (!key.empty() && key.front() == '-') key.remove_prefix(1);
+    if (key.empty()) continue;
+    std::string norm(key);
+    for (char& ch : norm) {
+      if (ch == '-') ch = '_';
+    }
+    c.set(std::move(norm), std::string(tok.substr(eq + 1)));
   }
   return c;
 }

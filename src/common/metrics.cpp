@@ -1,0 +1,215 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <tuple>
+
+namespace ftmr::metrics {
+
+namespace {
+
+/// Minimal JSON string escaper (quotes, backslash, control characters).
+/// Metric and span names are dotted identifiers, so this is belt-and-braces.
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// JSON number: finite shortest-ish representation. Non-finite values are
+/// clamped to 0 — strict JSON has no NaN/Infinity tokens and every exported
+/// quantity is a finite virtual time or count by construction.
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+Status write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return {ErrorCode::kIo, "cannot open " + path + " for writing"};
+  f << text;
+  f.flush();
+  if (!f) return {ErrorCode::kIo, "short write to " + path};
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::map<std::string, double> TraceRecorder::span_seconds_by_name(
+    std::string_view cat) const {
+  std::map<std::string, double> sums;
+  for (const TraceEvent& e : events()) {
+    if (e.dur < 0.0 || e.cat != cat) continue;
+    sums[e.name] += e.dur;
+  }
+  return sums;
+}
+
+void sort_events(std::vector<TraceEvent>& ev) {
+  std::stable_sort(ev.begin(), ev.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return std::tie(a.ts, a.tid, a.cat, a.name, a.dur) <
+                            std::tie(b.ts, b.tid, b.cat, b.name, b.dur);
+                   });
+}
+
+std::string trace_json(const TraceRecorder& rec) {
+  std::vector<TraceEvent> ev = rec.events();
+  sort_events(ev);
+  std::string out;
+  out.reserve(64 + ev.size() * 96);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : ev) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_escaped(out, e.name);
+    out += ",\"cat\":";
+    append_escaped(out, e.cat);
+    out += ",\"pid\":0,\"tid\":";
+    append_number(out, e.tid);
+    out += ",\"ts\":";
+    append_number(out, e.ts * 1e6);  // Chrome expects microseconds
+    if (e.dur >= 0.0) {
+      out += ",\"ph\":\"X\",\"dur\":";
+      append_number(out, e.dur * 1e6);
+    } else {
+      out += ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status write_trace_json(const std::string& path, const TraceRecorder& rec) {
+  return write_text_file(path, trace_json(rec));
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry g;
+  return g;
+}
+
+void MetricsRegistry::add(std::string_view name, int rank, double delta) {
+  MutexLock lock(mu_);
+  counters_[{std::string(name), rank}] += delta;
+}
+
+void MetricsRegistry::set(std::string_view name, int rank, double value) {
+  MutexLock lock(mu_);
+  gauges_[{std::string(name), rank}] = value;
+}
+
+void MetricsRegistry::observe(std::string_view name, int rank, double sample) {
+  MutexLock lock(mu_);
+  hists_[{std::string(name), rank}].add(sample);
+}
+
+double MetricsRegistry::counter(std::string_view name, int rank) const {
+  MutexLock lock(mu_);
+  const auto it = counters_.find({std::string(name), rank});
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+double MetricsRegistry::gauge(std::string_view name, int rank) const {
+  MutexLock lock(mu_);
+  const auto it = gauges_.find({std::string(name), rank});
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+Summary MetricsRegistry::histogram(std::string_view name, int rank) const {
+  MutexLock lock(mu_);
+  const auto it = hists_.find({std::string(name), rank});
+  return it == hists_.end() ? Summary{} : it->second;
+}
+
+std::string MetricsRegistry::json() const {
+  MutexLock lock(mu_);
+  std::string out;
+  out += "{\"counters\":[";
+  bool first = true;
+  for (const auto& [key, v] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_escaped(out, key.first);
+    out += ",\"rank\":";
+    append_number(out, key.second);
+    out += ",\"value\":";
+    append_number(out, v);
+    out += '}';
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& [key, v] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_escaped(out, key.first);
+    out += ",\"rank\":";
+    append_number(out, key.second);
+    out += ",\"value\":";
+    append_number(out, v);
+    out += '}';
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& [key, s] : hists_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_escaped(out, key.first);
+    out += ",\"rank\":";
+    append_number(out, key.second);
+    out += ",\"count\":";
+    append_number(out, static_cast<double>(s.count()));
+    out += ",\"sum\":";
+    append_number(out, s.sum());
+    out += ",\"mean\":";
+    append_number(out, s.mean());
+    out += ",\"min\":";
+    append_number(out, s.min());
+    out += ",\"max\":";
+    append_number(out, s.max());
+    out += ",\"stddev\":";
+    append_number(out, s.stddev());
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+Status MetricsRegistry::write_json(const std::string& path) const {
+  return write_text_file(path, json());
+}
+
+void MetricsRegistry::reset() {
+  MutexLock lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  hists_.clear();
+}
+
+}  // namespace ftmr::metrics

@@ -1,0 +1,168 @@
+// metrics.hpp — process-wide metrics registry and trace recording.
+//
+// The paper's whole evaluation is time decomposition (Fig. 7 CPU vs IO-wait,
+// Fig. 10 shuffle/merge/reduce/recovery); this layer makes those
+// decompositions exportable instead of trapped in ad-hoc TimeBuckets:
+//
+//   * MetricsRegistry — process-wide counters, gauges, and Summary-backed
+//     histograms, keyed by (metric name, rank label). One instance per
+//     process (global()), internally locked, safe from every rank thread.
+//   * TraceRecorder — an append-only event log of spans (begin/end) and
+//     instant events on the virtual-time axis, exportable as Chrome
+//     trace_event JSON (load in chrome://tracing or Perfetto) so a run's
+//     phase timeline can be inspected visually and diffed across runs.
+//
+// Naming scheme (see DESIGN.md "Observability"): dotted lowercase paths,
+// "<component>.<what>" — e.g. "ckpt.write", "copier.copy",
+// "shuffle.alltoall", "master.broadcast". FtJob phase spans use the bare
+// TimeBuckets bucket name ("map", "shuffle", ...) under category "phase" so
+// per-bucket span sums can be checked against TimeBuckets::all().
+//
+// Thread model: a TraceRecorder is lock-serialized internally, so rank
+// threads and the virtual-time agents they drive (copier, prefetcher) may
+// record into one recorder concurrently. Each rank owns one recorder
+// (FtJob::trace()); a collector merges them after the rank threads join and
+// sorts for a deterministic event order. Times are virtual seconds; export
+// converts to the microseconds Chrome's trace viewer expects.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "common/sync.hpp"
+
+namespace ftmr::metrics {
+
+/// One trace event. `dur < 0` marks an instant event (Chrome phase "i");
+/// otherwise a complete span (Chrome phase "X"). Zero-duration spans are
+/// valid — several instrumented operations are free in virtual time.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  int tid = 0;        // rank label
+  double ts = 0.0;    // virtual seconds
+  double dur = -1.0;  // virtual seconds; < 0 = instant event
+};
+
+/// Lock-serialized span/instant recorder. See the file comment for the
+/// thread model; every method is safe to call from any thread.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  explicit TraceRecorder(int tid) : tid_(tid) {}
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Default rank label stamped on subsequently recorded events.
+  void set_tid(int tid) {
+    MutexLock lock(mu_);
+    tid_ = tid;
+  }
+
+  /// Record a complete span [t0, t1] (clamped to non-negative duration).
+  void span(std::string name, std::string cat, double t0, double t1) {
+    MutexLock lock(mu_);
+    ev_.push_back({std::move(name), std::move(cat), tid_, t0,
+                   t1 > t0 ? t1 - t0 : 0.0});
+  }
+
+  /// Record an instant event at time `ts`.
+  void instant(std::string name, std::string cat, double ts) {
+    MutexLock lock(mu_);
+    ev_.push_back({std::move(name), std::move(cat), tid_, ts, -1.0});
+  }
+
+  /// Append a copy of `other`'s events (source tids preserved). Lock
+  /// discipline: copies out under the source's lock, appends under this
+  /// recorder's lock — the two locks are never held together.
+  void merge(const TraceRecorder& other) {
+    std::vector<TraceEvent> theirs = other.events();
+    MutexLock lock(mu_);
+    ev_.insert(ev_.end(), std::make_move_iterator(theirs.begin()),
+               std::make_move_iterator(theirs.end()));
+  }
+
+  [[nodiscard]] std::vector<TraceEvent> events() const {
+    MutexLock lock(mu_);
+    return ev_;
+  }
+
+  [[nodiscard]] size_t size() const {
+    MutexLock lock(mu_);
+    return ev_.size();
+  }
+
+  /// Sum of span durations grouped by event name, restricted to category
+  /// `cat`. Instant events are excluded. With cat "phase" this reproduces
+  /// the seconds-valued TimeBuckets decomposition from the trace alone.
+  [[nodiscard]] std::map<std::string, double> span_seconds_by_name(
+      std::string_view cat) const;
+
+  void clear() {
+    MutexLock lock(mu_);
+    ev_.clear();
+  }
+
+ private:
+  mutable Mutex mu_;
+  int tid_ FTMR_GUARDED_BY(mu_) = 0;
+  std::vector<TraceEvent> ev_ FTMR_GUARDED_BY(mu_);
+};
+
+/// Deterministic order for merged multi-rank event sets: by (ts, tid, cat,
+/// name, dur). Export sorts a copy, so byte-identical runs produce
+/// byte-identical trace files regardless of merge order.
+void sort_events(std::vector<TraceEvent>& ev);
+
+/// Render events as Chrome trace_event JSON ({"traceEvents":[...]}).
+[[nodiscard]] std::string trace_json(const TraceRecorder& rec);
+
+/// Write trace_json(rec) to `path` (host filesystem, not the simulated
+/// storage — traces are an observability side channel).
+Status write_trace_json(const std::string& path, const TraceRecorder& rec);
+
+/// Process-wide metrics: counters (monotone adds), gauges (last write
+/// wins), and Summary-backed histograms, each keyed by (name, rank).
+/// All operations are serialized on one internal lock; this is cold-path
+/// instrumentation, not a hot-loop profiler.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide instance.
+  static MetricsRegistry& global();
+
+  void add(std::string_view name, int rank, double delta = 1.0);
+  void set(std::string_view name, int rank, double value);
+  void observe(std::string_view name, int rank, double sample);
+
+  [[nodiscard]] double counter(std::string_view name, int rank) const;
+  [[nodiscard]] double gauge(std::string_view name, int rank) const;
+  [[nodiscard]] Summary histogram(std::string_view name, int rank) const;
+
+  /// Flat JSON: {"counters":[{"name","rank","value"}...],"gauges":[...],
+  /// "histograms":[{"name","rank","count","sum","mean","min","max",
+  /// "stddev"}...]}.
+  [[nodiscard]] std::string json() const;
+  Status write_json(const std::string& path) const;
+
+  /// Drop everything (tests; benches that isolate per-figure metrics).
+  void reset();
+
+ private:
+  using Key = std::pair<std::string, int>;  // (metric name, rank label)
+  mutable Mutex mu_;
+  std::map<Key, double> counters_ FTMR_GUARDED_BY(mu_);
+  std::map<Key, double> gauges_ FTMR_GUARDED_BY(mu_);
+  std::map<Key, Summary> hists_ FTMR_GUARDED_BY(mu_);
+};
+
+}  // namespace ftmr::metrics

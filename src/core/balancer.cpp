@@ -1,8 +1,11 @@
 #include "core/balancer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
+
+#include "common/log.hpp"
 
 namespace ftmr::core {
 
@@ -17,18 +20,36 @@ Status LoadBalancer::exchange_models(simmpi::Comm& comm, const LinearModel& mine
   if (auto s = comm.allgather(w.bytes(), gathered); !s.ok()) return s;
   all.clear();
   all.reserve(gathered.size());
-  for (const Bytes& b : gathered) {
-    LinearModel m;
-    ByteReader r(b);
-    uint64_t n = 0;
-    (void)r.get(m.a);
-    (void)r.get(m.b);
-    (void)r.get(m.r2);
-    (void)r.get(n);
-    m.n = n;
-    all.push_back(m);
+  for (size_t i = 0; i < gathered.size(); ++i) {
+    bool valid = true;
+    all.push_back(decode_model(gathered[i], &valid));
+    if (!valid) {
+      FTMR_WARN << "rank " << comm.global_rank() << " received invalid model blob"
+                << " from rel rank " << i << " (" << gathered[i].size()
+                << " bytes); using identity model";
+    }
   }
   return Status::Ok();
+}
+
+LinearModel LoadBalancer::decode_model(std::span<const std::byte> blob,
+                                       bool* valid) {
+  LinearModel m;
+  ByteReader r(blob);
+  uint64_t n = 0;
+  const bool complete = r.get(m.a).ok() && r.get(m.b).ok() && r.get(m.r2).ok() &&
+                        r.get(n).ok();
+  m.n = n;
+  const bool finite =
+      std::isfinite(m.a) && std::isfinite(m.b) && std::isfinite(m.r2);
+  if (valid) *valid = complete && finite;
+  if (!complete || !finite) {
+    // A truncated or corrupt gossip payload must not become a garbage model
+    // fed into the split: degrade to plain size balancing for that rank.
+    LinearModel identity;
+    return sanitize(identity);
+  }
+  return m;
 }
 
 LinearModel LoadBalancer::sanitize(const LinearModel& m) {
@@ -59,11 +80,22 @@ std::vector<int> LoadBalancer::assign(const std::vector<double>& item_weights,
     return item_weights[a] > item_weights[b];
   });
 
+  // The fitted model is t = a + b·D: `a` is the rank's fixed startup cost,
+  // paid once when the rank takes its first work. Ranks arriving with
+  // current_finish > 0 already have work in flight, so their intercept is
+  // sunk; an idle rank's candidate finish must include it, or slow-start
+  // ranks (large a, small b) get over-assigned.
+  std::vector<char> started(nranks, 0);
+  for (size_t r = 0; r < nranks; ++r) {
+    started[r] = current_finish[r] > 0.0 ? 1 : 0;
+  }
+
   for (size_t idx : order) {
     size_t best = 0;
     double best_finish = std::numeric_limits<double>::infinity();
     for (size_t r = 0; r < nranks; ++r) {
-      const double f = current_finish[r] + m[r].b * item_weights[idx];
+      const double intercept = started[r] ? 0.0 : m[r].a;
+      const double f = current_finish[r] + intercept + m[r].b * item_weights[idx];
       if (f < best_finish) {
         best_finish = f;
         best = r;
@@ -71,6 +103,7 @@ std::vector<int> LoadBalancer::assign(const std::vector<double>& item_weights,
     }
     owner[idx] = static_cast<int>(best);
     current_finish[best] = best_finish;
+    started[best] = 1;
   }
   return owner;
 }

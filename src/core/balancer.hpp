@@ -11,8 +11,10 @@
 // split every survivor computes identically.
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/regression.hpp"
 #include "common/status.hpp"
 #include "simmpi/comm.hpp"
@@ -26,12 +28,22 @@ class LoadBalancer {
   static Status exchange_models(simmpi::Comm& comm, const LinearModel& mine,
                                 std::vector<LinearModel>& all);
 
+  /// Decode one gathered model blob. A short/truncated payload or a
+  /// non-finite coefficient yields the sanitized identity model (plain size
+  /// balancing) and sets `*valid` to false — a garbage peer model must
+  /// degrade the split, never poison it.
+  static LinearModel decode_model(std::span<const std::byte> blob,
+                                  bool* valid = nullptr);
+
   /// Assign work items (with weights, e.g. chunk bytes) to ranks so that
   /// predicted finish times stay level. `current_finish[i]` is rank i's
   /// predicted finish of its already-assigned work. Greedy longest-
   /// processing-time: items are placed, heaviest first, on the rank whose
-  /// predicted finish after taking the item is smallest. Deterministic:
-  /// every survivor computes the identical assignment.
+  /// predicted finish after taking the item is smallest. The paper's model
+  /// is t = a + b·D, so a rank's *first* assignment also pays its fitted
+  /// intercept `a` (per-rank fixed cost); ranks with current_finish > 0 are
+  /// treated as already started. Deterministic: every survivor computes the
+  /// identical assignment.
   /// Returns owner rel-rank per item.
   static std::vector<int> assign(const std::vector<double>& item_weights,
                                  const std::vector<LinearModel>& models,

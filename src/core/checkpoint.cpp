@@ -125,10 +125,24 @@ CheckpointManager::CheckpointManager(storage::StorageSystem* fs, int node, int r
 Status CheckpointManager::put(simmpi::Comm& comm, const std::string& name,
                               const Bytes& payload) {
   if (!opts_.enabled) return Status::Ok();
-  const std::string rank_dir = "ck/r" + std::to_string(rank_);
+  const double t0 = comm.now();
   const Bytes framed = frame_checkpoint(payload);
+  // Framing + CRC are free in virtual time (CPU is not modeled for them);
+  // a zero-duration span still marks every frame event on the timeline.
+  if (trace_) trace_->span("ckpt.frame", "ckpt", t0, comm.now());
   count_++;
   bytes_written_ += framed.size();
+  const Status s = put_impl(comm, name, framed);
+  if (trace_) trace_->span("ckpt.write", "ckpt", t0, comm.now());
+  metrics::MetricsRegistry::global().add("ckpt.writes", rank_);
+  metrics::MetricsRegistry::global().add("ckpt.bytes_written", rank_,
+                                         static_cast<double>(framed.size()));
+  return s;
+}
+
+Status CheckpointManager::put_impl(simmpi::Comm& comm, const std::string& name,
+                                   const Bytes& framed) {
+  const std::string rank_dir = "ck/r" + std::to_string(rank_);
 
   // Checkpoint writes are best-effort: a write that still fails after the
   // retry budget costs future recovery work (that delta is simply not
@@ -158,6 +172,8 @@ Status CheckpointManager::put(simmpi::Comm& comm, const std::string& name,
         comm.compute(backoff);
         write_seconds_ += backoff;
         integ_.io_retries++;
+        if (trace_) trace_->instant("ckpt.retry", "ckpt", comm.now());
+        metrics::MetricsRegistry::global().add("ckpt.io_retries", rank_);
       }
     }
     return last;
@@ -276,8 +292,14 @@ void CheckpointManager::drain(simmpi::Comm& comm) {
   if (!opts_.enabled || opts_.location != CkptOptions::Location::kLocalWithCopier) {
     return;
   }
-  const double wait = copier_.drain_wait(comm.now());
-  if (wait > 0.0) comm.compute(wait);
+  const double t0 = comm.now();
+  const double wait = copier_.drain_wait(t0);
+  if (wait > 0.0) {
+    comm.compute(wait);
+    metrics::MetricsRegistry::global().observe("copier.drain_wait_seconds", rank_,
+                                               wait);
+  }
+  if (trace_) trace_->span("copier.drain_wait", "copier", t0, comm.now());
 }
 
 std::set<int> CheckpointManager::stages_present(int src_rank, int src_node,
@@ -304,6 +326,7 @@ Status CheckpointManager::read_verified(simmpi::Comm& comm, storage::Tier tier,
                                         Bytes& payload, RankRecovery& out) {
   const bool from_shared = (tier == storage::Tier::kShared);
   const std::string path = rank_dir + "/" + name;
+  const double t0 = comm.now();
   Status last;
 
   // 1) Primary tier, with bounded retry. A retry redraws both transient
@@ -320,13 +343,19 @@ Status CheckpointManager::read_verified(simmpi::Comm& comm, storage::Tier tier,
                                     from_shared ? conc_ : 1);
     if (s.ok()) {
       comm.compute(cost);
-      if (Status v = unframe_checkpoint(raw, payload); v.ok()) {
+      const double v0 = comm.now();
+      Status v = unframe_checkpoint(raw, payload);
+      if (trace_) trace_->span("ckpt.crc", "ckpt", v0, comm.now());
+      if (v.ok()) {
         out.files_read++;
         out.bytes_read += raw.size();
+        if (trace_) trace_->span("ckpt.read", "ckpt", t0, comm.now());
         return Status::Ok();
       } else {
         integ_.corrupt_frames++;
         out.corrupt_frames++;
+        if (trace_) trace_->instant("ckpt.corrupt", "ckpt", comm.now());
+        metrics::MetricsRegistry::global().add("ckpt.corrupt_frames", rank_);
         last = v;
       }
     } else {
@@ -336,6 +365,8 @@ Status CheckpointManager::read_verified(simmpi::Comm& comm, storage::Tier tier,
     if (attempt < retry_.max_attempts) {
       comm.compute(retry_.backoff_before(attempt));
       integ_.io_retries++;
+      if (trace_) trace_->instant("ckpt.retry", "ckpt", comm.now());
+      metrics::MetricsRegistry::global().add("ckpt.io_retries", rank_);
     }
   }
 
@@ -375,15 +406,25 @@ Status CheckpointManager::read_verified(simmpi::Comm& comm, storage::Tier tier,
   }
   if (fb.ok()) {
     comm.compute(cost);
-    if (Status v = unframe_checkpoint(raw, payload); v.ok()) {
+    const double v0 = comm.now();
+    Status v = unframe_checkpoint(raw, payload);
+    if (trace_) trace_->span("ckpt.crc", "ckpt", v0, comm.now());
+    if (v.ok()) {
       integ_.tier_fallbacks++;
       out.tier_fallbacks++;
       out.files_read++;
       out.bytes_read += raw.size();
+      if (trace_) {
+        trace_->instant("ckpt.tier_fallback", "ckpt", comm.now());
+        trace_->span("ckpt.read", "ckpt", t0, comm.now());
+      }
+      metrics::MetricsRegistry::global().add("ckpt.tier_fallbacks", rank_);
       return Status::Ok();
     } else {
       integ_.corrupt_frames++;
       out.corrupt_frames++;
+      if (trace_) trace_->instant("ckpt.corrupt", "ckpt", comm.now());
+      metrics::MetricsRegistry::global().add("ckpt.corrupt_frames", rank_);
       last = v;
     }
   } else if (!last.ok() && last.code() == ErrorCode::kNotFound) {
@@ -394,6 +435,11 @@ Status CheckpointManager::read_verified(simmpi::Comm& comm, storage::Tier tier,
   //    (bounded work lost, reprocessed from input) instead of aborting.
   integ_.files_quarantined++;
   out.quarantined++;
+  if (trace_) {
+    trace_->instant("ckpt.quarantine", "ckpt", comm.now());
+    trace_->span("ckpt.read", "ckpt", t0, comm.now());
+  }
+  metrics::MetricsRegistry::global().add("ckpt.files_quarantined", rank_);
   FTMR_WARN << "rank " << rank_ << " quarantined checkpoint " << path << ": "
             << last.to_string();
   return {ErrorCode::kCorrupt, "no valid replica of " + path};
@@ -439,6 +485,7 @@ Status CheckpointManager::load_rank_stage(simmpi::Comm& comm, int stage,
   std::unique_ptr<storage::Prefetcher> prefetch;
   if (from_shared && opts_.prefetch_recovery && !files.empty()) {
     prefetch = std::make_unique<storage::Prefetcher>(fs_, node_, conc_);
+    prefetch->set_trace(trace_);
     std::vector<std::string> paths;
     paths.reserve(files.size());
     for (const auto& [p, n] : files) paths.push_back(rank_dir + "/" + n);

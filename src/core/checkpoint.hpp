@@ -32,6 +32,7 @@
 #include <set>
 #include <string>
 
+#include "common/metrics.hpp"
 #include "mr/kv.hpp"
 #include "simmpi/comm.hpp"
 #include "storage/copier.hpp"
@@ -179,8 +180,18 @@ class CheckpointManager {
   /// (a map task or a partition) to be re-executed from scratch.
   void note_segments_reprocessed(int n) noexcept { integ_.segments_reprocessed += n; }
 
+  /// Record checkpoint write/read spans and integrity instants into `t`
+  /// (not owned; may be null). Forwarded to the copier and to recovery
+  /// prefetchers; set once during job construction.
+  void set_trace(metrics::TraceRecorder* t) noexcept {
+    trace_ = t;
+    copier_.set_trace(t);
+  }
+
  private:
   Status put(simmpi::Comm& comm, const std::string& name, const Bytes& payload);
+  Status put_impl(simmpi::Comm& comm, const std::string& name,
+                  const Bytes& framed);
   /// Read `rank_dir`/`name` from `tier` and return its verified payload.
   /// Implements retry -> other-tier fallback -> quarantine; returns
   /// kCorrupt only when no valid replica exists anywhere.
@@ -207,6 +218,7 @@ class CheckpointManager {
   size_t bytes_written_ = 0;
   int count_ = 0;
   IntegrityStats integ_;
+  metrics::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace ftmr::core

@@ -24,9 +24,24 @@ FtJob::FtJob(simmpi::Comm& world, storage::StorageSystem* fs, FtJobOptions opts)
   master_ = std::make_unique<DistributedMaster>(mc, opts_.status_interval_commits);
   ckpt_ = std::make_unique<CheckpointManager>(fs_, node(), world_.global_rank(),
                                               opts_.ckpt, io_conc());
+  trace_.set_tid(world_.global_rank());
+  master_->set_trace(&trace_);
+  ckpt_->set_trace(&trace_);
   if (opts_.mode == FtMode::kCheckpointRestart && opts_.ckpt.enabled) {
     prime_from_own_checkpoints();
   }
+}
+
+void FtJob::charge_span(const char* bucket, double t0) {
+  const double t1 = wc_.now();
+  times_.charge(bucket, t1 - t0);
+  trace_.span(bucket, "phase", t0, t1);
+}
+
+void FtJob::charge_cost(const char* bucket, double cost) {
+  times_.charge(bucket, cost);
+  const double t1 = wc_.now();
+  trace_.span(bucket, "phase", t1 - cost, t1);
 }
 
 int FtJob::node() const noexcept { return world_.global_rank() / opts_.ppn; }
@@ -91,7 +106,7 @@ Status FtJob::run(const Driver& driver) {
         recoveries_++;
         const double t0 = wc_.now();
         recover();
-        times_.charge("recovery", wc_.now() - t0);
+        charge_span("recovery", t0);
       }
       stage_cursor_ = 0;
       return driver(*this);
@@ -141,7 +156,7 @@ void FtJob::commit(uint64_t task, TaskProgress& tp, int stage) {
     (void)check(ckpt_->map_ckpt(wc_, stage, task, tp.pos, tp.pending_delta));
     tp.pending_delta.clear();
     tp.last_ckpt_pos = tp.pos;
-    times_.charge("ckpt", wc_.now() - t0);
+    charge_span("ckpt", t0);
   }
   // Periodic master duties + eager failure observation (every few commits,
   // not every record, to keep the real-time overhead of the simulator low).
@@ -159,6 +174,7 @@ Status FtJob::run_one_map_task(const StageFns& fns, bool kv_input, int stage,
                                StageState& st, uint64_t task) {
   TaskProgress& tp = st.tasks[task];
   if (tp.done) return Status::Ok();
+  const double task_start = wc_.now();
   if (tp.parts.empty()) tp.parts.resize(static_cast<size_t>(p0_));
 
   // -- fetch input --
@@ -174,7 +190,7 @@ Status FtJob::run_one_map_task(const StageFns& fns, bool kv_input, int stage,
       return s;
     }
     wc_.compute(cost);
-    times_.charge("io_wait", cost);
+    charge_cost("io_wait", cost);
     chunk.assign(reinterpret_cast<const char*>(data.data()), data.size());
   } else {
     auto pit = stages_.find(stage - 1);
@@ -200,7 +216,7 @@ Status FtJob::run_one_map_task(const StageFns& fns, bool kv_input, int stage,
       kv_cursor = tp.pos;
     }
     wc_.compute(static_cast<double>(tp.pos) * opts_.skip_cost_per_record);
-    times_.charge("skip", static_cast<double>(tp.pos) * opts_.skip_cost_per_record);
+    charge_cost("skip", static_cast<double>(tp.pos) * opts_.skip_cost_per_record);
   }
 
   // -- the Algorithm-1 loop: while next() { map(); commit(); } --
@@ -243,11 +259,14 @@ Status FtJob::run_one_map_task(const StageFns& fns, bool kv_input, int stage,
     (void)check(ckpt_->map_ckpt(wc_, stage, task, tp.pos, tp.pending_delta));
     tp.pending_delta.clear();
     tp.last_ckpt_pos = tp.pos;
-    times_.charge("ckpt", wc_.now() - t0);
+    charge_span("ckpt", t0);
   }
   tp.done = true;
   master_->on_task_done(task, tp.pos, 0);
   master_->observe(map_bytes_done_, wc_.now());
+  metrics::MetricsRegistry::global().observe("task.map_seconds",
+                                             world_.global_rank(),
+                                             wc_.now() - task_start);
   return Status::Ok();
 }
 
@@ -262,7 +281,7 @@ Status FtJob::map_phase(const StageFns& fns, bool kv_input, int stage,
   ckpt_->drain(wc_);
   if (auto s = check(master_->exchange_now()); !s.ok()) return s;
   if (auto s = check(wc_.barrier()); !s.ok()) return s;
-  times_.charge("map", wc_.now() - t0);
+  charge_span("map", t0);
   return Status::Ok();
 }
 
@@ -356,14 +375,19 @@ Status FtJob::shuffle_phase(const StageFns& fns, int stage, StageState& st) {
   }
   std::vector<Bytes> send(by_dest.size());
   for (size_t d = 0; d < by_dest.size(); ++d) send[d] = encode_blocks(by_dest[d]);
+  trace_.span("shuffle.census", "shuffle", t0, wc_.now());
 
+  const double a0 = wc_.now();
   std::vector<Bytes> recv;
   if (auto s = check(wc_.alltoall(send, recv)); !s.ok()) return s;
+  trace_.span("shuffle.alltoall", "shuffle", a0, wc_.now());
+  const double d0 = wc_.now();
   for (const Bytes& b : recv) {
     if (auto s = decode_blocks(b, st.my_partitions, /*replace=*/false); !s.ok()) {
       return s;
     }
   }
+  trace_.span("shuffle.adopt", "shuffle", d0, wc_.now());
 
   // Partition checkpoints make the shuffle result durable: a work-conserving
   // resume after a reduce-phase failure reads exactly these.
@@ -373,11 +397,11 @@ Status FtJob::shuffle_phase(const StageFns& fns, int stage, StageState& st) {
       if (auto s = check(ckpt_->partition_ckpt(wc_, stage, p, kv)); !s.ok()) return s;
     }
     ckpt_->drain(wc_);
-    times_.charge("ckpt", wc_.now() - c0);
+    charge_span("ckpt", c0);
   }
   st.phase = kPhaseShuffleDone;
   if (auto s = check(wc_.barrier()); !s.ok()) return s;
-  times_.charge("shuffle", wc_.now() - t0);
+  charge_span("shuffle", t0);
   return Status::Ok();
 }
 
@@ -408,8 +432,10 @@ Status FtJob::rebuild_orphan_partitions(const StageFns& fns, int stage,
   }
   std::vector<Bytes> send(by_dest.size());
   for (size_t d = 0; d < by_dest.size(); ++d) send[d] = encode_blocks(by_dest[d]);
+  const double a0 = wc_.now();
   std::vector<Bytes> recv;
   if (auto s = check(wc_.alltoall(send, recv)); !s.ok()) return s;
+  trace_.span("shuffle.alltoall", "shuffle", a0, wc_.now());
   std::map<int, mr::KvBuffer> rebuilt;
   for (const Bytes& b : recv) {
     if (auto s = decode_blocks(b, rebuilt, /*replace=*/false); !s.ok()) return s;
@@ -426,7 +452,7 @@ Status FtJob::rebuild_orphan_partitions(const StageFns& fns, int stage,
   }
   st.partitions_missing.clear();
   if (auto s = check(wc_.barrier()); !s.ok()) return s;
-  times_.charge("recovery", wc_.now() - t0);
+  charge_span("recovery", t0);
   return Status::Ok();
 }
 
@@ -455,7 +481,7 @@ Status FtJob::reduce_phase(const StageFns& fns, int stage, StageState& st) {
     const double convert_io =
         fs_->cost_of(storage::Tier::kLocal, cst.bytes_moved, cst.passes);
     wc_.compute(convert_io);
-    times_.charge("merge", wc_.now() - m0);
+    charge_span("merge", m0);
 
     if (rp.entries_done > 0) {
       wc_.compute(static_cast<double>(rp.entries_done) * opts_.skip_cost_per_record);
@@ -482,7 +508,7 @@ Status FtJob::reduce_phase(const StageFns& fns, int stage, StageState& st) {
         }
         rp.pending_delta.clear();
         rp.last_ckpt_entries = rp.entries_done;
-        times_.charge("ckpt", wc_.now() - c0);
+        charge_span("ckpt", c0);
       }
       if ((rp.entries_done & 0x3f) == 0) {
         if (auto s = check(master_->tick()); !s.ok()) return s;
@@ -514,7 +540,7 @@ Status FtJob::reduce_phase(const StageFns& fns, int stage, StageState& st) {
   ckpt_->drain(wc_);
   if (auto s = check(wc_.barrier()); !s.ok()) return s;
   st.phase = kPhaseDone;
-  times_.charge("reduce", wc_.now() - t0);
+  charge_span("reduce", t0);
   return Status::Ok();
 }
 
@@ -629,7 +655,7 @@ Status FtJob::write_output() {
       return s;
     }
     wc_.compute(cost);
-    times_.charge("io_wait", cost);
+    charge_cost("io_wait", cost);
   }
   return check(wc_.barrier());
 }
@@ -834,7 +860,7 @@ void FtJob::patch_state_after_shrink(const std::vector<int>& new_dead) {
       const double r0 = wc_.now();
       Status s = ckpt_->load_rank_stage(wc_, sid, d, d_node, /*from_shared=*/true,
                                         horizon, rec, filter);
-      times_.charge("recovery_io", wc_.now() - r0);
+      charge_span("recovery_io", r0);
       if (!s.ok()) {
         FTMR_WARN << "WC recovery load failed for rank " << d << " stage " << sid
                   << ": " << s.to_string();
@@ -915,7 +941,7 @@ void FtJob::prime_from_own_checkpoints() {
     const double r0 = wc_.now();
     Status s = ckpt_->load_rank_stage(wc_, sid, world_.global_rank(), node(),
                                       shared, /*horizon=*/-1.0, rec);
-    times_.charge("init_recover", wc_.now() - r0);
+    charge_span("init_recover", r0);
     if (!s.ok()) continue;
     int phase = kPhaseMap;
     // All owned partitions produced output -> the stage completed.

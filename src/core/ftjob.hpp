@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/stats.hpp"
 #include "core/balancer.hpp"
 #include "core/checkpoint.hpp"
@@ -145,6 +146,12 @@ class FtJob {
   // -- introspection --
   [[nodiscard]] const TimeBuckets& times() const noexcept { return times_; }
   [[nodiscard]] TimeBuckets& mutable_times() noexcept { return times_; }
+  /// This rank's trace recorder. Phase spans (cat "phase") mirror every
+  /// seconds-valued TimeBuckets charge 1:1; component spans/instants
+  /// (cats "ckpt", "copier", "prefetch", "master", "shuffle") ride along.
+  /// Merge into a collector after the rank threads join (the recorder is
+  /// internally locked, but the convention keeps exports deterministic).
+  [[nodiscard]] metrics::TraceRecorder& trace() noexcept { return trace_; }
   [[nodiscard]] simmpi::Comm& work_comm() noexcept { return wc_; }
   [[nodiscard]] int initial_size() const noexcept { return p0_; }
   [[nodiscard]] int node() const noexcept;
@@ -223,6 +230,12 @@ class FtJob {
     return f.reduce_cost_per_value >= 0 ? f.reduce_cost_per_value
                                         : opts_.reduce_cost_per_value;
   }
+  /// Charge wc_.now()-t0 into `bucket` AND record the matching phase span,
+  /// so the trace reproduces the TimeBuckets decomposition exactly.
+  void charge_span(const char* bucket, double t0);
+  /// Same for pre-computed costs charged after a wc_.compute(cost): the
+  /// span covers [now-cost, now].
+  void charge_cost(const char* bucket, double cost);
 
   simmpi::Comm world_;  // never shrinks; failure census
   simmpi::Comm wc_;     // work comm (shrinks on recovery)
@@ -244,6 +257,7 @@ class FtJob {
   bool primed_from_ckpt_ = false;
   int recoveries_ = 0;
   TimeBuckets times_;
+  metrics::TraceRecorder trace_;
   double map_bytes_done_ = 0.0;  // load-balancer observation feed
   double map_vtime_spent_ = 0.0;
 };

@@ -30,7 +30,7 @@ void DistributedMaster::on_task_start(uint64_t task_id, uint64_t total_bytes) {
   ts.owner = mcomm_.global_rank();
   ts.state = TaskState::kRunning;
   ts.bytes_done = 0;
-  (void)total_bytes;
+  ts.total_bytes = total_bytes;
   local_.upsert(ts);
   global_.upsert(ts);
 }
@@ -71,24 +71,34 @@ Status DistributedMaster::exchange_now() {
 }
 
 Status DistributedMaster::broadcast_status() {
+  const double t0 = mcomm_.now();
   ByteWriter w;
   w.put<int32_t>(mcomm_.rank());
   w.put<double>(units_done_);
   w.put<double>(elapsed_);
   w.put_blob(local_.encode());
   Status first_error;
+  int sent = 0;
   for (int r = 0; r < mcomm_.size(); ++r) {
     if (r == mcomm_.rank()) continue;
     // A send to a dead master is exactly how the gossip detects failures;
     // remember the first error but keep informing the live peers.
     if (auto s = mcomm_.send(r, kStatusTag, w.bytes()); !s.ok() && first_error.ok()) {
       first_error = s;
+    } else if (s.ok()) {
+      sent++;
     }
   }
+  if (trace_) trace_->span("master.broadcast", "master", t0, mcomm_.now());
+  metrics::MetricsRegistry::global().add("master.status_sends",
+                                         mcomm_.global_rank(),
+                                         static_cast<double>(sent));
   return first_error;
 }
 
 Status DistributedMaster::drain_inbox() {
+  const double t0 = mcomm_.now();
+  int drained = 0;
   simmpi::MessageInfo info;
   while (mcomm_.iprobe(simmpi::kAnySource, kStatusTag, &info)) {
     Bytes msg;
@@ -104,10 +114,17 @@ Status DistributedMaster::drain_inbox() {
     TaskTable t;
     if (auto s = TaskTable::decode(table_bytes, t); !s.ok()) return s;
     global_.merge(t);
+    drained++;
     if (sender >= 0 && sender < static_cast<int32_t>(peer_obs_.size())) {
       peer_obs_[sender] = {units, elapsed};
       peer_obs_valid_[sender] = true;
     }
+  }
+  if (trace_) trace_->span("master.drain", "master", t0, mcomm_.now());
+  if (drained > 0) {
+    metrics::MetricsRegistry::global().add("master.status_drained",
+                                           mcomm_.global_rank(),
+                                           static_cast<double>(drained));
   }
   return Status::Ok();
 }

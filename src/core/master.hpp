@@ -18,6 +18,7 @@
 
 #include <optional>
 
+#include "common/metrics.hpp"
 #include "common/regression.hpp"
 #include "core/task.hpp"
 #include "simmpi/comm.hpp"
@@ -83,6 +84,10 @@ class DistributedMaster {
   /// Re-bind the master to a shrunken communicator after recovery.
   void rebind(simmpi::Comm mcomm) { mcomm_ = std::move(mcomm); }
 
+  /// Record gossip broadcast/drain spans into `t` (not owned; may be null).
+  /// Set once during job construction, before any gossip traffic.
+  void set_trace(metrics::TraceRecorder* t) noexcept { trace_ = t; }
+
  private:
   Status broadcast_status();
   Status drain_inbox();
@@ -97,6 +102,7 @@ class DistributedMaster {
   double elapsed_ = 0.0;
   std::vector<std::pair<double, double>> peer_obs_;  // rel rank -> (units, t)
   std::vector<bool> peer_obs_valid_;
+  metrics::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace ftmr::core

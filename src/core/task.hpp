@@ -6,6 +6,7 @@
 // so no coordination is needed at startup.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -23,13 +24,35 @@ struct TaskStatus {
   TaskState state = TaskState::kPending;
   uint64_t records_done = 0;
   uint64_t bytes_done = 0;
+  uint64_t total_bytes = 0;  // task input size (0 = not yet reported)
+
+  /// Progress fraction in [0,1]; 0 while the input size is unknown.
+  [[nodiscard]] double progress_fraction() const noexcept {
+    if (state == TaskState::kDone) return 1.0;
+    if (total_bytes == 0) return 0.0;
+    const double f = static_cast<double>(bytes_done) /
+                     static_cast<double>(total_bytes);
+    return f > 1.0 ? 1.0 : f;
+  }
 };
 
 /// Status table: task id -> status. Used for both the local and the global
 /// view; the global view is merged from gossip.
 class TaskTable {
  public:
-  void upsert(const TaskStatus& ts) { tasks_[ts.task_id] = ts; }
+  /// Insert or replace; the task's input size is sticky — progress updates
+  /// are reported without it (only on_task_start knows it), so a replace
+  /// keeps the largest total_bytes seen rather than zeroing it.
+  void upsert(const TaskStatus& ts) {
+    auto it = tasks_.find(ts.task_id);
+    if (it == tasks_.end()) {
+      tasks_[ts.task_id] = ts;
+      return;
+    }
+    const uint64_t total = std::max(it->second.total_bytes, ts.total_bytes);
+    it->second = ts;
+    it->second.total_bytes = total;
+  }
 
   [[nodiscard]] const TaskStatus* find(uint64_t task_id) const {
     auto it = tasks_.find(task_id);
@@ -52,10 +75,16 @@ class TaskTable {
   void merge(const TaskTable& other) {
     for (const auto& [id, t] : other.tasks_) {
       auto it = tasks_.find(id);
-      if (it == tasks_.end() || t.state > it->second.state ||
-          (t.state == it->second.state && t.records_done > it->second.records_done)) {
+      if (it == tasks_.end()) {
         tasks_[id] = t;
+        continue;
       }
+      const uint64_t total = std::max(it->second.total_bytes, t.total_bytes);
+      if (t.state > it->second.state ||
+          (t.state == it->second.state && t.records_done > it->second.records_done)) {
+        it->second = t;
+      }
+      it->second.total_bytes = total;
     }
   }
 
@@ -68,6 +97,7 @@ class TaskTable {
       w.put<uint8_t>(static_cast<uint8_t>(t.state));
       w.put<uint64_t>(t.records_done);
       w.put<uint64_t>(t.bytes_done);
+      w.put<uint64_t>(t.total_bytes);
     }
     return std::move(w).take();
   }
@@ -86,6 +116,7 @@ class TaskTable {
       if (auto s = r.get(state); !s.ok()) return s;
       if (auto s = r.get(t.records_done); !s.ok()) return s;
       if (auto s = r.get(t.bytes_done); !s.ok()) return s;
+      if (auto s = r.get(t.total_bytes); !s.ok()) return s;
       t.owner = owner;
       t.state = static_cast<TaskState>(state);
       out.upsert(t);

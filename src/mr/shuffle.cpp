@@ -34,12 +34,16 @@ std::vector<KvBuffer> partition_by_key(const KvBuffer& in, int nparts) {
 }
 
 Status shuffle(simmpi::Comm& comm, const KvBuffer& in, KvBuffer& out,
-               ShuffleStats* stats) {
-  return shuffle_partitions(comm, partition_by_key(in, comm.size()), out, stats);
+               ShuffleStats* stats, metrics::TraceRecorder* trace) {
+  const double c0 = comm.now();
+  std::vector<KvBuffer> parts = partition_by_key(in, comm.size());
+  if (trace) trace->span("shuffle.census", "shuffle", c0, comm.now());
+  return shuffle_partitions(comm, std::move(parts), out, stats, trace);
 }
 
 Status shuffle_partitions(simmpi::Comm& comm, std::vector<KvBuffer> parts,
-                          KvBuffer& out, ShuffleStats* stats) {
+                          KvBuffer& out, ShuffleStats* stats,
+                          metrics::TraceRecorder* trace) {
   std::vector<Bytes> send(parts.size());
   ShuffleStats st;
   for (size_t j = 0; j < parts.size(); ++j) {
@@ -48,8 +52,11 @@ Status shuffle_partitions(simmpi::Comm& comm, std::vector<KvBuffer> parts,
     send[j] = std::move(parts[j]).take_wire();
     st.bytes_sent += send[j].size();
   }
+  const double a0 = comm.now();
   std::vector<Bytes> recv;
   if (auto s = comm.alltoall(send, recv); !s.ok()) return s;
+  if (trace) trace->span("shuffle.alltoall", "shuffle", a0, comm.now());
+  const double d0 = comm.now();
   out.clear();
   // Validating adoption of every received block first: zero-copy, and it
   // yields exact totals so the merge below reserves once.
@@ -71,6 +78,7 @@ Status shuffle_partitions(simmpi::Comm& comm, std::vector<KvBuffer> parts,
       out.reserve_records(total_pairs - out.size(), total_bytes - out.bytes());
     }
   }
+  if (trace) trace->span("shuffle.adopt", "shuffle", d0, comm.now());
   if (stats) *stats = st;
   return Status::Ok();
 }

@@ -5,6 +5,7 @@
 // partition j to rank j, and receives its own partition from everyone.
 #pragma once
 
+#include "common/metrics.hpp"
 #include "common/status.hpp"
 #include "mr/kv.hpp"
 #include "simmpi/comm.hpp"
@@ -22,15 +23,19 @@ struct ShuffleStats {
 std::vector<KvBuffer> partition_by_key(const KvBuffer& in, int nparts);
 
 /// Exchange: everyone contributes its partitions, receives and merges the
-/// partitions addressed to it. Collective over `comm`.
+/// partitions addressed to it. Collective over `comm`. When `trace` is
+/// non-null, census/alltoall/adopt spans (cat "shuffle") are recorded on
+/// the caller's virtual timeline.
 Status shuffle(simmpi::Comm& comm, const KvBuffer& in, KvBuffer& out,
-               ShuffleStats* stats = nullptr);
+               ShuffleStats* stats = nullptr,
+               metrics::TraceRecorder* trace = nullptr);
 
 /// Exchange pre-partitioned buffers (used when the caller already split the
 /// data, e.g. to checkpoint partitions individually). Takes the partitions
 /// by value: each partition arena is moved out as the send buffer, so pass
 /// std::move(parts) when they are no longer needed, or a copy otherwise.
 Status shuffle_partitions(simmpi::Comm& comm, std::vector<KvBuffer> parts,
-                          KvBuffer& out, ShuffleStats* stats = nullptr);
+                          KvBuffer& out, ShuffleStats* stats = nullptr,
+                          metrics::TraceRecorder* trace = nullptr);
 
 }  // namespace ftmr::mr

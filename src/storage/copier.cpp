@@ -27,28 +27,44 @@ Status CopierAgent::enqueue(std::string_view local_path, std::string_view shared
     if (attempt < retry_.max_attempts) {
       const double b = retry_.backoff_before(attempt);
       backoff_total += b;
-      MutexLock lock(mu_);
-      retries_++;
+      {
+        MutexLock lock(mu_);
+        retries_++;
+      }
+      // Leaf-lock discipline: the recorder is emitted into outside mu_.
+      if (trace_) trace_->instant("copier.retry", "copier", now);
+      metrics::MetricsRegistry::global().add("copier.retries", node_);
     }
   }
   if (!copied) {
-    MutexLock lock(mu_);
-    busy_until_ = std::max(busy_until_, now) + backoff_total;
-    failed_.push_back({std::string(local_path), std::string(shared_path), last});
+    {
+      MutexLock lock(mu_);
+      busy_until_ = std::max(busy_until_, now) + backoff_total;
+      failed_.push_back({std::string(local_path), std::string(shared_path), last});
+    }
+    if (trace_) trace_->instant("copier.drain_failed", "copier", now);
+    metrics::MetricsRegistry::global().add("copier.drain_failures", node_);
     return last;
   }
   const int64_t size = storage_->file_size(Tier::kShared, node_, shared_path);
-  MutexLock lock(mu_);
-  // The copier starts this job when it's free and the job has been issued;
-  // retries stretch its timeline by the backoff it sat out.
-  const double start = std::max(busy_until_, now);
-  busy_until_ = start + backoff_total + io_cost;
-  io_seconds_ += io_cost;
-  cpu_seconds_ += model_.dispatch_s +
-                  model_.cpu_per_byte_s * static_cast<double>(std::max<int64_t>(size, 0));
-  bytes_ += static_cast<size_t>(std::max<int64_t>(size, 0));
-  copies_++;
-  if (done_at) *done_at = busy_until_;
+  double span_start = 0.0;
+  double span_end = 0.0;
+  {
+    MutexLock lock(mu_);
+    // The copier starts this job when it's free and the job has been issued;
+    // retries stretch its timeline by the backoff it sat out.
+    const double start = std::max(busy_until_, now);
+    busy_until_ = start + backoff_total + io_cost;
+    io_seconds_ += io_cost;
+    cpu_seconds_ += model_.dispatch_s +
+                    model_.cpu_per_byte_s * static_cast<double>(std::max<int64_t>(size, 0));
+    bytes_ += static_cast<size_t>(std::max<int64_t>(size, 0));
+    copies_++;
+    if (done_at) *done_at = busy_until_;
+    span_start = start;
+    span_end = busy_until_;
+  }
+  if (trace_) trace_->span("copier.copy", "copier", span_start, span_end);
   return Status::Ok();
 }
 
@@ -101,6 +117,7 @@ Status Prefetcher::start(std::span<const std::string> shared_paths,
   for (const std::string& sp : shared_paths) {
     const std::string base = std::filesystem::path(sp).filename().string();
     const std::string lp = std::string(local_prefix) + "/" + base;
+    const double stage_start = t;
     double io_cost = 0.0;
     Status last = Status::Ok();
     for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
@@ -113,9 +130,12 @@ Status Prefetcher::start(std::span<const std::string> shared_paths,
       if (attempt < retry_.max_attempts) {
         t += retry_.backoff_before(attempt);
         retries_++;
+        if (trace_) trace_->instant("prefetch.retry", "prefetch", t);
+        metrics::MetricsRegistry::global().add("prefetch.retries", node_);
       }
     }
     if (last.ok()) t += io_cost;
+    if (trace_) trace_->span("prefetch.stage", "prefetch", stage_start, t);
     available_at_.push_back(t);
     local_paths_.push_back(lp);
     staged_error_.push_back(last);  // a failed stage is reported, not fatal
@@ -135,6 +155,7 @@ Status Prefetcher::read(size_t i, double now, Bytes& out, double* sim_cost) {
     return s;
   }
   const double stall = std::max(0.0, available_at_[i] - now);
+  if (trace_) trace_->span("prefetch.read", "prefetch", now, now + stall + local_cost);
   if (sim_cost) *sim_cost = stall + local_cost;
   return Status::Ok();
 }

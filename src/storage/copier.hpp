@@ -19,6 +19,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/metrics.hpp"
 #include "common/sync.hpp"
 #include "storage/storage.hpp"
 
@@ -86,6 +87,13 @@ class CopierAgent {
   [[nodiscard]] int retries() const;             // transient errors retried
   [[nodiscard]] std::vector<FailedDrain> failed_drains() const;
 
+  /// Record per-copy spans ("copier.copy" on the copier's timeline) and
+  /// retry instants into `t` (not owned; may be null). Must be set before
+  /// concurrent use; the recorder itself is internally lock-serialized, so
+  /// the copier emits into it without holding mu_ (leaf-lock discipline:
+  /// no out-calls under mu_).
+  void set_trace(metrics::TraceRecorder* t) noexcept { trace_ = t; }
+
  private:
   // Configuration is immutable after construction; the copier's simulated
   // timeline and its counters are shared between the enqueueing worker and
@@ -103,6 +111,7 @@ class CopierAgent {
   int copies_ FTMR_GUARDED_BY(mu_) = 0;
   int retries_ FTMR_GUARDED_BY(mu_) = 0;
   std::vector<FailedDrain> failed_ FTMR_GUARDED_BY(mu_);
+  metrics::TraceRecorder* trace_ = nullptr;  // set-once, before concurrency
 };
 
 /// Moves an ordered sequence of shared-storage files to the local disk
@@ -153,6 +162,11 @@ class Prefetcher {
   }
   [[nodiscard]] int retries() const { return retries_; }
 
+  /// Record per-file staging spans ("prefetch.stage" on the pipeline
+  /// timeline), read spans, and retry instants into `t` (not owned; may be
+  /// null). The Prefetcher itself stays rank-confined.
+  void set_trace(metrics::TraceRecorder* t) noexcept { trace_ = t; }
+
  private:
   StorageSystem* storage_;
   int node_;
@@ -162,6 +176,7 @@ class Prefetcher {
   std::vector<double> available_at_;
   std::vector<std::string> local_paths_;
   std::vector<Status> staged_error_;  // per-file: Ok or the permanent error
+  metrics::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace ftmr::storage

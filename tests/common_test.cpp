@@ -217,6 +217,85 @@ TEST(Stats, Percentile) {
   EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
 }
 
+TEST(Stats, PercentileEdgeCases) {
+  // Empty sample: every percentile is 0, including the extremes.
+  EXPECT_DOUBLE_EQ(percentile({}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 100), 0.0);
+  // Single element: constant across p.
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 50), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100), 7.0);
+  // Two elements interpolate linearly.
+  EXPECT_NEAR(percentile({1.0, 3.0}, 25), 1.5, 1e-12);
+  // Input order must not matter (the function sorts its copy).
+  EXPECT_NEAR(percentile({3.0, 1.0, 2.0}, 100), 3.0, 1e-12);
+}
+
+TEST(Stats, SummaryEmptyAndSingle) {
+  const Summary empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.sum(), 0.0);
+  Summary one;
+  one.add(-2.5);
+  EXPECT_EQ(one.count(), 1u);
+  EXPECT_DOUBLE_EQ(one.mean(), -2.5);
+  EXPECT_DOUBLE_EQ(one.min(), -2.5);
+  EXPECT_DOUBLE_EQ(one.max(), -2.5);
+  EXPECT_DOUBLE_EQ(one.variance(), 0.0);
+}
+
+TEST(Stats, MergeIntoEmptyPreservesMinMax) {
+  Summary filled;
+  filled.add(-1.0);
+  filled.add(5.0);
+  filled.add(2.0);
+  // Empty accumulator adopts the other side wholesale — min/max must come
+  // through, not get mixed with the empty side's 0-valued placeholders.
+  Summary sink;
+  sink.merge(filled);
+  EXPECT_EQ(sink.count(), 3u);
+  EXPECT_DOUBLE_EQ(sink.min(), -1.0);
+  EXPECT_DOUBLE_EQ(sink.max(), 5.0);
+  EXPECT_DOUBLE_EQ(sink.sum(), 6.0);
+  // Merging an empty summary in is a no-op.
+  sink.merge(Summary{});
+  EXPECT_EQ(sink.count(), 3u);
+  EXPECT_DOUBLE_EQ(sink.min(), -1.0);
+  EXPECT_DOUBLE_EQ(sink.max(), 5.0);
+}
+
+TEST(Stats, TimeBucketsEmptyAndClear) {
+  TimeBuckets tb;
+  EXPECT_DOUBLE_EQ(tb.total(), 0.0);
+  EXPECT_DOUBLE_EQ(tb.get("map"), 0.0);
+  EXPECT_TRUE(tb.all().empty());
+  TimeBuckets filled;
+  filled.charge("map", 1.5);
+  tb.merge(filled);  // merge into empty
+  EXPECT_DOUBLE_EQ(tb.get("map"), 1.5);
+  tb.charge("map", 0.0);  // zero charge keeps the bucket listed
+  EXPECT_EQ(tb.all().size(), 1u);
+  EXPECT_DOUBLE_EQ(tb.total(), 1.5);
+  tb.clear();
+  EXPECT_TRUE(tb.all().empty());
+  EXPECT_DOUBLE_EQ(tb.total(), 0.0);
+}
+
+TEST(Config, NormalizesFlagStyleKeys) {
+  // GNU-style flags and bare key=value must name the same config key.
+  const char* argv[] = {"prog", "--trace-out=t.json", "-v=1", "metrics_out=m.json",
+                        "--=empty"};
+  Config c = Config::from_args(5, const_cast<char**>(argv));
+  EXPECT_EQ(c.get_or("trace_out", std::string()), "t.json");
+  EXPECT_EQ(c.get_or("v", int64_t{0}), 1);
+  EXPECT_EQ(c.get_or("metrics_out", std::string()), "m.json");
+  EXPECT_EQ(c.get_or("", std::string("unset")), "unset");  // dashes-only: dropped
+}
+
 TEST(Config, ParsesTypedValues) {
   const char* argv[] = {"prog", "n=42", "rate=2.5", "flag=true", "name=wc", "junk"};
   Config c = Config::from_args(6, const_cast<char**>(argv));

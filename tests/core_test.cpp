@@ -2,6 +2,8 @@
 // load balancer, checkpoint manager, and the Table-1 interfaces.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/balancer.hpp"
 #include "core/checkpoint.hpp"
 #include "core/ftjob_adapters.hpp"
@@ -47,6 +49,35 @@ TEST(TaskTable, EncodeDecodeRoundTrip) {
   EXPECT_EQ(back.find(9)->records_done, 5u);
 }
 
+TEST(TaskTable, TotalBytesIsStickyAndDrivesProgress) {
+  // on_task_start is the only reporter that knows the input size; later
+  // progress updates must not zero it out of the table.
+  TaskTable t;
+  t.upsert({1, 0, TaskState::kRunning, 0, 0, 1000});
+  t.upsert({1, 0, TaskState::kRunning, 10, 250});  // progress without size
+  ASSERT_NE(t.find(1), nullptr);
+  EXPECT_EQ(t.find(1)->total_bytes, 1000u);
+  EXPECT_DOUBLE_EQ(t.find(1)->progress_fraction(), 0.25);
+
+  // merge() keeps the size even when the other side's entry wins.
+  TaskTable other;
+  other.upsert({1, 0, TaskState::kRunning, 20, 2000});  // done > total: clamp
+  t.merge(other);
+  EXPECT_EQ(t.find(1)->total_bytes, 1000u);
+  EXPECT_DOUBLE_EQ(t.find(1)->progress_fraction(), 1.0);
+
+  // Unknown size reports 0 progress; done tasks report 1 regardless.
+  TaskStatus unknown{2, 1, TaskState::kRunning, 5, 50};
+  EXPECT_DOUBLE_EQ(unknown.progress_fraction(), 0.0);
+  TaskStatus done{3, 1, TaskState::kDone, 5, 50};
+  EXPECT_DOUBLE_EQ(done.progress_fraction(), 1.0);
+
+  // And the size survives the gossip wire format.
+  TaskTable back;
+  ASSERT_TRUE(TaskTable::decode(t.encode(), back).ok());
+  EXPECT_EQ(back.find(1)->total_bytes, 1000u);
+}
+
 // ---------------------------------------------------------------------------
 // DistributedMaster
 // ---------------------------------------------------------------------------
@@ -87,6 +118,23 @@ TEST(Master, GossipConvergesGlobalTable) {
         EXPECT_DOUBLE_EQ(obs->first, 100.0 * (r + 1));
       }
     }
+  });
+}
+
+TEST(Master, OnTaskStartRecordsTotalBytes) {
+  Runtime::run(1, [](Comm& c) {
+    Comm mc;
+    ASSERT_TRUE(c.dup(mc, false).ok());
+    DistributedMaster m(mc, 1);
+    m.on_task_start(42, 4096);
+    const TaskStatus* ts = m.local_table().find(42);
+    ASSERT_NE(ts, nullptr);
+    EXPECT_EQ(ts->total_bytes, 4096u);
+    EXPECT_DOUBLE_EQ(ts->progress_fraction(), 0.0);
+    m.on_task_progress(42, 8, 1024);
+    ts = m.local_table().find(42);
+    EXPECT_EQ(ts->total_bytes, 4096u);  // progress update keeps the size
+    EXPECT_DOUBLE_EQ(ts->progress_fraction(), 0.25);
   });
 }
 
@@ -150,6 +198,68 @@ TEST(Balancer, UnusableModelsFallBackToSizeBalancing) {
   // LPT keeps the max/min spread small for this instance.
   EXPECT_LE(*std::max_element(load, load + 3), 6.0);
   EXPECT_GE(*std::min_element(load, load + 3), 4.0);
+}
+
+TEST(Balancer, InterceptChargedOnFirstAssignment) {
+  // Paper model t = a + b·D: two ranks with identical marginal cost b but
+  // rank 1 pays a large fixed startup cost a. Ignoring the intercept (the
+  // pre-fix behavior) splits the 12 unit items 6/6; honoring it keeps the
+  // work on rank 0 until its backlog exceeds rank 1's startup cost.
+  std::vector<LinearModel> models(2);
+  models[0] = {0.0, 1.0, 1.0, 10};
+  models[1] = {10.0, 1.0, 1.0, 10};
+  std::vector<double> weights(12, 1.0);
+  auto owner = LoadBalancer::assign(weights, models, {0.0, 0.0});
+  int n0 = 0, n1 = 0;
+  for (int o : owner) (o == 0 ? n0 : n1)++;
+  EXPECT_GE(n0, 10) << "slow-start rank over-assigned: intercept dropped?";
+  EXPECT_GE(n1, 1);  // once the intercept is sunk, rank 1 does join in
+
+  // A rank arriving with work in flight has already paid its intercept.
+  auto owner2 = LoadBalancer::assign(weights, models, {0.0, 5.0});
+  int m1 = 0;
+  for (int o : owner2) m1 += (o == 1);
+  EXPECT_GE(m1, 3);  // charged only b·D above its current finish time
+}
+
+TEST(Balancer, DecodeModelValidatesPayload) {
+  // Well-formed blob round-trips.
+  ByteWriter w;
+  w.put<double>(0.5);
+  w.put<double>(2.0);
+  w.put<double>(0.9);
+  w.put<uint64_t>(7);
+  bool valid = false;
+  LinearModel m = LoadBalancer::decode_model(w.bytes(), &valid);
+  EXPECT_TRUE(valid);
+  EXPECT_DOUBLE_EQ(m.a, 0.5);
+  EXPECT_DOUBLE_EQ(m.b, 2.0);
+  EXPECT_EQ(m.n, 7u);
+
+  // Truncated blob: sanitized identity model, flagged invalid.
+  ByteWriter shortw;
+  shortw.put<double>(0.5);
+  m = LoadBalancer::decode_model(shortw.bytes(), &valid);
+  EXPECT_FALSE(valid);
+  EXPECT_DOUBLE_EQ(m.a, 0.0);
+  EXPECT_DOUBLE_EQ(m.b, 1.0);
+  EXPECT_EQ(m.n, 0u);
+  EXPECT_FALSE(m.usable());
+
+  // Non-finite coefficients are garbage even when the length is right.
+  ByteWriter nanw;
+  nanw.put<double>(std::numeric_limits<double>::quiet_NaN());
+  nanw.put<double>(2.0);
+  nanw.put<double>(0.9);
+  nanw.put<uint64_t>(7);
+  m = LoadBalancer::decode_model(nanw.bytes(), &valid);
+  EXPECT_FALSE(valid);
+  EXPECT_DOUBLE_EQ(m.b, 1.0);
+
+  // Empty blob.
+  m = LoadBalancer::decode_model({}, &valid);
+  EXPECT_FALSE(valid);
+  EXPECT_DOUBLE_EQ(m.b, 1.0);
 }
 
 TEST(Balancer, DeterministicAcrossCalls) {
