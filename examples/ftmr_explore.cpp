@@ -1,0 +1,126 @@
+// ftmr_explore — systematic fault-schedule exploration CLI.
+//
+// Sweep mode (default): harvest kill-point candidates from a golden run of
+// a small wordcount, then re-execute it under every generated schedule and
+// check the exactly-once / consistency invariants after each run:
+//
+//   $ ./ftmr_explore mode=wc                      # full single-kill sweep
+//   $ ./ftmr_explore mode=cr max_runs=40          # subsampled sweep
+//   $ ./ftmr_explore mode=nwc multi_kill=8        # + random multi-kill
+//   $ ./ftmr_explore mode=wc artifacts=out/       # write failing schedules
+//   $ ./ftmr_explore mode=wc break_recovery=1     # mutation sanity check:
+//                                                 # MUST report violations
+//
+// Replay mode: re-execute one failing schedule from its JSON artifact
+// (workload, mode, and kill list all come from the file):
+//
+//   $ ./ftmr_explore replay=out/wc_single_r2_op143.json
+//
+// Exit code = number of violating schedules (0 = all invariants held), so
+// CI can assert both "sweep is clean" and "mutation build is caught".
+#include <cstdio>
+#include <string>
+
+#include "common/config.hpp"
+#include "testing/explorer.hpp"
+
+using namespace ftmr;
+
+namespace {
+
+void print_violations(const testing::RunReport& rep) {
+  std::printf("schedule %s (mode=%s, %zu kill%s, %d submission%s): %s\n",
+              rep.schedule.label.c_str(), rep.schedule.mode.c_str(),
+              rep.schedule.kills.size(),
+              rep.schedule.kills.size() == 1 ? "" : "s", rep.submissions,
+              rep.submissions == 1 ? "" : "s",
+              rep.violations.empty() ? "OK" : "VIOLATED");
+  for (const auto& k : rep.schedule.kills) {
+    std::printf("  kill rank %d after_ops=%lld vtime=%g submission=%d\n",
+                k.rank, static_cast<long long>(k.after_ops), k.vtime,
+                k.submission);
+  }
+  for (const auto& v : rep.violations) {
+    std::printf("  [%s] %s\n", v.invariant.c_str(), v.detail.c_str());
+  }
+}
+
+int replay(const std::string& path) {
+  std::string body;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) body.append(buf, n);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "cannot read artifact %s\n", path.c_str());
+    return 2;
+  }
+  testing::FaultSchedule schedule;
+  testing::ExplorerWorkload workload;
+  bool break_recovery = false;
+  if (auto s = testing::Explorer::artifact_parse(body, schedule, workload,
+                                                 &break_recovery);
+      !s.ok()) {
+    std::fprintf(stderr, "bad artifact: %s\n", s.to_string().c_str());
+    return 2;
+  }
+  testing::ExplorerOptions opts;
+  opts.mode = schedule.mode;
+  opts.workload = workload;
+  opts.break_recovery = break_recovery;
+  testing::Explorer explorer(opts);
+  testing::RunReport rep = explorer.run_schedule(schedule);
+  print_violations(rep);
+  return rep.violations.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+
+  if (const auto artifact = cfg.get("replay")) return replay(*artifact);
+
+  testing::ExplorerOptions opts;
+  opts.mode = cfg.get_or("mode", std::string("wc"));
+  if (opts.mode != "cr" && opts.mode != "wc" && opts.mode != "nwc") {
+    std::fprintf(stderr, "mode must be cr|wc|nwc\n");
+    return 2;
+  }
+  opts.seed = static_cast<uint64_t>(cfg.get_or("seed", int64_t{1}));
+  opts.max_single_kill_runs = static_cast<int>(cfg.get_or("max_runs", int64_t{0}));
+  opts.multi_kill_schedules = static_cast<int>(cfg.get_or("multi_kill", int64_t{0}));
+  opts.max_kills_per_schedule =
+      static_cast<int>(cfg.get_or("max_kills", int64_t{2}));
+  opts.break_recovery = cfg.get_or("break_recovery", false);
+  opts.minimize = cfg.get_or("minimize", true);
+  opts.artifact_dir = cfg.get_or("artifacts", std::string());
+  opts.workload.nranks = static_cast<int>(cfg.get_or("nranks", int64_t{4}));
+  opts.workload.chunks = static_cast<int>(cfg.get_or("chunks", int64_t{4}));
+  opts.workload.lines_per_chunk =
+      static_cast<int>(cfg.get_or("lines", int64_t{10}));
+  opts.workload.records_per_ckpt = cfg.get_or("records_per_ckpt", int64_t{8});
+
+  testing::Explorer explorer(opts);
+  if (auto s = explorer.harvest(); !s.ok()) {
+    std::fprintf(stderr, "golden run failed: %s\n", s.to_string().c_str());
+    return 2;
+  }
+  std::printf("harvested %zu candidate kill points (golden ops:",
+              explorer.candidates().size());
+  for (int64_t o : explorer.golden_ops()) {
+    std::printf(" %lld", static_cast<long long>(o));
+  }
+  std::printf(")\n");
+
+  testing::ExploreReport report = explorer.explore();
+  for (const auto& rep : report.failing) print_violations(rep);
+  for (const auto& a : report.artifacts) {
+    std::printf("artifact written: %s\n", a.c_str());
+  }
+  std::printf("mode=%s schedules=%d runs=%d violating=%zu\n",
+              opts.mode.c_str(), report.schedules, report.runs,
+              report.failing.size());
+  return static_cast<int>(report.failing.size());
+}

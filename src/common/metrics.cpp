@@ -97,6 +97,11 @@ std::string trace_json(const TraceRecorder& rec) {
     } else {
       out += ",\"ph\":\"i\",\"s\":\"t\"";
     }
+    if (e.op >= 0) {
+      out += ",\"args\":{\"op\":";
+      append_number(out, static_cast<double>(e.op));
+      out += '}';
+    }
     out += '}';
   }
   out += "],\"displayTimeUnit\":\"ms\"}";

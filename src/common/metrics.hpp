@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -48,6 +49,11 @@ struct TraceEvent {
   int tid = 0;        // rank label
   double ts = 0.0;    // virtual seconds
   double dur = -1.0;  // virtual seconds; < 0 = instant event
+  /// MPI op index of the recording rank at record time (-1 when no op
+  /// probe is installed). Deterministic on failure-free runs, so trace
+  /// events double as addressable fault-injection points (the schedule
+  /// explorer harvests these and replays kills via KillEvent::after_ops).
+  int64_t op = -1;
 };
 
 /// Lock-serialized span/instant recorder. See the file comment for the
@@ -65,17 +71,28 @@ class TraceRecorder {
     tid_ = tid;
   }
 
+  /// Install a callback sampling the owning rank's MPI op counter; every
+  /// subsequently recorded event is stamped with its value (TraceEvent::op).
+  /// The probe runs outside this recorder's lock, so it may itself lock
+  /// (Comm::ops_issued takes the simmpi job mutex).
+  void set_op_probe(std::function<int64_t()> probe) {
+    MutexLock lock(mu_);
+    op_probe_ = std::move(probe);
+  }
+
   /// Record a complete span [t0, t1] (clamped to non-negative duration).
   void span(std::string name, std::string cat, double t0, double t1) {
+    const int64_t op = probe_op();
     MutexLock lock(mu_);
     ev_.push_back({std::move(name), std::move(cat), tid_, t0,
-                   t1 > t0 ? t1 - t0 : 0.0});
+                   t1 > t0 ? t1 - t0 : 0.0, op});
   }
 
   /// Record an instant event at time `ts`.
   void instant(std::string name, std::string cat, double ts) {
+    const int64_t op = probe_op();
     MutexLock lock(mu_);
-    ev_.push_back({std::move(name), std::move(cat), tid_, ts, -1.0});
+    ev_.push_back({std::move(name), std::move(cat), tid_, ts, -1.0, op});
   }
 
   /// Append a copy of `other`'s events (source tids preserved). Lock
@@ -110,8 +127,21 @@ class TraceRecorder {
   }
 
  private:
+  /// Sample the op probe without holding mu_ across the call (the probe
+  /// locks the simmpi job mutex; keeping the two locks disjoint avoids any
+  /// ordering constraint between them).
+  [[nodiscard]] int64_t probe_op() const {
+    std::function<int64_t()> probe;
+    {
+      MutexLock lock(mu_);
+      probe = op_probe_;
+    }
+    return probe ? probe() : -1;
+  }
+
   mutable Mutex mu_;
   int tid_ FTMR_GUARDED_BY(mu_) = 0;
+  std::function<int64_t()> op_probe_ FTMR_GUARDED_BY(mu_);
   std::vector<TraceEvent> ev_ FTMR_GUARDED_BY(mu_);
 };
 

@@ -74,19 +74,22 @@ std::string base_name(const char* kind, int stage, uint64_t id, int seq) {
   return buf;
 }
 
-/// Parse "<kind>_s<stage>_p<id>_q<seq>[_d<usec>]".
-struct ParsedName {
-  std::string kind;
-  int stage = -1;
-  uint64_t id = 0;
-  int seq = -1;
-  int64_t drained_usec = -1;  // -1: no drain stamp (local file)
-};
+using ParsedName = CkptFileName;
 
 bool parse_name(const std::string& name, ParsedName& out) {
+  return parse_checkpoint_name(name, out);
+}
+
+}  // namespace
+
+bool parse_checkpoint_name(const std::string& name, CkptFileName& out) {
   const auto kind_end = name.find("_s");
   if (kind_end == std::string::npos) return false;
   out.kind = name.substr(0, kind_end);
+  if (out.kind != kMap && out.kind != kPart && out.kind != kRed &&
+      out.kind != kOut) {
+    return false;
+  }
   int consumed = 0;
   const char* rest = name.c_str() + kind_end;
   if (std::sscanf(rest, "_s%d_p%" SCNu64 "_q%d%n", &out.stage, &out.id, &out.seq,
@@ -99,7 +102,9 @@ bool parse_name(const std::string& name, ParsedName& out) {
   return true;
 }
 
-}  // namespace
+std::string checkpoint_rank_dir(int rank) {
+  return "ck/r" + std::to_string(rank);
+}
 
 CheckpointManager::CheckpointManager(storage::StorageSystem* fs, int node, int rank,
                                      CkptOptions opts, int io_concurrency)
@@ -243,11 +248,13 @@ Status CheckpointManager::put_impl(simmpi::Comm& comm, const std::string& name,
 }
 
 Status CheckpointManager::map_ckpt(simmpi::Comm& comm, int stage, uint64_t task,
-                                   uint64_t pos, const mr::KvBuffer& delta) {
+                                   uint64_t start, uint64_t pos,
+                                   const mr::KvBuffer& delta) {
   if (!opts_.enabled) return Status::Ok();
   const int seq = next_seq_++;
   ByteWriter w;
   w.put<uint64_t>(task);
+  w.put<uint64_t>(start);
   w.put<uint64_t>(pos);
   w.put_blob(delta.wire_view());
   return put(comm, base_name(kMap, stage, task, seq), std::move(w).take());
@@ -265,12 +272,13 @@ Status CheckpointManager::partition_ckpt(simmpi::Comm& comm, int stage,
 }
 
 Status CheckpointManager::reduce_ckpt(simmpi::Comm& comm, int stage, int partition,
-                                      uint64_t entries_done,
+                                      uint64_t start, uint64_t entries_done,
                                       const mr::KvBuffer& out_delta) {
   if (!opts_.enabled) return Status::Ok();
   const int seq = next_seq_++;
   ByteWriter w;
   w.put<int32_t>(partition);
+  w.put<uint64_t>(start);
   w.put<uint64_t>(entries_done);
   w.put_blob(out_delta.wire_view());
   return put(comm, base_name(kRed, stage, static_cast<uint64_t>(partition), seq),
@@ -527,15 +535,36 @@ Status CheckpointManager::load_rank_stage(simmpi::Comm& comm, int stage,
     const auto decode = [&]() -> Status {
       ByteReader r(data);
       if (p.kind == kMap) {
-        uint64_t task = 0, pos = 0;
+        uint64_t task = 0, start = 0, pos = 0;
         Bytes blob;
         if (auto s = r.get(task); !s.ok()) return s;
+        if (auto s = r.get(start); !s.ok()) return s;
         if (auto s = r.get(pos); !s.ok()) return s;
         if (auto s = r.get_blob(blob); !s.ok()) return s;
         mr::KvBuffer delta;
         if (auto s = delta.adopt(std::move(blob)); !s.ok()) return s;
         auto& mt = out.map_tasks[task];
-        mt.pos = std::max(mt.pos, pos);
+        // The delta covers records [start, pos). It may only be merged if
+        // it extends the accumulated chain contiguously; map re-execution
+        // is deterministic, so a chain restarted from 0 by a later
+        // incarnation carries the *same* records as the prefix it shadows —
+        // merging both would replay them twice (the duplication bug the
+        // schedule explorer caught under CR kills in two consecutive
+        // submissions).
+        if (start != mt.pos) {
+          if (start == 0 && pos <= mt.pos) {
+            return Status::Ok();  // duplicate prefix of what is already applied
+          }
+          if (start == 0) {
+            mt.kv = mr::KvBuffer();  // restart supersedes the shorter prefix
+          } else {
+            // Gap or partial overlap: a flat KV blob cannot be split, so the
+            // verified prefix stays and the tail is reprocessed from input.
+            poisoned.insert({p.kind, p.id});
+            return Status::Ok();
+          }
+        }
+        mt.pos = pos;
         mt.kv.merge_from(delta);
       } else if (p.kind == kPart) {
         int32_t part = 0;
@@ -548,9 +577,10 @@ Status CheckpointManager::load_rank_stage(simmpi::Comm& comm, int stage,
         part_seq_applied[part] = p.seq;
       } else if (p.kind == kRed) {
         int32_t part = 0;
-        uint64_t done = 0;
+        uint64_t start = 0, done = 0;
         Bytes blob;
         if (auto s = r.get(part); !s.ok()) return s;
+        if (auto s = r.get(start); !s.ok()) return s;
         if (auto s = r.get(done); !s.ok()) return s;
         if (auto s = r.get_blob(blob); !s.ok()) return s;
         auto psit = part_seq_applied.find(part);
@@ -560,7 +590,20 @@ Status CheckpointManager::load_rank_stage(simmpi::Comm& comm, int stage,
         mr::KvBuffer delta;
         if (auto s = delta.adopt(std::move(blob)); !s.ok()) return s;
         auto& rr = out.reduce[part];
-        rr.entries_done = std::max(rr.entries_done, done);
+        // Same chain-contiguity rule as map deltas (reduce over a given
+        // partition snapshot is deterministic, entry order is sorted).
+        if (start != rr.entries_done) {
+          if (start == 0 && done <= rr.entries_done) {
+            return Status::Ok();
+          }
+          if (start == 0) {
+            rr.out = mr::KvBuffer();
+          } else {
+            poisoned.insert({p.kind, p.id});
+            return Status::Ok();
+          }
+        }
+        rr.entries_done = done;
         rr.out.merge_from(delta);
       } else if (p.kind == kOut) {
         int32_t part = 0;

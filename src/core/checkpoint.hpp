@@ -57,6 +57,29 @@ inline constexpr uint32_t kCkptMagic = 0x4B435446u;  // "FTCK" little-endian
 inline constexpr uint16_t kCkptVersion = 1;
 inline constexpr size_t kCkptFrameOverhead = 4 + 2 + 2 + 8 + 4;
 
+/// Parsed checkpoint file name: "<kind>_s<stage>_p<id>_q<seq>[_d<usec>]".
+/// `kind` is "map", "part", "red", or "out"; `id` is the task id (map) or
+/// partition number (part/red/out); `seq` totally orders one rank's files
+/// across process incarnations; `drained_usec` is the shared-tier drain
+/// stamp (-1 on files that never passed through the copier). Public so the
+/// fault-schedule explorer's chain-wellformedness invariant can audit the
+/// on-disk checkpoint state without reaching into manager internals.
+struct CkptFileName {
+  std::string kind;
+  int stage = -1;
+  uint64_t id = 0;
+  int seq = -1;
+  int64_t drained_usec = -1;  // -1: no drain stamp (local file)
+};
+
+/// Parse a checkpoint file name; false if it doesn't match the grammar.
+[[nodiscard]] bool parse_checkpoint_name(const std::string& name,
+                                         CkptFileName& out);
+
+/// Directory (relative to either tier root) holding rank `rank`'s
+/// checkpoint files.
+[[nodiscard]] std::string checkpoint_rank_dir(int rank);
+
 /// Wrap a checkpoint payload in the verified frame.
 [[nodiscard]] Bytes frame_checkpoint(std::span<const std::byte> payload);
 
@@ -131,15 +154,21 @@ class CheckpointManager {
   CheckpointManager(storage::StorageSystem* fs, int node, int rank,
                     CkptOptions opts, int io_concurrency);
 
-  /// Record-granularity map checkpoint (Algorithm 1's commit path).
-  Status map_ckpt(simmpi::Comm& comm, int stage, uint64_t task, uint64_t pos,
-                  const mr::KvBuffer& delta);
+  /// Record-granularity map checkpoint (Algorithm 1's commit path). The
+  /// delta covers records [start, pos); carrying the start cursor lets
+  /// replay distinguish a chain *continuation* from a chain *restart* by a
+  /// later incarnation that re-executed the task from scratch — merging
+  /// both would replay the overlap twice.
+  Status map_ckpt(simmpi::Comm& comm, int stage, uint64_t task, uint64_t start,
+                  uint64_t pos, const mr::KvBuffer& delta);
   /// Shuffle-end partition checkpoint.
   Status partition_ckpt(simmpi::Comm& comm, int stage, int partition,
                         const mr::KvBuffer& kv);
-  /// Reduce-progress checkpoint.
+  /// Reduce-progress checkpoint; the delta covers KMV entries
+  /// [start, entries_done) (see map_ckpt for why start is carried).
   Status reduce_ckpt(simmpi::Comm& comm, int stage, int partition,
-                     uint64_t entries_done, const mr::KvBuffer& out_delta);
+                     uint64_t start, uint64_t entries_done,
+                     const mr::KvBuffer& out_delta);
   /// Completed-stage output checkpoint (iterative jobs resume at stage
   /// boundaries without recomputing earlier stages).
   Status stage_output_ckpt(simmpi::Comm& comm, int stage, int partition,

@@ -5,6 +5,7 @@
 
 #include "common/hash.hpp"
 #include "common/log.hpp"
+#include "mr/accounting.hpp"
 #include "mr/shuffle.hpp"
 
 namespace ftmr::core {
@@ -20,11 +21,20 @@ FtJob::FtJob(simmpi::Comm& world, storage::StorageSystem* fs, FtJobOptions opts)
   for (int p = 0; p < p0_; ++p) part_owner_[p] = p;  // identity group at start
 
   simmpi::Comm mc;
-  (void)check(wc_.dup(mc, /*accounts_time=*/false));
+  try {
+    (void)check(wc_.dup(mc, /*accounts_time=*/false));
+  } catch (const FailureDetected&) {
+    // A peer was already dead at construction (possible under continuous
+    // failures). The dup is collective, so `mc` is unusable; defer to
+    // run(), whose recovery shrinks and rebinds the master comm before the
+    // driver starts.
+    ctor_failure_ = true;
+  }
   master_ = std::make_unique<DistributedMaster>(mc, opts_.status_interval_commits);
   ckpt_ = std::make_unique<CheckpointManager>(fs_, node(), world_.global_rank(),
                                               opts_.ckpt, io_conc());
   trace_.set_tid(world_.global_rank());
+  trace_.set_op_probe([this] { return world_.ops_issued(); });
   master_->set_trace(&trace_);
   ckpt_->set_trace(&trace_);
   if (opts_.mode == FtMode::kCheckpointRestart && opts_.ckpt.enabled) {
@@ -74,16 +84,18 @@ Status FtJob::check(Status s) {
         for (auto& [sid, st] : stages_) {
           for (auto& [task, tp] : st.tasks) {
             if (!tp.pending_delta.empty()) {
-              (void)ckpt_->map_ckpt(wc_, sid, task, tp.pos, tp.pending_delta);
+              (void)ckpt_->map_ckpt(wc_, sid, task, tp.last_ckpt_pos, tp.pos,
+                                    tp.pending_delta);
               tp.pending_delta.clear();
               tp.last_ckpt_pos = tp.pos;
             }
           }
           for (auto& [p, rp] : st.reduce) {
             if (!rp.pending_delta.empty()) {
-              (void)ckpt_->reduce_ckpt(wc_, sid, p, rp.entries_done,
-                                       rp.pending_delta);
+              (void)ckpt_->reduce_ckpt(wc_, sid, p, rp.last_ckpt_entries,
+                                       rp.entries_done, rp.pending_delta);
               rp.pending_delta.clear();
+              rp.last_ckpt_entries = rp.entries_done;
             }
           }
         }
@@ -98,7 +110,7 @@ Status FtJob::check(Status s) {
 }
 
 Status FtJob::run(const Driver& driver) {
-  bool pending_recover = false;
+  bool pending_recover = ctor_failure_;
   for (;;) {
     try {
       if (pending_recover) {
@@ -153,7 +165,8 @@ void FtJob::commit(uint64_t task, TaskProgress& tp, int stage) {
       opts_.ckpt.granularity == CkptOptions::Granularity::kRecord &&
       static_cast<int64_t>(tp.pos - tp.last_ckpt_pos) >= opts_.ckpt.records_per_ckpt) {
     const double t0 = wc_.now();
-    (void)check(ckpt_->map_ckpt(wc_, stage, task, tp.pos, tp.pending_delta));
+    (void)check(ckpt_->map_ckpt(wc_, stage, task, tp.last_ckpt_pos, tp.pos,
+                                tp.pending_delta));
     tp.pending_delta.clear();
     tp.last_ckpt_pos = tp.pos;
     charge_span("ckpt", t0);
@@ -239,6 +252,7 @@ Status FtJob::run_one_map_task(const StageFns& fns, bool kv_input, int stage,
     }
     emitted.clear();
     fns.map(key, value, emitted);
+    mr::tap_records(mr::kTapMapEmitted, world_.global_rank(), emitted.size());
     for (size_t i = 0; i < emitted.size(); ++i) {
       // Route each emitted record by key hash; the record bytes are already
       // wire-encoded in `emitted`'s arena, so both the partition copy and
@@ -256,7 +270,8 @@ Status FtJob::run_one_map_task(const StageFns& fns, bool kv_input, int stage,
   // -- task completion: flush the tail checkpoint --
   if (opts_.ckpt.enabled && !tp.pending_delta.empty()) {
     const double t0 = wc_.now();
-    (void)check(ckpt_->map_ckpt(wc_, stage, task, tp.pos, tp.pending_delta));
+    (void)check(ckpt_->map_ckpt(wc_, stage, task, tp.last_ckpt_pos, tp.pos,
+                                tp.pending_delta));
     tp.pending_delta.clear();
     tp.last_ckpt_pos = tp.pos;
     charge_span("ckpt", t0);
@@ -303,7 +318,8 @@ Bytes encode_blocks(const std::vector<std::pair<int, const mr::KvBuffer*>>& bloc
 }
 
 Status decode_blocks(std::span<const std::byte> data,
-                     std::map<int, mr::KvBuffer>& into, bool replace) {
+                     std::map<int, mr::KvBuffer>& into, bool replace,
+                     size_t* pairs_out = nullptr) {
   if (data.empty()) return Status::Ok();
   ByteReader r(data);
   uint32_t n = 0;
@@ -315,6 +331,7 @@ Status decode_blocks(std::span<const std::byte> data,
     if (auto s = r.get_blob(blob); !s.ok()) return s;
     mr::KvBuffer kv;
     if (auto s = kv.adopt(std::move(blob)); !s.ok()) return s;
+    if (pairs_out) *pairs_out += kv.size();
     if (replace) into[p].clear();
     into[p].absorb(std::move(kv));
   }
@@ -375,6 +392,9 @@ Status FtJob::shuffle_phase(const StageFns& fns, int stage, StageState& st) {
   }
   std::vector<Bytes> send(by_dest.size());
   for (size_t d = 0; d < by_dest.size(); ++d) send[d] = encode_blocks(by_dest[d]);
+  for (int p = 0; p < p0_; ++p) {
+    mr::tap_records(mr::kTapShuffleSent, world_.global_rank(), merged[p].size());
+  }
   trace_.span("shuffle.census", "shuffle", t0, wc_.now());
 
   const double a0 = wc_.now();
@@ -382,11 +402,14 @@ Status FtJob::shuffle_phase(const StageFns& fns, int stage, StageState& st) {
   if (auto s = check(wc_.alltoall(send, recv)); !s.ok()) return s;
   trace_.span("shuffle.alltoall", "shuffle", a0, wc_.now());
   const double d0 = wc_.now();
+  size_t received = 0;
   for (const Bytes& b : recv) {
-    if (auto s = decode_blocks(b, st.my_partitions, /*replace=*/false); !s.ok()) {
+    if (auto s = decode_blocks(b, st.my_partitions, /*replace=*/false, &received);
+        !s.ok()) {
       return s;
     }
   }
+  mr::tap_records(mr::kTapShuffleReceived, world_.global_rank(), received);
   trace_.span("shuffle.adopt", "shuffle", d0, wc_.now());
 
   // Partition checkpoints make the shuffle result durable: a work-conserving
@@ -492,6 +515,7 @@ Status FtJob::reduce_phase(const StageFns& fns, int stage, StageState& st) {
       kmv.values_of(i, vscratch);
       emitted.clear();
       fns.reduce(kmv.entry(i).key(), vscratch, emitted);
+      mr::tap_records(mr::kTapReduceEmitted, world_.global_rank(), emitted.size());
       rp.out.merge_from(emitted);
       rp.pending_delta.merge_from(emitted);
       wc_.compute(reduce_cost * static_cast<double>(vscratch.size()));
@@ -501,7 +525,9 @@ Status FtJob::reduce_phase(const StageFns& fns, int stage, StageState& st) {
           static_cast<int64_t>(rp.entries_done - rp.last_ckpt_entries) >=
               opts_.ckpt.records_per_ckpt) {
         const double c0 = wc_.now();
-        if (auto s = check(ckpt_->reduce_ckpt(wc_, stage, p, rp.entries_done,
+        if (auto s = check(ckpt_->reduce_ckpt(wc_, stage, p,
+                                              rp.last_ckpt_entries,
+                                              rp.entries_done,
                                               rp.pending_delta));
             !s.ok()) {
           return s;
@@ -522,12 +548,13 @@ Status FtJob::reduce_phase(const StageFns& fns, int stage, StageState& st) {
     }
     if (opts_.ckpt.enabled && !rp.pending_delta.empty()) {
       if (auto s =
-              check(ckpt_->reduce_ckpt(wc_, stage, p, rp.entries_done,
-                                       rp.pending_delta));
+              check(ckpt_->reduce_ckpt(wc_, stage, p, rp.last_ckpt_entries,
+                                       rp.entries_done, rp.pending_delta));
           !s.ok()) {
         return s;
       }
       rp.pending_delta.clear();
+      rp.last_ckpt_entries = rp.entries_done;
     }
     rp.done = true;
     st.outputs[p] = rp.out;
@@ -647,6 +674,8 @@ Status FtJob::write_output() {
     }
     char name[64];
     std::snprintf(name, sizeof(name), "part-%05d", p);
+    mr::tap_records(mr::kTapOutputWritten, world_.global_rank(),
+                    st.outputs[p].size());
     double cost = 0.0;
     if (auto s = fs_->write_file(storage::Tier::kShared, node(),
                                  opts_.output_dir + "/" + name, payload, &cost,
@@ -668,7 +697,9 @@ void FtJob::recover() {
   // 1. Failure notification: revoke both communicators so every survivor —
   //    including ones blocked in collectives — lands in recovery.
   (void)wc_.revoke();
-  (void)master_->comm().revoke();
+  // The master comm is invalid when construction itself hit the failure
+  // (ctor_failure_): nothing to revoke, the rebind below creates it.
+  if (master_->comm().valid()) (void)master_->comm().revoke();
 
   // 2. Rebuild communication capability: shrink, then a fresh master comm.
   simmpi::Comm new_wc;
@@ -769,6 +800,20 @@ void FtJob::patch_state_after_shrink(const std::vector<int>& new_dead) {
   }
 
   // --- Reassign the dead ranks' file tasks. ---
+  // A failure before the first run_stage (e.g. during job construction)
+  // arrives here with `chunks_` still unlisted; without the listing the
+  // dead ranks' stage-0 tasks would keep their hash-default owners and
+  // silently never execute. The listing is deterministic (shared tier),
+  // so every survivor derives the identical task census.
+  if (chunks_.empty()) {
+    if (auto s = fs_->list_dir(storage::Tier::kShared, node(), opts_.input_dir,
+                               chunks_);
+        !s.ok()) {
+      FTMR_WARN << "rank " << world_.global_rank()
+                << " could not list input chunks during recovery: "
+                << s.to_string();
+    }
+  }
   std::vector<uint64_t> orphan_tasks;
   for (uint64_t t = 0; t < chunks_.size(); ++t) {
     auto it = task_reassign_.find(t);
@@ -889,10 +934,12 @@ void FtJob::patch_state_after_shrink(const std::vector<int>& new_dead) {
           tp.pos = rit->second.pos;
           tp.last_ckpt_pos = tp.pos;
           tp.parts.assign(static_cast<size_t>(p0_), mr::KvBuffer{});
-          const mr::KvBuffer& rkv = rit->second.kv;
-          for (size_t i = 0; i < rkv.size(); ++i) {
-            tp.parts[static_cast<size_t>(partition_of_key(rkv.view(i).key, p0_))]
-                .append_record_from(rkv, i);
+          if (!opts_.testing_break_recovery) {
+            const mr::KvBuffer& rkv = rit->second.kv;
+            for (size_t i = 0; i < rkv.size(); ++i) {
+              tp.parts[static_cast<size_t>(partition_of_key(rkv.view(i).key, p0_))]
+                  .append_record_from(rkv, i);
+            }
           }
           tp.pending_delta.clear();
         }
@@ -1004,6 +1051,7 @@ void FtJob::prime_from_own_checkpoints() {
       tp.pos = mrec.pos;
       tp.last_ckpt_pos = mrec.pos;
       tp.parts.assign(static_cast<size_t>(p0_), mr::KvBuffer{});
+      if (opts_.testing_break_recovery) continue;  // drop the KV, keep the cursor
       for (size_t i = 0; i < mrec.kv.size(); ++i) {
         tp.parts[static_cast<size_t>(partition_of_key(mrec.kv.view(i).key, p0_))]
             .append_record_from(mrec.kv, i);

@@ -70,6 +70,14 @@ struct FtJobOptions {
   /// Checkpoint/restart: read recovery state from the shared tier instead
   /// of the node-local disk (the Fig. 15 recovery-source ablation).
   bool restart_read_shared = false;
+  /// TEST-ONLY fault: deliberately break recovery by adopting checkpointed
+  /// record cursors while dropping the KV data they cover (both the
+  /// work-conserving adoption path and checkpoint/restart priming). The
+  /// resumed job then skips records it never re-emits — a silent-data-loss
+  /// bug by construction. The schedule explorer's mutation sanity check
+  /// flips this flag to prove its invariants can actually fail; it must
+  /// never be set outside tests (see testing/explorer.hpp).
+  bool testing_break_recovery = false;
   /// Optional output formatter (Table 1: FileRecordWriter). When set,
   /// write_output() serializes each final record through it (e.g. a
   /// TsvRecordWriter produces "key<TAB>value" text); when unset, output is
@@ -165,6 +173,22 @@ class FtJob {
   }
   [[nodiscard]] int recoveries() const noexcept { return recoveries_; }
   [[nodiscard]] const FtJobOptions& options() const noexcept { return opts_; }
+  // Invariant probes (read-only views for the schedule explorer and the
+  // redistribution-invariant tests; see testing/invariants.hpp).
+  /// Stage-0 file tasks reassigned away from their hash-default owner
+  /// (task id -> inheriting global rank), accumulated across recoveries.
+  [[nodiscard]] const std::map<uint64_t, int>& task_reassignments() const noexcept {
+    return task_reassign_;
+  }
+  /// Global ranks this rank knows to be dead (post-census union).
+  [[nodiscard]] const std::set<int>& known_dead() const noexcept {
+    return known_dead_;
+  }
+  /// Stage-0 input chunk names, in task-id order (empty until the first
+  /// file-input stage listed the input directory).
+  [[nodiscard]] const std::vector<std::string>& input_chunks() const noexcept {
+    return chunks_;
+  }
 
  private:
   // Phase progression within a stage. Values are ordered; the composite
@@ -254,6 +278,9 @@ class FtJob {
   std::map<int, StageState> stages_;
   int stage_cursor_ = 0;
   int last_stage_ = -1;
+  /// A failure was already detected while constructing (the master-comm dup
+  /// is collective); run() recovers before the first driver attempt.
+  bool ctor_failure_ = false;
   bool primed_from_ckpt_ = false;
   int recoveries_ = 0;
   TimeBuckets times_;

@@ -98,6 +98,11 @@ Status DistributedMaster::broadcast_status() {
 
 Status DistributedMaster::drain_inbox() {
   const double t0 = mcomm_.now();
+  // How many status messages are in the inbox at poll time is a real-time
+  // race (peers send asynchronously); keep the racy iprobe/recv count off
+  // the deterministic op axis or every later op index would shift run to
+  // run, breaking op-addressed fault schedules.
+  simmpi::UncountedOps uncounted(mcomm_);
   int drained = 0;
   simmpi::MessageInfo info;
   while (mcomm_.iprobe(simmpi::kAnySource, kStatusTag, &info)) {

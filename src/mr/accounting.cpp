@@ -1,0 +1,40 @@
+#include "mr/accounting.hpp"
+
+#include "common/metrics.hpp"
+
+namespace ftmr::mr {
+
+void tap_records(std::string_view tap, int rank, size_t n) {
+  if (n == 0) return;
+  metrics::MetricsRegistry::global().add(tap, rank, static_cast<double>(n));
+}
+
+double tap_total(std::string_view tap, int nranks) {
+  double sum = 0.0;
+  for (int r = 0; r < nranks; ++r) {
+    sum += metrics::MetricsRegistry::global().counter(tap, r);
+  }
+  return sum;
+}
+
+RecordLedger ledger_snapshot(int nranks) {
+  RecordLedger l;
+  l.map_emitted = tap_total(kTapMapEmitted, nranks);
+  l.shuffle_sent = tap_total(kTapShuffleSent, nranks);
+  l.shuffle_received = tap_total(kTapShuffleReceived, nranks);
+  l.reduce_emitted = tap_total(kTapReduceEmitted, nranks);
+  l.output_written = tap_total(kTapOutputWritten, nranks);
+  return l;
+}
+
+RecordLedger RecordLedger::delta_since(const RecordLedger& earlier) const {
+  RecordLedger d;
+  d.map_emitted = map_emitted - earlier.map_emitted;
+  d.shuffle_sent = shuffle_sent - earlier.shuffle_sent;
+  d.shuffle_received = shuffle_received - earlier.shuffle_received;
+  d.reduce_emitted = reduce_emitted - earlier.reduce_emitted;
+  d.output_written = output_written - earlier.output_written;
+  return d;
+}
+
+}  // namespace ftmr::mr

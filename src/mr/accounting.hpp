@@ -1,0 +1,54 @@
+// accounting.hpp — record-conservation taps for the MapReduce data path.
+//
+// The fault-schedule explorer's exactly-once invariant needs to know how
+// many KV records each layer produced and consumed. These taps feed cheap
+// per-rank counters into the global MetricsRegistry at the natural
+// conservation points of a stage:
+//
+//   map_emitted      records produced by map callbacks
+//   shuffle_sent     records leaving a rank in the shuffle alltoall
+//   shuffle_received records arriving at a rank from the shuffle alltoall
+//   reduce_emitted   records produced by reduce callbacks
+//   output_written   records serialized into final output partitions
+//
+// On a failure-free run, sum-across-ranks conservation laws hold exactly:
+// shuffle_sent == shuffle_received, and (without a combiner) map_emitted ==
+// shuffle_sent. Runs with failures legitimately inflate the upstream
+// counters (re-execution, checkpoint adoption), so the explorer checks
+// conservation on the golden run and output exactness everywhere.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace ftmr::mr {
+
+inline constexpr std::string_view kTapMapEmitted = "mr.records.map_emitted";
+inline constexpr std::string_view kTapShuffleSent = "mr.records.shuffle_sent";
+inline constexpr std::string_view kTapShuffleReceived =
+    "mr.records.shuffle_received";
+inline constexpr std::string_view kTapReduceEmitted = "mr.records.reduce_emitted";
+inline constexpr std::string_view kTapOutputWritten = "mr.records.output_written";
+
+/// Add `n` records to `tap` for `rank` (a MetricsRegistry counter).
+void tap_records(std::string_view tap, int rank, size_t n);
+
+/// Sum of `tap` across ranks [0, nranks).
+[[nodiscard]] double tap_total(std::string_view tap, int nranks);
+
+/// Snapshot of every tap, summed across ranks — diff two snapshots to get
+/// the record flow of one run (the registry is process-global and
+/// monotone).
+struct RecordLedger {
+  double map_emitted = 0.0;
+  double shuffle_sent = 0.0;
+  double shuffle_received = 0.0;
+  double reduce_emitted = 0.0;
+  double output_written = 0.0;
+
+  [[nodiscard]] RecordLedger delta_since(const RecordLedger& earlier) const;
+};
+
+[[nodiscard]] RecordLedger ledger_snapshot(int nranks);
+
+}  // namespace ftmr::mr

@@ -1,6 +1,7 @@
 #include "mr/shuffle.hpp"
 
 #include "common/hash.hpp"
+#include "mr/accounting.hpp"
 
 namespace ftmr::mr {
 
@@ -79,6 +80,8 @@ Status shuffle_partitions(simmpi::Comm& comm, std::vector<KvBuffer> parts,
     }
   }
   if (trace) trace->span("shuffle.adopt", "shuffle", d0, comm.now());
+  tap_records(kTapShuffleSent, comm.global_rank(), st.pairs_sent);
+  tap_records(kTapShuffleReceived, comm.global_rank(), st.pairs_received);
   if (stats) *stats = st;
   return Status::Ok();
 }

@@ -53,6 +53,25 @@ double Comm::now() const {
   return job_->ranks[global_rank_].vtime;
 }
 
+int64_t Comm::ops_issued() const {
+  if (job_ == nullptr) return -1;
+  MutexLock lock(job_->mu);
+  return job_->ranks[global_rank_].op_count;
+}
+
+void Comm::begin_uncounted_ops() {
+  if (job_ == nullptr) return;
+  MutexLock lock(job_->mu);
+  job_->ranks[global_rank_].uncounted_depth++;
+}
+
+void Comm::end_uncounted_ops() {
+  if (job_ == nullptr) return;
+  MutexLock lock(job_->mu);
+  auto& depth = job_->ranks[global_rank_].uncounted_depth;
+  if (depth > 0) depth--;
+}
+
 void Comm::compute(double seconds) {
   {
     MutexLock lock(job_->mu);

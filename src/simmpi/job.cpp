@@ -26,7 +26,7 @@ void Job::check_callable(int rank) {
   RankState& st = ranks[rank];
   if (aborted) throw AbortError(abort_code);
   if (!st.alive) throw KilledError();
-  st.op_count++;
+  if (st.uncounted_depth == 0) st.op_count++;
   if (st.kill_after_ops >= 0 && st.op_count >= st.kill_after_ops) {
     die_locked(rank);
     throw KilledError();

@@ -45,6 +45,14 @@ JobResult Runtime::run(int nranks, const RankMain& main, JobOptions opts) {
         FTMR_ERROR << "rank " << r << " escaped exception: " << e.what();
         MutexLock lock(job->mu);
         job->cv.notify_all();
+      } catch (...) {
+        // Non-std exceptions (e.g. a FailureDetected escaping user recovery
+        // code) must not std::terminate the whole simulator process: the
+        // rank is left neither finished nor killed, which downstream
+        // correctness checks flag as an anomaly.
+        FTMR_ERROR << "rank " << r << " escaped non-standard exception";
+        MutexLock lock(job->mu);
+        job->cv.notify_all();
       }
     });
   }
@@ -58,7 +66,8 @@ JobResult Runtime::run(int nranks, const RankMain& main, JobOptions opts) {
     result.ranks.resize(nranks);
     for (int r = 0; r < nranks; ++r) {
       const RankState& st = job->ranks[r];
-      result.ranks[r] = RankResult{st.finished, st.killed, st.vtime, st.exit_code};
+      result.ranks[r] =
+          RankResult{st.finished, st.killed, st.vtime, st.exit_code, st.op_count};
     }
   }
   return result;

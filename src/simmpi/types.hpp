@@ -88,6 +88,11 @@ struct RankResult {
   bool killed = false;    // terminated by failure injection
   double vtime = 0.0;     // final virtual clock
   int exit_code = 0;
+  /// Total MPI operations this rank issued (the op-index axis that
+  /// KillEvent::after_ops addresses). On a failure-free run this is
+  /// deterministic, which is what makes op-indexed fault schedules
+  /// replayable.
+  int64_t ops = 0;
 };
 
 /// Outcome of one job run (one "submission" in scheduler terms).

@@ -1,0 +1,338 @@
+#include "testing/invariants.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/bytes.hpp"
+#include "core/checkpoint.hpp"
+#include "mr/kv.hpp"
+
+namespace ftmr::testing {
+
+namespace {
+
+void add(std::vector<Violation>& out, std::string invariant, std::string detail) {
+  out.push_back({std::move(invariant), std::move(detail)});
+}
+
+std::string join_ints(const std::set<int>& s) {
+  std::string r;
+  for (int v : s) {
+    if (!r.empty()) r += ',';
+    r += std::to_string(v);
+  }
+  return r.empty() ? "<none>" : r;
+}
+
+}  // namespace
+
+void check_output_exact(const std::map<std::string, int64_t>& expected,
+                        const std::map<std::string, int64_t>& actual,
+                        std::vector<Violation>& out) {
+  // Two sorted maps: walk both to name the first few discrepancies exactly
+  // (lost keys, duplicated counts, and phantom keys are distinct bugs).
+  int reported = 0;
+  constexpr int kMaxReports = 5;
+  auto note = [&](const std::string& d) {
+    if (reported++ < kMaxReports) add(out, "output-exactness", d);
+  };
+  for (const auto& [k, v] : expected) {
+    auto it = actual.find(k);
+    if (it == actual.end()) {
+      note("key '" + k + "' missing from output (expected count " +
+           std::to_string(v) + ") — records lost");
+    } else if (it->second != v) {
+      note("key '" + k + "' count " + std::to_string(it->second) +
+           " != expected " + std::to_string(v) +
+           (it->second < v ? " — records lost" : " — records duplicated"));
+    }
+  }
+  for (const auto& [k, v] : actual) {
+    if (!expected.count(k)) {
+      note("unexpected key '" + k + "' (count " + std::to_string(v) +
+           ") in output");
+    }
+  }
+  if (reported > kMaxReports) {
+    add(out, "output-exactness",
+        "... " + std::to_string(reported - kMaxReports) + " more discrepancies");
+  }
+}
+
+void check_run_outcome(const simmpi::JobResult& last,
+                       const std::vector<RankObservation>& obs,
+                       std::vector<Violation>& out) {
+  const int n = static_cast<int>(last.ranks.size());
+  if (last.aborted) {
+    add(out, "run-completion",
+        "final submission aborted with code " + std::to_string(last.abort_code));
+  }
+  std::set<int> killed;
+  std::vector<int> survivors;
+  for (int r = 0; r < n; ++r) {
+    const simmpi::RankResult& rr = last.ranks[r];
+    if (rr.killed) {
+      killed.insert(r);
+    } else if (!rr.finished) {
+      add(out, "run-completion",
+          "rank " + std::to_string(r) +
+          " neither finished nor was killed (hang, escaped exception, or "
+          "stray abort)");
+    } else {
+      survivors.push_back(r);
+    }
+  }
+  if (survivors.empty()) {
+    add(out, "run-completion", "no surviving rank finished");
+    return;
+  }
+  for (int r : survivors) {
+    if (static_cast<size_t>(r) >= obs.size() || !obs[static_cast<size_t>(r)].ran) {
+      add(out, "run-completion",
+          "rank " + std::to_string(r) +
+          " finished but recorded no observation (job.run never returned)");
+      return;
+    }
+    const RankObservation& o = obs[static_cast<size_t>(r)];
+    if (!o.status_ok) {
+      add(out, "run-completion",
+          "rank " + std::to_string(r) + " finished with error: " + o.status);
+    }
+  }
+
+  // Survivor consistency: every survivor must hold the identical
+  // post-recovery view — comm size, dead census, partition owners, task
+  // reassignments. The census allgather in recover() guarantees this; a
+  // divergence means survivors are computing against different worlds.
+  const RankObservation& ref = obs[static_cast<size_t>(survivors.front())];
+  for (size_t i = 1; i < survivors.size(); ++i) {
+    const int r = survivors[i];
+    const RankObservation& o = obs[static_cast<size_t>(r)];
+    if (o.final_comm_size != ref.final_comm_size) {
+      add(out, "survivor-consistency",
+          "rank " + std::to_string(r) + " final comm size " +
+          std::to_string(o.final_comm_size) + " != rank " +
+          std::to_string(survivors.front()) + "'s " +
+          std::to_string(ref.final_comm_size));
+    }
+    if (o.known_dead != ref.known_dead) {
+      add(out, "survivor-consistency",
+          "rank " + std::to_string(r) + " dead census {" +
+          join_ints(o.known_dead) + "} != rank " +
+          std::to_string(survivors.front()) + "'s {" +
+          join_ints(ref.known_dead) + "}");
+    }
+    if (o.partition_owners != ref.partition_owners) {
+      add(out, "survivor-consistency",
+          "rank " + std::to_string(r) +
+          " partition-owner map diverges from rank " +
+          std::to_string(survivors.front()) + "'s");
+    }
+    if (o.task_reassign != ref.task_reassign) {
+      add(out, "survivor-consistency",
+          "rank " + std::to_string(r) +
+          " task-reassignment map diverges from rank " +
+          std::to_string(survivors.front()) + "'s");
+    }
+  }
+  if (ref.final_comm_size != n - static_cast<int>(ref.known_dead.size())) {
+    add(out, "survivor-consistency",
+        "final comm size " + std::to_string(ref.final_comm_size) +
+        " != nranks - dead census (" + std::to_string(n) + " - " +
+        std::to_string(ref.known_dead.size()) + ")");
+  }
+  for (int d : ref.known_dead) {
+    if (!killed.count(d)) {
+      add(out, "survivor-consistency",
+          "rank " + std::to_string(d) +
+          " declared dead in the census but was never killed");
+    }
+  }
+  for (size_t p = 0; p < ref.partition_owners.size(); ++p) {
+    const int owner = ref.partition_owners[p];
+    if (owner < 0 || owner >= n) {
+      add(out, "survivor-consistency",
+          "partition " + std::to_string(p) + " owned by invalid rank " +
+          std::to_string(owner));
+    } else if (ref.known_dead.count(owner)) {
+      add(out, "survivor-consistency",
+          "partition " + std::to_string(p) + " owned by dead rank " +
+          std::to_string(owner));
+    }
+  }
+  for (const auto& [task, owner] : ref.task_reassign) {
+    if (ref.known_dead.count(owner)) {
+      add(out, "survivor-consistency",
+          "task " + std::to_string(task) + " reassigned to dead rank " +
+          std::to_string(owner));
+    }
+  }
+}
+
+namespace {
+
+/// Decode one checkpoint payload by kind; verifies the embedded id matches
+/// the file name and the KV blob parses as a valid wire image.
+Status decode_payload(const core::CkptFileName& name, const Bytes& payload,
+                      uint64_t* start_out, uint64_t* progress_out) {
+  ByteReader r(payload);
+  Bytes blob;
+  uint64_t start = 0, progress = 0;
+  if (name.kind == "map") {
+    uint64_t task = 0, pos = 0;
+    if (auto s = r.get(task); !s.ok()) return s;
+    if (auto s = r.get(start); !s.ok()) return s;
+    if (auto s = r.get(pos); !s.ok()) return s;
+    if (task != name.id) {
+      return {ErrorCode::kCorrupt, "payload task id != file name id"};
+    }
+    if (start > pos) {
+      return {ErrorCode::kCorrupt, "delta start cursor beyond end cursor"};
+    }
+    progress = pos;
+  } else {
+    int32_t part = 0;
+    if (auto s = r.get(part); !s.ok()) return s;
+    if (static_cast<uint64_t>(part) != name.id) {
+      return {ErrorCode::kCorrupt, "payload partition != file name id"};
+    }
+    if (name.kind == "red") {
+      uint64_t entries = 0;
+      if (auto s = r.get(start); !s.ok()) return s;
+      if (auto s = r.get(entries); !s.ok()) return s;
+      if (start > entries) {
+        return {ErrorCode::kCorrupt, "delta start cursor beyond end cursor"};
+      }
+      progress = entries;
+    }
+  }
+  if (auto s = r.get_blob(blob); !s.ok()) return s;
+  if (!r.exhausted()) {
+    return {ErrorCode::kCorrupt, "trailing bytes after checkpoint payload"};
+  }
+  mr::KvBuffer kv;
+  if (auto s = kv.adopt(std::move(blob)); !s.ok()) return s;
+  if (start_out) *start_out = start;
+  if (progress_out) *progress_out = progress;
+  return Status::Ok();
+}
+
+}  // namespace
+
+void check_checkpoint_chains(storage::StorageSystem& fs, int nranks, int ppn,
+                             bool single_incarnation,
+                             std::vector<Violation>& out) {
+  // chain key: (rank, stage, kind, id) -> list of (seq, progress cursor)
+  using ChainKey = std::tuple<int, int, std::string, uint64_t>;
+  struct ChainSeg {
+    int seq;
+    uint64_t start;
+    uint64_t progress;
+    bool operator<(const ChainSeg& o) const { return seq < o.seq; }
+  };
+  std::map<ChainKey, std::vector<ChainSeg>> chains;
+
+  for (int rank = 0; rank < nranks; ++rank) {
+    const int node = rank / ppn;
+    const std::string dir = core::checkpoint_rank_dir(rank);
+    for (storage::Tier tier : {storage::Tier::kLocal, storage::Tier::kShared}) {
+      std::vector<std::string> names;
+      if (!fs.list_dir(tier, node, dir, names).ok()) continue;  // no ckpts
+      std::set<int> seqs_seen;
+      for (const std::string& n : names) {
+        const std::string where =
+            (tier == storage::Tier::kLocal ? "local:" : "shared:") + dir + "/" + n;
+        core::CkptFileName parsed;
+        if (!core::parse_checkpoint_name(n, parsed)) {
+          add(out, "ckpt-chain", where + ": unparsable checkpoint file name");
+          continue;
+        }
+        if (tier == storage::Tier::kLocal && parsed.drained_usec >= 0) {
+          add(out, "ckpt-chain", where + ": local file carries a drain stamp");
+        }
+        if (!seqs_seen.insert(parsed.seq).second) {
+          add(out, "ckpt-chain",
+              where + ": duplicate sequence number " + std::to_string(parsed.seq) +
+              " within one rank's tier (an incarnation overwrote the chain)");
+        }
+        Bytes raw;
+        if (auto s = fs.read_file(tier, node, dir + "/" + n, raw); !s.ok()) {
+          add(out, "ckpt-chain", where + ": unreadable: " + s.to_string());
+          continue;
+        }
+        Bytes payload;
+        if (auto s = core::unframe_checkpoint(raw, payload); !s.ok()) {
+          add(out, "ckpt-chain", where + ": " + s.to_string());
+          continue;
+        }
+        uint64_t start = 0, progress = 0;
+        if (auto s = decode_payload(parsed, payload, &start, &progress);
+            !s.ok()) {
+          add(out, "ckpt-chain", where + ": " + s.to_string());
+          continue;
+        }
+        if (tier == storage::Tier::kLocal &&
+            (parsed.kind == "map" || parsed.kind == "red")) {
+          chains[{rank, parsed.stage, parsed.kind, parsed.id}].push_back(
+              {parsed.seq, start, progress});
+        }
+      }
+    }
+  }
+
+  if (!single_incarnation) return;
+  // One incarnation per rank and no failures: every delta chain must make
+  // strictly monotone progress in sequence order (map record cursor, reduce
+  // entry count). Restarted or recovered runs may legally reset a chain, so
+  // the strict check is gated on the run being failure-free.
+  for (auto& [key, segs] : chains) {
+    std::sort(segs.begin(), segs.end());
+    const auto& [rank, stage, kind, id] = key;
+    const std::string where = "rank " + std::to_string(rank) + " stage " +
+                              std::to_string(stage) + " " + kind + " chain " +
+                              std::to_string(id);
+    if (!segs.empty() && segs.front().start != 0) {
+      add(out, "ckpt-chain",
+          where + ": first delta starts at " +
+          std::to_string(segs.front().start) + ", not 0");
+    }
+    for (size_t i = 1; i < segs.size(); ++i) {
+      if (segs[i].progress <= segs[i - 1].progress ||
+          segs[i].start != segs[i - 1].progress) {
+        add(out, "ckpt-chain",
+            where + ": deltas not contiguous (seq " +
+            std::to_string(segs[i - 1].seq) + " -> " +
+            std::to_string(segs[i].seq) + ": [" +
+            std::to_string(segs[i - 1].start) + "," +
+            std::to_string(segs[i - 1].progress) + ") -> [" +
+            std::to_string(segs[i].start) + "," +
+            std::to_string(segs[i].progress) + "))");
+      }
+    }
+  }
+}
+
+void check_record_conservation(const mr::RecordLedger& run, bool has_combiner,
+                               std::vector<Violation>& out) {
+  auto num = [](double v) { return std::to_string(static_cast<int64_t>(v)); };
+  if (run.map_emitted <= 0) {
+    add(out, "record-conservation", "map emitted no records");
+  }
+  if (run.shuffle_sent != run.shuffle_received) {
+    add(out, "record-conservation",
+        "shuffle sent " + num(run.shuffle_sent) + " != received " +
+        num(run.shuffle_received));
+  }
+  if (!has_combiner && run.map_emitted != run.shuffle_sent) {
+    add(out, "record-conservation",
+        "map emitted " + num(run.map_emitted) + " != shuffle sent " +
+        num(run.shuffle_sent) + " (no combiner configured)");
+  }
+  if (run.reduce_emitted != run.output_written) {
+    add(out, "record-conservation",
+        "reduce emitted " + num(run.reduce_emitted) + " != output written " +
+        num(run.output_written));
+  }
+}
+
+}  // namespace ftmr::testing

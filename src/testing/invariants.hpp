@@ -1,0 +1,90 @@
+// invariants.hpp — correctness invariants checked after every explored run.
+//
+// The fault-schedule explorer (testing/explorer.hpp) re-executes a job under
+// systematically generated kill schedules; these checks are what turns each
+// run into a verdict. They are deliberately *timing-independent*: survivor
+// detection order is real-time nondeterministic even though kill firing is
+// deterministic, so every invariant here must hold for any interleaving of
+// detection and recovery — which is exactly what makes violations
+// replayable from a (seed, kill list) artifact.
+//
+// Invariant families:
+//   1. output exactness      — the final output multiset equals the
+//                              failure-free ground truth: no lost records,
+//                              no duplicated records (exactly-once).
+//   2. run completion        — every rank either finished or was killed by
+//                              the schedule; nothing hung, crashed, or
+//                              silently aborted out of band.
+//   3. survivor consistency  — all surviving ranks agree on the shrunken
+//                              communicator size, the dead-rank census,
+//                              and the partition-owner map; no partition is
+//                              owned by a dead rank; nobody was falsely
+//                              declared dead.
+//   4. checkpoint chains     — every checkpoint file on either tier parses,
+//                              CRC-verifies, decodes, and respects the
+//                              per-rank sequence discipline (strictly
+//                              monotone progress on single-incarnation
+//                              runs).
+//   5. record conservation   — the mr accounting taps balance on the
+//                              golden run (shuffle_sent == shuffle_received
+//                              etc.); failure runs legitimately inflate the
+//                              upstream taps via re-execution.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mr/accounting.hpp"
+#include "simmpi/types.hpp"
+#include "storage/storage.hpp"
+
+namespace ftmr::testing {
+
+/// One invariant violation. `invariant` is the family name (stable, used in
+/// artifacts and CI greps); `detail` is a human-readable diagnosis.
+struct Violation {
+  std::string invariant;
+  std::string detail;
+};
+
+/// What one rank reported when its FtJob::run returned. Ranks that never
+/// returned (killed, aborted, escaped) leave `ran == false`.
+struct RankObservation {
+  bool ran = false;
+  bool status_ok = false;
+  std::string status;
+  int recoveries = 0;
+  int final_comm_size = -1;
+  std::vector<int> partition_owners;
+  std::map<uint64_t, int> task_reassign;
+  std::set<int> known_dead;
+};
+
+/// Invariant 1: output exactness against ground truth (word -> count).
+void check_output_exact(const std::map<std::string, int64_t>& expected,
+                        const std::map<std::string, int64_t>& actual,
+                        std::vector<Violation>& out);
+
+/// Invariants 2 + 3: run completion and survivor consistency. `last` is the
+/// final submission's JobResult; `obs[r]` is rank r's observation from that
+/// submission.
+void check_run_outcome(const simmpi::JobResult& last,
+                       const std::vector<RankObservation>& obs,
+                       std::vector<Violation>& out);
+
+/// Invariant 4: checkpoint-chain well-formedness over both storage tiers.
+/// `single_incarnation` enables the strict progress checks (monotone map
+/// cursor / reduce entry counts per chain), valid only when no rank was
+/// ever killed or restarted during the run.
+void check_checkpoint_chains(storage::StorageSystem& fs, int nranks, int ppn,
+                             bool single_incarnation,
+                             std::vector<Violation>& out);
+
+/// Invariant 5: record-conservation laws on a golden (failure-free) run's
+/// ledger delta. `has_combiner` relaxes map_emitted == shuffle_sent.
+void check_record_conservation(const mr::RecordLedger& run, bool has_combiner,
+                               std::vector<Violation>& out);
+
+}  // namespace ftmr::testing

@@ -14,6 +14,7 @@
 
 #include "storage/copier.hpp"
 #include "storage/storage.hpp"
+#include "tests/test_seed.hpp"
 
 namespace ftmr::storage {
 namespace {
@@ -141,7 +142,7 @@ TEST(CopierStress, TransientFaultsRetryWithoutLosingAccounting) {
   // Fault the copier's shared-tier writes only: transient failures force
   // the retry path while worker threads keep enqueueing concurrently.
   FaultInjectorConfig cfg;
-  cfg.seed = 0xc0ffee;
+  cfg.seed = tests::test_seed(0xc0ffee);
   cfg.shared.p_write_fail = 0.15;
   cfg.path_filter = "faulty/";
   w.fs->set_fault_injector(cfg);

@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <map>
+#include <mutex>
+#include <set>
 
+#include "common/hash.hpp"
 #include "core/balancer.hpp"
 #include "core/checkpoint.hpp"
+#include "core/ftjob.hpp"
 #include "core/ftjob_adapters.hpp"
 #include "core/interfaces.hpp"
 #include "core/master.hpp"
@@ -273,6 +278,158 @@ TEST(Balancer, DeterministicAcrossCalls) {
 }
 
 // ---------------------------------------------------------------------------
+// Load-balancer redistribution invariants under failures
+//
+// After a recovery the survivors must have reassigned *exactly* the dead
+// ranks' stage-0 file tasks — no more (work of live ranks stolen), no less
+// (orphaned inputs silently dropped) — and the reassigned byte volume must
+// equal the dead ranks' hash-default byte volume. Checked for both
+// work-conserving and non-work-conserving detect/resume via the FtJob
+// introspection probes (task_reassignments / known_dead / input_chunks).
+// ---------------------------------------------------------------------------
+
+namespace redistribution {
+
+StageFns tiny_wordcount() {
+  StageFns fns;
+  fns.map = [](std::string_view, std::string_view line,
+               mr::KvBuffer& out) -> int32_t {
+    int32_t n = 0;
+    size_t pos = 0;
+    while (pos < line.size()) {
+      size_t end = line.find(' ', pos);
+      if (end == std::string_view::npos) end = line.size();
+      if (end > pos) {
+        out.add(line.substr(pos, end - pos), "1");
+        ++n;
+      }
+      pos = end + 1;
+    }
+    return n;
+  };
+  fns.reduce = [](std::string_view key, std::span<const std::string_view> values,
+                  mr::KvBuffer& out) -> int32_t {
+    out.add(key, std::to_string(values.size()));
+    return 1;
+  };
+  return fns;
+}
+
+struct RedistCase {
+  FtMode mode;
+  double kill_vtime;
+  const char* label;
+};
+
+class Redistribution : public ::testing::TestWithParam<RedistCase> {};
+
+TEST_P(Redistribution, ReassignedBytesMatchDeadRanksRemainingBytes) {
+  const RedistCase tc = GetParam();
+  constexpr int kP = 4;
+  constexpr int kVictim = 2;
+  storage::TempDir tmp("ftmr-redist");
+  storage::StorageOptions so;
+  so.root = tmp.path();
+  storage::StorageSystem fs(so);
+  // Deliberately uneven chunk sizes so the byte-sum invariant cannot pass
+  // by accident of symmetric task counts.
+  constexpr int kChunks = 10;
+  for (int i = 0; i < kChunks; ++i) {
+    std::string text;
+    for (int j = 0; j < 4 + 9 * i; ++j) {
+      text += "w" + std::to_string((i * 7 + j) % 13) + " common\n";
+    }
+    char name[32];
+    std::snprintf(name, sizeof(name), "chunk_%04d", i);
+    ASSERT_TRUE(fs.write_file(storage::Tier::kShared, 0,
+                              std::string("input/") + name,
+                              as_bytes_view(text)).ok());
+  }
+
+  FtJobOptions opts;
+  opts.mode = tc.mode;
+  opts.ppn = 2;
+  if (tc.mode == FtMode::kDetectResumeNWC) opts.ckpt.enabled = false;
+
+  simmpi::JobOptions jo;
+  jo.kills.push_back({kVictim, tc.kill_vtime, -1});
+  // Survivor-side snapshots of the probes, taken after the job converges.
+  std::map<uint64_t, int> reassign;
+  std::set<int> dead;
+  std::vector<std::string> chunks;
+  std::mutex mu;
+  simmpi::JobResult r = Runtime::run(kP, [&](Comm& c) {
+    FtJob job(c, &fs, opts);
+    Status s = job.run([&](FtJob& j) {
+      if (auto st = j.run_stage(tiny_wordcount(), false, nullptr); !st.ok()) {
+        return st;
+      }
+      return j.write_output();
+    });
+    if (c.global_rank() == kVictim) return;
+    ASSERT_TRUE(s.ok()) << s.to_string();
+    EXPECT_GE(job.recoveries(), 1);
+    std::lock_guard<std::mutex> lock(mu);
+    if (reassign.empty()) {
+      reassign = job.task_reassignments();
+      dead = job.known_dead();
+      chunks = job.input_chunks();
+    } else {
+      // Every survivor must hold the identical redistribution view.
+      EXPECT_EQ(reassign, job.task_reassignments()) << tc.label;
+      EXPECT_EQ(dead, job.known_dead()) << tc.label;
+      EXPECT_EQ(chunks, job.input_chunks()) << tc.label;
+    }
+  }, jo);
+  ASSERT_FALSE(r.aborted);
+  ASSERT_EQ(r.killed_count(), 1);
+  ASSERT_EQ(dead, std::set<int>{kVictim}) << tc.label;
+  ASSERT_EQ(chunks.size(), static_cast<size_t>(kChunks));
+
+  int64_t reassigned_bytes = 0, orphaned_bytes = 0;
+  for (uint64_t t = 0; t < chunks.size(); ++t) {
+    const int64_t sz =
+        fs.file_size(storage::Tier::kShared, 0, "input/" + chunks[t]);
+    ASSERT_GT(sz, 0) << chunks[t];
+    const bool default_owner_dead = dead.count(assign_task_to_rank(t, kP)) > 0;
+    const auto it = reassign.find(t);
+    if (default_owner_dead) {
+      // ...no less: every orphaned task has a new, alive owner.
+      ASSERT_TRUE(it != reassign.end())
+          << tc.label << ": task " << t << " orphaned but never reassigned";
+      orphaned_bytes += sz;
+    } else {
+      // ...no more: live ranks' tasks are never stolen.
+      EXPECT_TRUE(it == reassign.end())
+          << tc.label << ": task " << t << " reassigned but its owner is alive";
+    }
+    if (it != reassign.end()) {
+      EXPECT_EQ(dead.count(it->second), 0u)
+          << tc.label << ": task " << t << " reassigned to a dead rank";
+      reassigned_bytes += sz;
+    }
+  }
+  // The reassignment map covers every task the dead rank still *owned* —
+  // completed work is skipped at execution time (WC, via checkpoints), not
+  // by shrinking the assignment — so the reassigned byte volume must equal
+  // the orphaned byte volume exactly, for early and mid-map kills alike.
+  EXPECT_EQ(reassigned_bytes, orphaned_bytes) << tc.label;
+  EXPECT_GT(reassigned_bytes, 0) << tc.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, Redistribution,
+    ::testing::Values(RedistCase{FtMode::kDetectResumeWC, 1e-4, "wc_early"},
+                      RedistCase{FtMode::kDetectResumeNWC, 1e-4, "nwc_early"},
+                      RedistCase{FtMode::kDetectResumeWC, 3e-3, "wc_midmap"},
+                      RedistCase{FtMode::kDetectResumeNWC, 3e-3, "nwc_midmap"}),
+    [](const ::testing::TestParamInfo<RedistCase>& info) {
+      return std::string(info.param.label);
+    });
+
+}  // namespace redistribution
+
+// ---------------------------------------------------------------------------
 // CheckpointManager
 // ---------------------------------------------------------------------------
 
@@ -295,8 +452,8 @@ TEST_F(CkptFixture, MapCheckpointRoundTripLocal) {
   Runtime::run(1, [&](Comm& c) {
     CkptOptions o;
     CheckpointManager cm(fs.get(), 0, 0, o, 1);
-    ASSERT_TRUE(cm.map_ckpt(c, 0, 5, 100, kv({{"a", "1"}, {"b", "2"}})).ok());
-    ASSERT_TRUE(cm.map_ckpt(c, 0, 5, 200, kv({{"c", "3"}})).ok());
+    ASSERT_TRUE(cm.map_ckpt(c, 0, 5, 0, 100, kv({{"a", "1"}, {"b", "2"}})).ok());
+    ASSERT_TRUE(cm.map_ckpt(c, 0, 5, 100, 200, kv({{"c", "3"}})).ok());
     RankRecovery rec;
     ASSERT_TRUE(cm.load_rank_stage(c, 0, 0, 0, false, -1.0, rec).ok());
     ASSERT_TRUE(rec.map_tasks.count(5));
@@ -329,7 +486,7 @@ TEST_F(CkptFixture, SharedDirectSkipsLocal) {
     CkptOptions o;
     o.location = CkptOptions::Location::kSharedDirect;
     CheckpointManager cm(fs.get(), 0, 2, o, 4);
-    ASSERT_TRUE(cm.reduce_ckpt(c, 1, 9, 50, kv({{"x", "y"}})).ok());
+    ASSERT_TRUE(cm.reduce_ckpt(c, 1, 9, 0, 50, kv({{"x", "y"}})).ok());
     RankRecovery rec;
     ASSERT_TRUE(cm.load_rank_stage(c, 1, 2, 0, true, -1.0, rec).ok());
     ASSERT_TRUE(rec.reduce.count(9));
@@ -345,7 +502,7 @@ TEST_F(CkptFixture, LocalOnlyNeverReachesShared) {
     CkptOptions o;
     o.location = CkptOptions::Location::kLocalOnly;
     CheckpointManager cm(fs.get(), 0, 0, o, 1);
-    ASSERT_TRUE(cm.map_ckpt(c, 0, 1, 10, kv({{"a", "b"}})).ok());
+    ASSERT_TRUE(cm.map_ckpt(c, 0, 1, 0, 10, kv({{"a", "b"}})).ok());
     RankRecovery shared;
     ASSERT_TRUE(cm.load_rank_stage(c, 0, 0, 0, true, -1.0, shared).ok());
     EXPECT_TRUE(shared.map_tasks.empty());
@@ -357,7 +514,7 @@ TEST_F(CkptFixture, DisabledManagerWritesNothing) {
     CkptOptions o;
     o.enabled = false;
     CheckpointManager cm(fs.get(), 0, 0, o, 1);
-    ASSERT_TRUE(cm.map_ckpt(c, 0, 1, 10, kv({{"a", "b"}})).ok());
+    ASSERT_TRUE(cm.map_ckpt(c, 0, 1, 0, 10, kv({{"a", "b"}})).ok());
     EXPECT_EQ(cm.count(), 0);
     RankRecovery rec;
     ASSERT_TRUE(cm.load_rank_stage(c, 0, 0, 0, false, -1.0, rec).ok());
@@ -369,8 +526,8 @@ TEST_F(CkptFixture, LoadFilterSelectsSubset) {
   Runtime::run(1, [&](Comm& c) {
     CkptOptions o;
     CheckpointManager cm(fs.get(), 0, 0, o, 1);
-    ASSERT_TRUE(cm.map_ckpt(c, 0, 1, 10, kv({{"a", "1"}})).ok());
-    ASSERT_TRUE(cm.map_ckpt(c, 0, 2, 20, kv({{"b", "2"}})).ok());
+    ASSERT_TRUE(cm.map_ckpt(c, 0, 1, 0, 10, kv({{"a", "1"}})).ok());
+    ASSERT_TRUE(cm.map_ckpt(c, 0, 2, 0, 20, kv({{"b", "2"}})).ok());
     ASSERT_TRUE(cm.partition_ckpt(c, 0, 4, kv({{"c", "3"}})).ok());
     ASSERT_TRUE(cm.partition_ckpt(c, 0, 5, kv({{"d", "4"}})).ok());
     std::set<uint64_t> tasks{2};
@@ -389,7 +546,7 @@ TEST_F(CkptFixture, StagesPresentLists) {
   Runtime::run(1, [&](Comm& c) {
     CkptOptions o;
     CheckpointManager cm(fs.get(), 0, 0, o, 1);
-    ASSERT_TRUE(cm.map_ckpt(c, 0, 1, 1, kv({{"a", "1"}})).ok());
+    ASSERT_TRUE(cm.map_ckpt(c, 0, 1, 0, 1, kv({{"a", "1"}})).ok());
     ASSERT_TRUE(cm.stage_output_ckpt(c, 2, 0, kv({{"z", "9"}})).ok());
     auto stages = cm.stages_present(0, 0, false);
     EXPECT_EQ(stages, (std::set<int>{0, 2}));
@@ -401,7 +558,7 @@ TEST_F(CkptFixture, PrefetchRecoveryReadsSameData) {
     CkptOptions o;
     o.prefetch_recovery = true;
     CheckpointManager cm(fs.get(), 0, 3, o, 1);
-    ASSERT_TRUE(cm.map_ckpt(c, 0, 8, 40, kv({{"p", "q"}, {"r", "s"}})).ok());
+    ASSERT_TRUE(cm.map_ckpt(c, 0, 8, 0, 40, kv({{"p", "q"}, {"r", "s"}})).ok());
     RankRecovery rec;
     ASSERT_TRUE(cm.load_rank_stage(c, 0, 3, 0, true, 1e9, rec).ok());
     ASSERT_TRUE(rec.map_tasks.count(8));

@@ -13,6 +13,7 @@
 #include "simmpi/runtime.hpp"
 #include "storage/copier.hpp"
 #include "storage/storage.hpp"
+#include "tests/test_seed.hpp"
 
 namespace ftmr::core {
 namespace {
@@ -159,7 +160,8 @@ TEST_F(InjectorTest, SameSeedSameFaultSequence) {
     fs_->clear_fault_injector();
     return outcomes;
   };
-  const auto a = run(42), b = run(42), c = run(7);
+  const auto a = run(tests::test_seed(0x42)), b = run(tests::test_seed(0x42)),
+             c = run(tests::test_seed(7));
   EXPECT_EQ(a, b);
   EXPECT_NE(a, c);  // (astronomically unlikely to collide over 64 draws)
 }
@@ -307,9 +309,9 @@ TEST_F(IntegrityCkptFixture, PoisonedDeltaChainKeepsVerifiedPrefixOnly) {
     CkptOptions o;
     o.location = CkptOptions::Location::kLocalOnly;  // single replica
     CheckpointManager cm(fs.get(), 0, 0, o, 1);
-    ASSERT_TRUE(cm.map_ckpt(c, 0, 5, 100, kv({{"a", "1"}})).ok());
-    ASSERT_TRUE(cm.map_ckpt(c, 0, 5, 200, kv({{"b", "2"}})).ok());
-    ASSERT_TRUE(cm.map_ckpt(c, 0, 5, 300, kv({{"c", "3"}})).ok());
+    ASSERT_TRUE(cm.map_ckpt(c, 0, 5, 0, 100, kv({{"a", "1"}})).ok());
+    ASSERT_TRUE(cm.map_ckpt(c, 0, 5, 100, 200, kv({{"b", "2"}})).ok());
+    ASSERT_TRUE(cm.map_ckpt(c, 0, 5, 200, 300, kv({{"c", "3"}})).ok());
     tear_file(storage::Tier::kLocal, "_q000001");  // middle delta of the chain
     RankRecovery rec;
     ASSERT_TRUE(cm.load_rank_stage(c, 0, 0, 0, /*from_shared=*/false, -1.0, rec).ok());
@@ -376,7 +378,7 @@ TEST(FaultyRecovery, TornCheckpointsPlusProcessKillStillExactOutput) {
   // byte-exact output without hanging or aborting.
   FaultyCluster cl;
   storage::FaultInjectorConfig fc;
-  fc.seed = 1234;
+  fc.seed = tests::test_seed(1234);
   fc.local.p_torn_write = 1.0;
   fc.path_filter = "ck/r2";  // only rank 2's checkpoint files
   cl.fs->set_fault_injector(fc);
@@ -418,7 +420,7 @@ TEST(FaultyRecovery, ProbabilisticBitRotAndProcessKillStillExactOutput) {
   // paths taken vary with the draw; the invariants may not.
   FaultyCluster cl;
   storage::FaultInjectorConfig fc;
-  fc.seed = 99;
+  fc.seed = tests::test_seed(99);
   fc.local.p_torn_write = 0.05;
   fc.local.p_corrupt_read = 0.02;
   fc.shared.p_torn_write = 0.05;

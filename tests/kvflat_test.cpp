@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "mr/convert.hpp"
 #include "mr/kv.hpp"
+#include "tests/test_seed.hpp"
 
 namespace {
 
@@ -19,6 +20,7 @@ using ftmr::Bytes;
 using ftmr::ErrorCode;
 using ftmr::Rng;
 using ftmr::Status;
+using ftmr::tests::test_seed;
 using ftmr::mr::KmvBuffer;
 using ftmr::mr::KvBuffer;
 using ftmr::mr::KvView;
@@ -71,8 +73,8 @@ void expect_matches(const KvBuffer& kv, const RefPairs& ref) {
 }
 
 TEST(KvFlat, RandomizedEquivalence) {
-  for (uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
-    const RefPairs ref = random_workload(seed, 200);
+  for (uint64_t salt : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    const RefPairs ref = random_workload(test_seed(salt), 200);
     const KvBuffer kv = build(ref);
     expect_matches(kv, ref);
 
@@ -92,8 +94,8 @@ TEST(KvFlat, RandomizedEquivalence) {
 }
 
 TEST(KvFlat, MergeAbsorbAppendEquivalence) {
-  const RefPairs a = random_workload(10, 120);
-  const RefPairs b = random_workload(11, 80);
+  const RefPairs a = random_workload(test_seed(0x10), 120);
+  const RefPairs b = random_workload(test_seed(0x11), 80);
 
   RefPairs both = a;
   both.insert(both.end(), b.begin(), b.end());
@@ -140,7 +142,7 @@ TEST(KvFlat, EmptyBufferWireIsCanonical) {
 }
 
 TEST(KvFlat, ConvertGroupingMatchesReferenceModel) {
-  Rng rng(42);
+  Rng rng(test_seed(0x42));
   RefPairs ref;
   for (size_t i = 0; i < 400; ++i) {
     // Skewed keys so chains span several segments; value sizes straddle the
@@ -266,9 +268,9 @@ TEST(KvFlatAdversarial, UnderCountedWire) {
 }
 
 TEST(KvFlatAdversarial, RandomCorruptionNeverAccepted) {
-  const RefPairs ref = random_workload(77, 60);
+  const RefPairs ref = random_workload(test_seed(0x77), 60);
   const Bytes clean = wire_of(ref);
-  Rng rng(78);
+  Rng rng(test_seed(0x78));
   int rejected = 0;
   for (int trial = 0; trial < 500; ++trial) {
     Bytes wire = clean;

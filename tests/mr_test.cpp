@@ -12,6 +12,7 @@
 #include "mr/shuffle.hpp"
 #include "simmpi/runtime.hpp"
 #include "storage/storage.hpp"
+#include "tests/test_seed.hpp"
 
 namespace ftmr::mr {
 namespace {
@@ -120,7 +121,7 @@ TEST(Convert, TwoPassGroupsAllValues) {
 }
 
 TEST(Convert, TwoPassMovesHalfTheBytes) {
-  KvBuffer kv = random_kv(3, 5000, 200);
+  KvBuffer kv = random_kv(tests::test_seed(3), 5000, 200);
   ConvertStats s4, s2;
   convert_4pass(kv, &s4);
   convert_2pass(kv, &s2);
@@ -145,7 +146,7 @@ TEST(Convert, SmallSegmentsChainAcrossTheLog) {
 class ConvertEquivalence : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ConvertEquivalence, TwoPassMatchesFourPass) {
-  const KvBuffer kv = random_kv(GetParam(), 2000, 97);
+  const KvBuffer kv = random_kv(tests::test_seed(GetParam()), 2000, 97);
   const KmvBuffer a = convert_4pass(kv);
   const KmvBuffer b = convert_2pass(kv, nullptr, 64 + GetParam() * 13);
   ASSERT_EQ(a.size(), b.size());

@@ -36,10 +36,14 @@ TEST(Kill, AfterOpsTriggerIsHonored) {
   JobResult r = Runtime::run(4, [](Comm& c) {
     // Each compute() counts via vtime-kill only; ops are counted at MPI
     // entries. Ranks do several sends to self to accumulate op count.
+    // Self-sends never involve a dead peer, so survivors must succeed on
+    // every iteration; a silent early-return here would still count as
+    // "finished" and mask a runtime bug. (The killed rank exits via
+    // KilledError, not an error status.)
     for (int i = 0; i < 10; ++i) {
-      if (!c.send_string(c.rank(), 0, "x").ok()) return;
+      ASSERT_TRUE(c.send_string(c.rank(), 0, "x").ok());
       Bytes out;
-      if (!c.recv(c.rank(), 0, out).ok()) return;
+      ASSERT_TRUE(c.recv(c.rank(), 0, out).ok());
     }
   }, o);
   EXPECT_TRUE(r.ranks[2].killed);
@@ -341,6 +345,93 @@ TEST(Ulfm, RevokeDoesNotLeakIntoDuppedComm) {
     EXPECT_FALSE(d.is_revoked());
     ASSERT_TRUE(d.barrier().ok());
   });
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate recovery shapes: the edges of the ULFM state space where a
+// production failure schedule would normally never linger — a lone survivor,
+// agreement on a comm everyone has revoked, and collectives on a
+// shrunk-to-one communicator. These are exactly the states a fault-schedule
+// sweep drives into, so they must be well-defined, not "unreachable".
+// ---------------------------------------------------------------------------
+
+TEST(UlfmDegenerate, AllButOneDeadThenAgreeAndShrink) {
+  JobOptions o;
+  o.kills.push_back({1, 0.0, -1});
+  o.kills.push_back({2, 0.0, -1});
+  o.kills.push_back({3, 0.0, -1});
+  Runtime::run(4, [](Comm& c) {
+    if (c.rank() != 0) {
+      c.compute(0.1);  // dies
+      return;
+    }
+    while (c.failed_ranks().size() < 3u) {
+    }
+    // Agreement with three un-acked failures: the AND is over the lone
+    // survivor's contribution, and PROC_FAILED reports the un-acked dead.
+    int flag = 1;
+    Status s = c.agree(flag);
+    EXPECT_EQ(s.code(), ErrorCode::kProcFailed);
+    EXPECT_EQ(flag, 1);
+    c.ack_failures();
+    int flag2 = 0;
+    EXPECT_TRUE(c.agree(flag2).ok());
+    EXPECT_EQ(flag2, 0);
+    // Shrink with one alive member yields a working singleton comm.
+    Comm nc;
+    ASSERT_TRUE(c.shrink(nc).ok());
+    ASSERT_TRUE(nc.valid());
+    EXPECT_EQ(nc.size(), 1);
+    EXPECT_EQ(nc.rank(), 0);
+  }, o);
+}
+
+TEST(UlfmDegenerate, AgreeOnFullyRevokedComm) {
+  // ULFM guarantees agree (like shrink) still completes after a revoke —
+  // it is itself a recovery primitive. Every rank revokes, so the comm is
+  // revoked no matter whose revoke lands first.
+  Runtime::run(3, [](Comm& c) {
+    ASSERT_TRUE(c.revoke().ok());
+    while (!c.is_revoked()) {
+    }
+    int flag = c.rank() == 1 ? 0 : 1;
+    ASSERT_TRUE(c.agree(flag).ok());  // no failures, so no PROC_FAILED
+    EXPECT_EQ(flag, 0);
+    // Ordinary collectives on the revoked comm still fail.
+    EXPECT_EQ(c.barrier().code(), ErrorCode::kRevoked);
+  });
+}
+
+TEST(UlfmDegenerate, ShrinkToOneThenCollectivesStillWork) {
+  JobOptions o;
+  o.kills.push_back({0, 0.0, -1});
+  o.kills.push_back({2, 0.0, -1});
+  Runtime::run(3, [](Comm& c) {
+    if (c.rank() != 1) {
+      c.compute(0.1);  // dies
+      return;
+    }
+    while (c.failed_ranks().size() < 2u) {
+    }
+    Comm nc;
+    ASSERT_TRUE(c.shrink(nc).ok());
+    ASSERT_EQ(nc.size(), 1);
+    EXPECT_EQ(nc.rank(), 0);
+    EXPECT_EQ(nc.global_of_rel(0), 1);
+    // A singleton communicator is still a communicator: collectives are
+    // self-agreement and must succeed, not hang or fail.
+    ASSERT_TRUE(nc.barrier().ok());
+    int64_t sum = 0;
+    ASSERT_TRUE(nc.allreduce_one(ReduceOp::kSum, int64_t{7}, sum).ok());
+    EXPECT_EQ(sum, 7);
+    int flag = 1;
+    ASSERT_TRUE(nc.agree(flag).ok());
+    EXPECT_EQ(flag, 1);
+    // And a second shrink of an already-minimal comm is the identity shape.
+    Comm nc2;
+    ASSERT_TRUE(nc.shrink(nc2).ok());
+    EXPECT_EQ(nc2.size(), 1);
+  }, o);
 }
 
 // Parameterized: a failure at each rank of an 8-rank job; survivors always

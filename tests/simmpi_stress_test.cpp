@@ -7,6 +7,7 @@
 
 #include "common/rng.hpp"
 #include "simmpi/runtime.hpp"
+#include "tests/test_seed.hpp"
 
 namespace ftmr::simmpi {
 namespace {
@@ -50,13 +51,15 @@ TEST(Stress, RingPassingAccumulates) {
         ASSERT_TRUE(c.send((c.rank() + 1) % kP, 0, w.bytes()).ok());
       }
     }
-    if (c.rank() == 0) EXPECT_EQ(token, int64_t{kP} * kP);
+    if (c.rank() == 0) {
+      EXPECT_EQ(token, int64_t{kP} * kP);
+    }
   });
 }
 
 TEST(Stress, ManyMessagesManyTags) {
   Runtime::run(4, [](Comm& c) {
-    Rng rng(static_cast<uint64_t>(c.rank()) + 77);
+    Rng rng(tests::test_seed(static_cast<uint64_t>(c.rank()) + 77));
     // Everyone sends 64 tagged messages to everyone; receivers drain by
     // (src, tag) in a shuffled order.
     for (int dst = 0; dst < 4; ++dst) {
@@ -166,8 +169,8 @@ TEST(Stress, VirtualTimeMonotoneAcrossOps) {
   Runtime::run(6, [](Comm& c) {
     double last = c.now();
     // MPI requires every rank to issue collectives in the same order, so
-    // the op sequence is drawn from a shared seed.
-    Rng rng(0xc0ffee);
+    // the op sequence is drawn from a shared, rank-independent seed.
+    Rng rng(tests::test_seed(0xc0ffee));
     for (int i = 0; i < 50; ++i) {
       switch (rng.next_below(4)) {
         case 0:
