@@ -1,0 +1,128 @@
+// Extension — recovery time by checkpoint tier. The paper's recovery path
+// (Sec. 4.2) re-reads the dead process's delta chains from checkpoint
+// files; at scale the shared filesystem's aggregate-bandwidth ceiling makes
+// that read stampede the dominant recovery term (the Fig. 5 contention
+// observation, replayed at read time). The in-memory replicated tier
+// (ReStore-style diskless checkpointing) k-replicates each rank's chains
+// into peer RAM at write time, so recovery fetches one copy over the
+// interconnect at point-to-point speed instead. This bench produces the
+// model series — recovery read time per tier at 64/256/512 concurrent
+// readers, and the write-side replication overhead for k in {1,2} — plus a
+// functional mini-cluster run proving the memory rung actually serves
+// recovery, and emits BENCH_recovery_tier.json for the CI artifact.
+#include <algorithm>
+
+#include "apps/textgen.hpp"
+#include "apps/wordcount.hpp"
+#include "bench/common.hpp"
+#include "bench/minicluster.hpp"
+#include "storage/replica.hpp"
+#include "storage/storage.hpp"
+
+using namespace ftmr;
+using namespace ftmr::bench;
+
+namespace {
+
+// Per-rank recovery image at paper scale: one stage's delta chain.
+constexpr double kChainBytes = 32.0 * (1 << 20);  // 32 MiB
+constexpr int kChainDeltas = 8;                   // ops per chain
+// One checkpoint delta, for the write-side replication overhead series.
+constexpr double kDeltaBytes = kChainBytes / kChainDeltas;
+
+}  // namespace
+
+int main() {
+  Report rep("Extension: recovery time by checkpoint tier",
+             "recovery re-reads checkpoint chains; the shared tier's "
+             "aggregate-bandwidth ceiling makes the read stampede scale "
+             "with writer count while k-replicated peer memory recovers at "
+             "point-to-point wire speed for ~free write-side overhead",
+             "recovery_tier");
+
+  const storage::StorageOptions so;  // canonical tier models
+
+  rep.section("model @ paper scale: full-restart chain re-read (all ranks)");
+  rep.row("%8s %12s %12s %12s %12s", "readers", "memory(s)", "local(s)",
+          "shared(s)", "shared/mem");
+  double mem256 = 0.0, shared256 = 0.0, shared64 = 0.0, shared512 = 0.0;
+  for (int readers : {64, 256, 512}) {
+    const auto bytes = static_cast<size_t>(kChainBytes);
+    // Memory: k-replicated chains are fetched point-to-point; the fabric
+    // has no aggregate ceiling in the model (full-bisection assumption).
+    const double t_mem = so.memory.cost(bytes, kChainDeltas, 1);
+    // Local disks are private — but only survivors have them; this series
+    // is the best case where the chain is on the reader's own disk.
+    const double t_local = so.local.cost(bytes, kChainDeltas, 1);
+    // Shared FS: every reader hits the same aggregate-bandwidth ceiling.
+    const double t_shared = so.shared.cost(bytes, kChainDeltas, readers);
+    rep.row("%8d %12.4f %12.4f %12.4f %11.1fx", readers, t_mem, t_local,
+            t_shared, t_shared / t_mem);
+    rep.metric("recovery_s_memory_" + std::to_string(readers), t_mem);
+    rep.metric("recovery_s_local_" + std::to_string(readers), t_local);
+    rep.metric("recovery_s_shared_" + std::to_string(readers), t_shared);
+    if (readers == 64) shared64 = t_shared;
+    if (readers == 256) { mem256 = t_mem; shared256 = t_shared; }
+    if (readers == 512) shared512 = t_shared;
+  }
+  rep.check("memory materially faster than shared at 256 readers (>=10x)",
+            shared256 > 10.0 * mem256);
+  rep.check("shared read stampede scales with readers (512 > 4x of 64)",
+            shared512 > 4.0 * shared64);
+
+  rep.section("model: write-side replication overhead per checkpoint");
+  rep.row("%8s %6s %14s %14s %10s", "writers", "k", "replicate(s)",
+          "shared-drain(s)", "ratio");
+  bool overhead_small = true;
+  for (int writers : {64, 256, 512}) {
+    for (int k : {1, 2}) {
+      const auto bytes = static_cast<size_t>(kDeltaBytes);
+      // k point-to-point pushes per delta vs draining the same delta to the
+      // contended shared tier (the copier's steady-state write cost).
+      const double t_rep = k * so.memory.cost(bytes, 1, 1);
+      const double t_drain = so.shared.cost(bytes, 1, writers);
+      rep.row("%8d %6d %14.6f %14.6f %9.3f", writers, k, t_rep, t_drain,
+              t_rep / t_drain);
+      rep.metric("replicate_s_k" + std::to_string(k) + "_" +
+                     std::to_string(writers),
+                 t_rep);
+      overhead_small = overhead_small && t_rep < 0.5 * t_drain;
+    }
+  }
+  rep.check("replication (k<=2) cheaper than half a shared drain everywhere",
+            overhead_small);
+
+  rep.section("functional mini-cluster (8 ranks, kill 1 mid-map, WC mode)");
+  auto with_kill = [](int k) {
+    MiniJob j = wordcount_mini(core::FtMode::kDetectResumeWC);
+    j.opts.ckpt.records_per_ckpt = 16;  // enough deltas to make chains real
+    j.opts.ckpt.memory_replication_k = k;
+    j.sim.kills.push_back({3, 8e-3, -1});
+    return run_mini(j);
+  };
+  const MiniResult k0 = with_kill(0);
+  const MiniResult k2 = with_kill(2);
+  const auto k0_spans = k0.trace->span_seconds_by_name("ckpt");
+  const auto k2_spans = k2.trace->span_seconds_by_name("ckpt");
+  rep.row("k=0: makespan=%.4fs recoveries=%d replica-fetch=%s", k0.makespan,
+          k0.recoveries, k0_spans.count("ckpt.replica_fetch") ? "yes" : "no");
+  rep.row("k=2: makespan=%.4fs recoveries=%d replica-push=%s "
+          "replica-fetch=%s",
+          k2.makespan, k2.recoveries,
+          k2_spans.count("ckpt.replica_push") ? "yes" : "no",
+          k2_spans.count("ckpt.replica_fetch") ? "yes" : "no");
+  rep.metric("mini_makespan_s_k0", k0.makespan);
+  rep.metric("mini_makespan_s_k2", k2.makespan);
+  rep.check("both runs complete and recover", k0.ok && k2.ok &&
+                                                  k0.recoveries >= 1 &&
+                                                  k2.recoveries >= 1);
+  rep.check("k=0 never touches the memory tier",
+            !k0_spans.count("ckpt.replica_push") &&
+                !k0_spans.count("ckpt.replica_fetch"));
+  rep.check("k=2 replicates at write time and recovers from peer memory",
+            k2_spans.count("ckpt.replica_push") &&
+                k2_spans.count("ckpt.replica_fetch"));
+  rep.check("replication write overhead is small (makespan within 5%)",
+            k2.makespan < 1.05 * k0.makespan);
+  return rep.finish();
+}

@@ -15,6 +15,7 @@
 #include "common/metrics.hpp"
 #include "core/ftjob.hpp"
 #include "simmpi/runtime.hpp"
+#include "storage/replica.hpp"
 #include "storage/storage.hpp"
 
 namespace ftmr::bench {
@@ -58,7 +59,11 @@ inline MiniResult run_mini(const MiniJob& job) {
   std::mutex mu;
   for (;;) {
     res.submissions++;
+    // Peer RAM does not survive a resubmission; a fresh incarnation starts
+    // with an empty replica store and recovers from files.
+    if (res.submissions > 1) fs.memory().wipe_all();
     simmpi::JobOptions sim = res.submissions == 1 ? job.sim : simmpi::JobOptions{};
+    sim.on_rank_death = [&fs](int r) { fs.memory().wipe_rank(r); };
     simmpi::JobResult r = simmpi::Runtime::run(job.nranks, [&](simmpi::Comm& c) {
       core::FtJob ft(c, &fs, job.opts);
       Status s = ft.run(job.driver());

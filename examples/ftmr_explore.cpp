@@ -8,6 +8,8 @@
 //   $ ./ftmr_explore mode=cr max_runs=40          # subsampled sweep
 //   $ ./ftmr_explore mode=nwc multi_kill=8        # + random multi-kill
 //   $ ./ftmr_explore mode=wc artifacts=out/       # write failing schedules
+//   $ ./ftmr_explore mode=wc replication_k=2      # memory-tier replicas as
+//                                                 # primary recovery source
 //   $ ./ftmr_explore mode=wc break_recovery=1     # mutation sanity check:
 //                                                 # MUST report violations
 //
@@ -101,6 +103,8 @@ int main(int argc, char** argv) {
   opts.workload.lines_per_chunk =
       static_cast<int>(cfg.get_or("lines", int64_t{10}));
   opts.workload.records_per_ckpt = cfg.get_or("records_per_ckpt", int64_t{8});
+  opts.workload.memory_replication_k =
+      static_cast<int>(cfg.get_or("replication_k", int64_t{0}));
 
   testing::Explorer explorer(opts);
   if (auto s = explorer.harvest(); !s.ok()) {

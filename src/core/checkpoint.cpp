@@ -7,6 +7,7 @@
 
 #include "common/crc32.hpp"
 #include "common/log.hpp"
+#include "storage/replica.hpp"
 
 namespace ftmr::core {
 
@@ -107,9 +108,9 @@ std::string checkpoint_rank_dir(int rank) {
 }
 
 CheckpointManager::CheckpointManager(storage::StorageSystem* fs, int node, int rank,
-                                     CkptOptions opts, int io_concurrency)
+                                     CkptOptions opts, int io_concurrency, int ppn)
     : fs_(fs), node_(node), rank_(rank), opts_(opts), conc_(io_concurrency),
-      copier_(fs, node, io_concurrency) {
+      ppn_(ppn > 0 ? ppn : 1), copier_(fs, node, io_concurrency) {
   if (!opts_.enabled) return;
   // Continue the file sequence after any earlier incarnation of this rank
   // (checkpoint/restart resubmits the whole job): the chains on disk are
@@ -142,7 +143,57 @@ Status CheckpointManager::put(simmpi::Comm& comm, const std::string& name,
   metrics::MetricsRegistry::global().add("ckpt.writes", rank_);
   metrics::MetricsRegistry::global().add("ckpt.bytes_written", rank_,
                                          static_cast<double>(framed.size()));
+  if (s.ok()) replicate(comm, name, framed);
   return s;
+}
+
+std::vector<int> CheckpointManager::live_ranks(const simmpi::Comm& comm) {
+  std::vector<int> live;
+  live.reserve(static_cast<size_t>(comm.size()));
+  for (int rel = 0; rel < comm.size(); ++rel) {
+    live.push_back(comm.global_of_rel(rel));
+  }
+  std::sort(live.begin(), live.end());
+  return live;
+}
+
+void CheckpointManager::replicate(simmpi::Comm& comm, const std::string& name,
+                                  const Bytes& framed) {
+  const int k = opts_.memory_replication_k;
+  if (k <= 0) return;
+  const double t0 = comm.now();
+  const std::vector<int> targets =
+      storage::replica_placement(rank_, k, live_ranks(comm), ppn_);
+  const std::string mpath = "ck/r" + std::to_string(rank_) + "/" + name;
+  storage::ReplicaStore& mem = fs_->memory();
+  for (int tgt : targets) {
+    const int rel = comm.rel_of_global(tgt);
+    if (rel < 0) {
+      integ_.replica_push_failures++;
+      continue;
+    }
+    // The rma handshake charges the wire and verifies the target lives
+    // (a dead target surfaces kProcFailed through the errhandler, exactly
+    // like a send); the deposit itself can still lose a razor-thin race
+    // with the target's death — the store's dead-mark turns that into a
+    // counted lost push instead of a ghost replica.
+    if (auto s = comm.rma_put(rel, framed.size()); !s.ok()) {
+      integ_.replica_push_failures++;
+      metrics::MetricsRegistry::global().add("ckpt.replica_push_failures", rank_);
+      continue;
+    }
+    if (auto s = mem.put(tgt, mpath, framed, nullptr); !s.ok()) {
+      integ_.replica_push_failures++;
+      metrics::MetricsRegistry::global().add("ckpt.replica_push_failures", rank_);
+      continue;
+    }
+    metrics::MetricsRegistry::global().add("ckpt.replica_pushes", rank_);
+    metrics::MetricsRegistry::global().add(
+        "ckpt.replica_bytes", rank_, static_cast<double>(framed.size()));
+  }
+  // The span's op stamp marks the replication window on the timeline, so
+  // the fault explorer harvests kill candidates inside it.
+  if (trace_) trace_->span("ckpt.replica_push", "ckpt", t0, comm.now());
 }
 
 Status CheckpointManager::put_impl(simmpi::Comm& comm, const std::string& name,
@@ -310,6 +361,114 @@ void CheckpointManager::drain(simmpi::Comm& comm) {
   if (trace_) trace_->span("copier.drain_wait", "copier", t0, comm.now());
 }
 
+namespace {
+
+/// Owner rank encoded in a memory-tier path "ck/r<owner>/<name>"; -1 if the
+/// path is not a checkpoint rank directory.
+int replica_path_owner(const std::string& path) {
+  if (path.compare(0, 4, "ck/r") != 0) return -1;
+  const size_t slash = path.find('/', 4);
+  if (slash == std::string::npos || slash == 4) return -1;
+  int owner = 0;
+  for (size_t i = 4; i < slash; ++i) {
+    if (path[i] < '0' || path[i] > '9') return -1;
+    owner = owner * 10 + (path[i] - '0');
+  }
+  return owner;
+}
+
+}  // namespace
+
+Status CheckpointManager::rereplicate(simmpi::Comm& comm) {
+  const int k = opts_.memory_replication_k;
+  if (!opts_.enabled || k <= 0) return Status::Ok();
+  const double t0 = comm.now();
+  storage::ReplicaStore& mem = fs_->memory();
+  const std::vector<int> live = live_ranks(comm);
+  int healed = 0;
+
+  auto push_to = [&](int owner, const std::string& mpath, const Bytes& framed,
+                     const std::vector<int>& holders) {
+    for (int tgt : storage::replica_placement(owner, k, live, ppn_)) {
+      if (std::find(holders.begin(), holders.end(), tgt) != holders.end()) {
+        continue;  // already replicated there
+      }
+      const int rel = comm.rel_of_global(tgt);
+      if (rel < 0) {
+        integ_.replica_push_failures++;
+        continue;
+      }
+      if (auto s = comm.rma_put(rel, framed.size()); !s.ok()) {
+        integ_.replica_push_failures++;
+        continue;
+      }
+      if (mem.put(tgt, mpath, framed, nullptr).ok()) {
+        healed++;
+      } else {
+        integ_.replica_push_failures++;
+      }
+    }
+  };
+
+  // Pass 1: blobs still held somewhere but under-replicated after the
+  // shrink. Every survivor derives the identical placement from the
+  // identical live set, and exactly one (the lowest-ranked live holder)
+  // pushes — puts are idempotent, so even a double push would be harmless.
+  for (const std::string& mpath : mem.all_paths()) {
+    const int owner = replica_path_owner(mpath);
+    if (owner < 0) continue;
+    const std::vector<int> holders = mem.holders_of(mpath);
+    if (holders.empty() || holders.front() != rank_) continue;
+    Bytes framed;
+    if (!mem.get(rank_, mpath, framed, nullptr).ok()) continue;
+    comm.compute(mem.cost_of(framed.size(), 1));
+    push_to(owner, mpath, framed, holders);
+  }
+
+  // Pass 2: blobs whose replicas all died. A surviving owner re-pushes
+  // from its own checkpoint files, CRC-verified first so a torn or rotten
+  // file never becomes a plausible-looking replica. (A *dead* owner's
+  // blobs are not re-pushed: its state was already absorbed by the WC
+  // recovery load, and future checkpoints belong to the new owners.)
+  const std::string rank_dir = "ck/r" + std::to_string(rank_);
+  const bool use_local =
+      opts_.location != CkptOptions::Location::kSharedDirect &&
+      fs_->options().has_local_disk;
+  const storage::Tier tier =
+      use_local ? storage::Tier::kLocal : storage::Tier::kShared;
+  std::vector<std::string> names;
+  (void)fs_->list_dir(tier, node_, rank_dir, names);
+  for (const std::string& n : names) {
+    ParsedName p;
+    if (!parse_name(n, p)) continue;
+    std::string base = n;
+    if (const auto dpos = base.rfind("_d"); dpos != std::string::npos) {
+      base.resize(dpos);
+    }
+    const std::string mpath = rank_dir + "/" + base;
+    if (!mem.holders_of(mpath).empty()) continue;  // pass 1 territory
+    Bytes raw;
+    double cost = 0.0;
+    if (!fs_->read_file(tier, node_, rank_dir + "/" + n, raw, &cost,
+                        use_local ? 1 : conc_)
+             .ok()) {
+      continue;
+    }
+    comm.compute(cost);
+    Bytes payload;
+    if (!unframe_checkpoint(raw, payload).ok()) continue;
+    push_to(rank_, mpath, raw, {});
+  }
+
+  if (healed > 0) {
+    integ_.rereplications += healed;
+    metrics::MetricsRegistry::global().add("ckpt.rereplications", rank_,
+                                           static_cast<double>(healed));
+  }
+  if (trace_) trace_->span("ckpt.rereplicate", "ckpt", t0, comm.now());
+  return Status::Ok();
+}
+
 std::set<int> CheckpointManager::stages_present(int src_rank, int src_node,
                                                 bool from_shared) const {
   const std::string rank_dir = "ck/r" + std::to_string(src_rank);
@@ -336,6 +495,57 @@ Status CheckpointManager::read_verified(simmpi::Comm& comm, storage::Tier tier,
   const std::string path = rank_dir + "/" + name;
   const double t0 = comm.now();
   Status last;
+
+  // 0) Memory tier: a surviving replica of the blob in some peer's RAM is
+  //    the fastest source by orders of magnitude (wire vs shared-fs
+  //    contention), so it is tried before any file I/O. Replicas are keyed
+  //    by base name — strip the shared tier's drain stamp. Every fetched
+  //    copy is CRC-verified like a file read; a corrupt replica falls to
+  //    the next holder, and an exhausted holder list falls down the file
+  //    ladder (counted as a miss) — the memory tier can only shortcut
+  //    recovery, never lose to it.
+  if (opts_.memory_replication_k > 0) {
+    std::string base = name;
+    if (const auto dpos = base.rfind("_d"); dpos != std::string::npos) {
+      base.resize(dpos);
+    }
+    const std::string mpath = rank_dir + "/" + base;
+    storage::ReplicaStore& mem = fs_->memory();
+    for (int holder : mem.holders_of(mpath)) {
+      Bytes raw;
+      if (!mem.get(holder, mpath, raw, nullptr).ok()) continue;
+      if (holder == rank_) {
+        // The replica sits in this process's own memory: no wire.
+        comm.compute(mem.cost_of(raw.size(), 1));
+      } else {
+        const int rel = comm.rel_of_global(holder);
+        if (rel < 0) continue;
+        if (auto s = comm.rma_get(rel, raw.size()); !s.ok()) continue;
+      }
+      const double v0 = comm.now();
+      Status v = unframe_checkpoint(raw, payload);
+      if (trace_) trace_->span("ckpt.crc", "ckpt", v0, comm.now());
+      if (v.ok()) {
+        integ_.replica_hits++;
+        out.files_read++;
+        out.bytes_read += raw.size();
+        if (trace_) {
+          trace_->span("ckpt.replica_fetch", "ckpt", t0, comm.now());
+          trace_->span("ckpt.read", "ckpt", t0, comm.now());
+        }
+        metrics::MetricsRegistry::global().add("ckpt.replica_hits", rank_);
+        metrics::MetricsRegistry::global().add(
+            "ckpt.replica_read_bytes", rank_, static_cast<double>(raw.size()));
+        return Status::Ok();
+      }
+      integ_.corrupt_frames++;
+      out.corrupt_frames++;
+      if (trace_) trace_->instant("ckpt.corrupt", "ckpt", comm.now());
+      metrics::MetricsRegistry::global().add("ckpt.corrupt_frames", rank_);
+    }
+    integ_.replica_misses++;
+    metrics::MetricsRegistry::global().add("ckpt.replica_misses", rank_);
+  }
 
   // 1) Primary tier, with bounded retry. A retry redraws both transient
   //    read failures and transient corrupt-on-read; the backoff elapses on
@@ -463,6 +673,31 @@ Status CheckpointManager::load_rank_stage(simmpi::Comm& comm, int stage,
       from_shared ? storage::Tier::kShared : storage::Tier::kLocal;
   std::vector<std::string> names;
   if (auto s = fs_->list_dir(tier, src_node, rank_dir, names); !s.ok()) return s;
+
+  // Union in blobs the memory tier holds that the file listing misses:
+  // an undrained delta lost to the horizon (or dropped by a faulty write)
+  // can still be served from a peer's RAM. Memory names carry no drain
+  // stamp, so they bypass the horizon filter below by construction — the
+  // replica was durable in a survivor's memory the moment the owner's
+  // rma push completed, which is exactly the tail the file tiers lose.
+  if (opts_.memory_replication_k > 0) {
+    std::set<std::string> have;
+    for (const std::string& n : names) {
+      std::string base = n;
+      if (const auto dpos = base.rfind("_d"); dpos != std::string::npos) {
+        base.resize(dpos);
+      }
+      have.insert(std::move(base));
+    }
+    const std::string prefix = rank_dir + "/";
+    for (const std::string& p : fs_->memory().all_paths()) {
+      if (p.size() <= prefix.size() || p.compare(0, prefix.size(), prefix) != 0) {
+        continue;
+      }
+      std::string base = p.substr(prefix.size());
+      if (have.insert(base).second) names.push_back(std::move(base));
+    }
+  }
 
   // Sorted names give sequence order per (kind, id). Filter to this stage,
   // to the caller's assigned tasks/partitions, and (for shared reads) to

@@ -98,6 +98,11 @@ struct IntegrityStats {
                                     // their checkpoints were quarantined
   int64_t ckpt_write_failures = 0;  // checkpoint writes dropped after retry
   int64_t drain_failures = 0;       // copier drains that permanently failed
+  int64_t replica_hits = 0;         // recovery reads served from peer memory
+  int64_t replica_misses = 0;       // memory rung exhausted; fell to files
+  int64_t replica_push_failures = 0;// replication pushes lost (dead target
+                                    // or injected fault); best-effort drops
+  int64_t rereplications = 0;       // blobs re-pushed after a shrink
 };
 
 struct CkptOptions {
@@ -112,6 +117,12 @@ struct CkptOptions {
   Location location = Location::kLocalWithCopier;
   /// Stage recovery reads use the prefetcher (paper Sec. 5.1 refinement).
   bool prefetch_recovery = false;
+  /// In-memory replication degree (Tier::kMemory): every checkpoint blob is
+  /// pushed to this many peer ranks' RAM (never the owner's node) and
+  /// detect/resume recovery reads a surviving replica before touching any
+  /// file tier. 0 disables the memory tier. Memory replicas do not survive
+  /// a job teardown, so checkpoint/restart resubmissions start cold.
+  int memory_replication_k = 0;
 };
 
 /// Everything recoverable about one (rank, stage) from its checkpoints.
@@ -151,8 +162,11 @@ struct LoadFilter {
 /// single-thread state and must not be shared across rank threads.
 class CheckpointManager {
  public:
+  /// `ppn` (processes per node) drives replica placement: no replica may
+  /// land on the owner's node, or a node crash would take a blob and its
+  /// replicas together.
   CheckpointManager(storage::StorageSystem* fs, int node, int rank,
-                    CkptOptions opts, int io_concurrency);
+                    CkptOptions opts, int io_concurrency, int ppn = 1);
 
   /// Record-granularity map checkpoint (Algorithm 1's commit path). The
   /// delta covers records [start, pos); carrying the start cursor lets
@@ -177,6 +191,19 @@ class CheckpointManager {
   /// Phase-boundary synchronization with the copier: the worker waits (in
   /// virtual time) until all enqueued checkpoints are drained.
   void drain(simmpi::Comm& comm);
+
+  /// Restore the replication invariant after a shrink: every blob in the
+  /// memory tier regains >= min(k, eligible-peers) intact replicas before
+  /// the next stage. Two passes, both coordination-free (every survivor
+  /// derives identical placement from the identical post-shrink live set):
+  ///   1. under-replicated blobs still held somewhere — the lowest-ranked
+  ///      live holder pushes the missing copies;
+  ///   2. blobs whose holders all died — the (surviving) owner re-pushes
+  ///      from its own CRC-verified checkpoint files.
+  /// Failure-transparent: a peer dying mid-push surfaces kProcFailed /
+  /// FailureDetected exactly like any other MPI op, and the interrupted
+  /// repair is simply redone by the next recovery round.
+  Status rereplicate(simmpi::Comm& comm);
 
   /// Stages for which rank `src_rank` has any checkpoint on the given tier.
   std::set<int> stages_present(int src_rank, int src_node, bool from_shared) const;
@@ -221,6 +248,13 @@ class CheckpointManager {
   Status put(simmpi::Comm& comm, const std::string& name, const Bytes& payload);
   Status put_impl(simmpi::Comm& comm, const std::string& name,
                   const Bytes& framed);
+  /// Push the framed blob to the placement peers' memories (best-effort:
+  /// lost pushes are counted, never fail the checkpoint; a kill landing on
+  /// the rma op propagates like any MPI death).
+  void replicate(simmpi::Comm& comm, const std::string& name,
+                 const Bytes& framed);
+  /// Live global ranks of `comm`, ascending.
+  static std::vector<int> live_ranks(const simmpi::Comm& comm);
   /// Read `rank_dir`/`name` from `tier` and return its verified payload.
   /// Implements retry -> other-tier fallback -> quarantine; returns
   /// kCorrupt only when no valid replica exists anywhere.
@@ -235,6 +269,7 @@ class CheckpointManager {
   int rank_;
   CkptOptions opts_;
   int conc_;
+  int ppn_ = 1;
   storage::RetryPolicy retry_;
   storage::CopierAgent copier_;
   /// File sequence number, global across checkpoint kinds so names order

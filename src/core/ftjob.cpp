@@ -32,7 +32,7 @@ FtJob::FtJob(simmpi::Comm& world, storage::StorageSystem* fs, FtJobOptions opts)
   }
   master_ = std::make_unique<DistributedMaster>(mc, opts_.status_interval_commits);
   ckpt_ = std::make_unique<CheckpointManager>(fs_, node(), world_.global_rank(),
-                                              opts_.ckpt, io_conc());
+                                              opts_.ckpt, io_conc(), opts_.ppn);
   trace_.set_tid(world_.global_rank());
   trace_.set_op_probe([this] { return world_.ops_issued(); });
   master_->set_trace(&trace_);
@@ -748,6 +748,15 @@ void FtJob::recover() {
             << new_dead.size() << " newly dead, comm now " << wc_.size();
   patch_state_after_shrink(new_dead);
   for (int d : new_dead) known_dead_.insert(d);
+
+  // 5. Restore the memory tier's replication invariant before any new work
+  //    runs: orphaned blobs regain their replica count now, so the *next*
+  //    failure can again recover from peer RAM instead of shared storage.
+  //    Routed through check(): a rank dying mid-repair re-enters recovery
+  //    cleanly and the interrupted repair is redone against the new census.
+  if (opts_.ckpt.enabled && opts_.ckpt.memory_replication_k > 0) {
+    (void)check(ckpt_->rereplicate(wc_));
+  }
 }
 
 void FtJob::patch_state_after_shrink(const std::vector<int>& new_dead) {

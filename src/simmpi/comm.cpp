@@ -128,6 +128,53 @@ Status Comm::send_string(int dst, int tag, std::string_view s) {
   return send(dst, tag, as_bytes_view(s));
 }
 
+// One-sided ops: the wire handshake only. The caller moves the actual
+// bytes through the external replica store after the op returns OK, so a
+// kill that lands on the op (it is counted, hence addressable by
+// KillEvent::after_ops) leaves no partial deposit behind.
+
+Status Comm::rma_put(int dst, size_t bytes) {
+  job_->check_callable(global_rank_);
+  if (dst < 0 || dst >= size()) {
+    return handle({ErrorCode::kInvalidArgument, "rma_put: bad target rank"});
+  }
+  MutexLock lock(job_->mu);
+  if (state_->revoked) {
+    return handle({ErrorCode::kRevoked, "rma_put on revoked comm"});
+  }
+  const int dst_global = state_->group[dst];
+  if (!job_->ranks[dst_global].alive) {
+    return handle({ErrorCode::kProcFailed, "rma_put: target is dead"});
+  }
+  if (state_->accounts_time) {
+    job_->ranks[global_rank_].vtime += job_->opts.net.point_to_point_cost(bytes);
+  }
+  lock.unlock();
+  job_->check_vtime_kill(global_rank_);
+  return Status::Ok();
+}
+
+Status Comm::rma_get(int src, size_t bytes) {
+  job_->check_callable(global_rank_);
+  if (src < 0 || src >= size()) {
+    return handle({ErrorCode::kInvalidArgument, "rma_get: bad source rank"});
+  }
+  MutexLock lock(job_->mu);
+  if (state_->revoked) {
+    return handle({ErrorCode::kRevoked, "rma_get on revoked comm"});
+  }
+  const int src_global = state_->group[src];
+  if (!job_->ranks[src_global].alive) {
+    return handle({ErrorCode::kProcFailed, "rma_get: source is dead"});
+  }
+  if (state_->accounts_time) {
+    job_->ranks[global_rank_].vtime += job_->opts.net.point_to_point_cost(bytes);
+  }
+  lock.unlock();
+  job_->check_vtime_kill(global_rank_);
+  return Status::Ok();
+}
+
 Status Comm::recv(int src, int tag, Bytes& out, MessageInfo* info) {
   job_->check_callable(global_rank_);
   const auto deadline = std::chrono::steady_clock::now() +

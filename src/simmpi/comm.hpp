@@ -117,6 +117,20 @@ class Comm {
   /// Nonblocking receive into `*out` (which must outlive the request).
   Request irecv(int src, int tag, Bytes* out, MessageInfo* info = nullptr);
 
+  // ---- one-sided (RMA) ----
+  //
+  // Model of MPI_Put/MPI_Get into a peer's exposed window, used by the
+  // in-memory checkpoint replication tier. These charge wire time and
+  // verify the target is alive (PROC_FAILED otherwise) but move no bytes
+  // themselves — the caller performs the actual deposit/fetch against the
+  // shared ReplicaStore after the op succeeds. Both are counted MPI ops,
+  // so fault schedules can address kills inside the replication window.
+
+  /// One-sided put handshake: `bytes` toward rank `dst`.
+  Status rma_put(int dst, size_t bytes);
+  /// One-sided get handshake: `bytes` from rank `src`.
+  Status rma_get(int src, size_t bytes);
+
   // ---- collectives (blocking, all group members must call in order) ----
 
   Status barrier();

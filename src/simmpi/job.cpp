@@ -18,6 +18,10 @@ void Job::die_locked(int rank) {
   if (!st.alive) return;
   st.alive = false;
   st.killed = true;
+  // Runs under mu: the hook's effects (e.g. wiping the rank's replica
+  // memory) are atomic with the death itself, so no peer can observe a
+  // dead rank with live replicas. The hook must not re-enter simmpi.
+  if (opts.on_rank_death) opts.on_rank_death(rank);
   cv.notify_all();
 }
 

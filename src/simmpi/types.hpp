@@ -65,6 +65,12 @@ struct JobOptions {
   double deadlock_timeout_s = 120.0;
   /// Stack size hint is irrelevant for std::thread; kept for documentation.
   int max_ranks_hint = 0;
+  /// Fired exactly once per rank death (kill injection or abort teardown),
+  /// with the dead global rank, from inside the runtime's locked death
+  /// path. The hook MUST NOT call back into simmpi or block — it exists so
+  /// external state tied to a rank's process lifetime (e.g. the in-memory
+  /// checkpoint replica store) dies with the rank.
+  std::function<void(int)> on_rank_death;
 };
 
 /// Thrown inside a rank thread when its (simulated) process is killed.

@@ -1,0 +1,204 @@
+#include "storage/replica.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+
+namespace ftmr::storage {
+
+ReplicaStore::WriteFault ReplicaStore::draw_write_fault(std::string_view path,
+                                                        size_t size,
+                                                        size_t* torn_prefix) {
+  if (!injector_armed_) return WriteFault::kNone;
+  if (!path_filter_.empty() &&
+      path.find(path_filter_) == std::string_view::npos) {
+    return WriteFault::kNone;
+  }
+  if (faults_.p_write_fail > 0.0 && rng_.next_double() < faults_.p_write_fail) {
+    fault_stats_.write_failures++;
+    return WriteFault::kFail;
+  }
+  if (faults_.p_torn_write > 0.0 && rng_.next_double() < faults_.p_torn_write) {
+    fault_stats_.torn_writes++;
+    *torn_prefix = size > 0 ? rng_.next_below(size) : 0;
+    return WriteFault::kTorn;
+  }
+  return WriteFault::kNone;
+}
+
+ReplicaStore::ReadFault ReplicaStore::draw_read_fault(std::string_view path) {
+  if (!injector_armed_) return ReadFault::kNone;
+  if (!path_filter_.empty() &&
+      path.find(path_filter_) == std::string_view::npos) {
+    return ReadFault::kNone;
+  }
+  if (faults_.p_read_fail > 0.0 && rng_.next_double() < faults_.p_read_fail) {
+    fault_stats_.read_failures++;
+    return ReadFault::kFail;
+  }
+  if (faults_.p_corrupt_read > 0.0 &&
+      rng_.next_double() < faults_.p_corrupt_read) {
+    fault_stats_.corrupt_reads++;
+    return ReadFault::kCorrupt;
+  }
+  return ReadFault::kNone;
+}
+
+Status ReplicaStore::put(int holder, std::string_view path,
+                         std::span<const std::byte> data, double* sim_cost) {
+  MutexLock lock(mu_);
+  if (dead_.contains(holder)) {
+    return {ErrorCode::kProcFailed,
+            "replica target rank " + std::to_string(holder) + " is dead"};
+  }
+  size_t torn_prefix = 0;
+  const WriteFault wf = draw_write_fault(path, data.size(), &torn_prefix);
+  if (wf == WriteFault::kFail) {
+    return {ErrorCode::kIo, "injected replica put failure: " + std::string(path)};
+  }
+  if (wf == WriteFault::kTorn) data = data.subspan(0, torn_prefix);
+  held_[holder][std::string(path)] = Bytes(data.begin(), data.end());
+  stats_.bytes_written += data.size();
+  stats_.write_ops++;
+  if (sim_cost) *sim_cost = model_.cost(data.size(), 1);
+  return Status::Ok();
+}
+
+Status ReplicaStore::get(int holder, std::string_view path, Bytes& out,
+                         double* sim_cost) {
+  MutexLock lock(mu_);
+  const ReadFault rf = draw_read_fault(path);
+  if (rf == ReadFault::kFail) {
+    return {ErrorCode::kIo, "injected replica get failure: " + std::string(path)};
+  }
+  auto hit = held_.find(holder);
+  if (hit == held_.end()) {
+    return {ErrorCode::kNotFound,
+            "no replicas held by rank " + std::to_string(holder)};
+  }
+  auto bit = hit->second.find(path);
+  if (bit == hit->second.end()) {
+    return {ErrorCode::kNotFound, "no replica of " + std::string(path) +
+                                      " on rank " + std::to_string(holder)};
+  }
+  out = bit->second;
+  if (rf == ReadFault::kCorrupt && !out.empty()) {
+    const size_t byte_idx = rng_.next_below(out.size());
+    const int bit_idx = static_cast<int>(rng_.next_below(8));
+    out[byte_idx] ^= static_cast<std::byte>(1u << bit_idx);
+  }
+  stats_.bytes_read += out.size();
+  stats_.read_ops++;
+  if (sim_cost) *sim_cost = model_.cost(out.size(), 1);
+  return Status::Ok();
+}
+
+void ReplicaStore::remove(int holder, std::string_view path) {
+  MutexLock lock(mu_);
+  auto hit = held_.find(holder);
+  if (hit == held_.end()) return;
+  hit->second.erase(std::string(path));
+}
+
+bool ReplicaStore::exists(int holder, std::string_view path) const {
+  MutexLock lock(mu_);
+  auto hit = held_.find(holder);
+  return hit != held_.end() && hit->second.contains(std::string(path));
+}
+
+std::vector<int> ReplicaStore::holders_of(std::string_view path) const {
+  MutexLock lock(mu_);
+  std::vector<int> out;
+  for (const auto& [rank, blobs] : held_) {
+    if (blobs.contains(std::string(path))) out.push_back(rank);
+  }
+  return out;  // map iteration order is already ascending
+}
+
+std::vector<std::string> ReplicaStore::all_paths() const {
+  MutexLock lock(mu_);
+  std::set<std::string> uniq;
+  for (const auto& [rank, blobs] : held_) {
+    for (const auto& [path, blob] : blobs) uniq.insert(path);
+  }
+  return {uniq.begin(), uniq.end()};
+}
+
+std::vector<std::string> ReplicaStore::paths_held_by(int holder) const {
+  MutexLock lock(mu_);
+  std::vector<std::string> out;
+  auto hit = held_.find(holder);
+  if (hit == held_.end()) return out;
+  out.reserve(hit->second.size());
+  for (const auto& [path, blob] : hit->second) out.push_back(path);
+  return out;
+}
+
+bool ReplicaStore::is_dead(int rank) const {
+  MutexLock lock(mu_);
+  return dead_.contains(rank);
+}
+
+void ReplicaStore::wipe_rank(int rank) {
+  MutexLock lock(mu_);
+  held_.erase(rank);
+  dead_.insert(rank);
+}
+
+void ReplicaStore::wipe_all() {
+  MutexLock lock(mu_);
+  held_.clear();
+  dead_.clear();
+}
+
+TierStats ReplicaStore::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+void ReplicaStore::set_fault_injector(uint64_t seed, TierFaults faults,
+                                      std::string path_filter) {
+  MutexLock lock(mu_);
+  rng_ = Rng(seed);
+  faults_ = faults;
+  path_filter_ = std::move(path_filter);
+  injector_armed_ = true;
+}
+
+void ReplicaStore::clear_fault_injector() {
+  MutexLock lock(mu_);
+  injector_armed_ = false;
+}
+
+FaultStats ReplicaStore::fault_stats() const {
+  MutexLock lock(mu_);
+  return fault_stats_;
+}
+
+std::vector<int> replica_placement(int owner, int k, const std::vector<int>& live,
+                                   int ppn, uint64_t seed) {
+  std::vector<int> out;
+  if (k <= 0 || ppn <= 0) return out;
+  const int owner_node = owner / ppn;
+  std::vector<int> eligible;
+  eligible.reserve(live.size());
+  for (int r : live) {
+    if (r != owner && r / ppn != owner_node) eligible.push_back(r);
+  }
+  // `live` arrives sorted; keep eligible sorted too so the rotation start
+  // is the only seed-dependent choice and placement is fully deterministic.
+  std::sort(eligible.begin(), eligible.end());
+  if (eligible.empty()) return out;
+  const size_t start = static_cast<size_t>(
+      mix64(static_cast<uint64_t>(owner) * 0x9e3779b97f4a7c15ULL ^ seed) %
+      eligible.size());
+  const size_t take = std::min<size_t>(static_cast<size_t>(k), eligible.size());
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    out.push_back(eligible[(start + i) % eligible.size()]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ftmr::storage

@@ -1,0 +1,137 @@
+// replica.hpp — the in-memory replicated checkpoint tier (Tier::kMemory).
+//
+// ReStore-style diskless checkpointing: each rank's framed checkpoint blobs
+// are pushed into k peer ranks' RAM, so recovery after a process failure
+// reads a survivor's memory at network speed instead of re-reading the
+// shared file system (whose contention term dominates recovery at >=256
+// writers — the Fig. 5 observation that motivates this tier).
+//
+// The store is a passive per-rank object map: it holds bytes and answers
+// queries, but knows nothing about MPI. Wire time for remote puts/gets is
+// charged by the *caller* through simmpi rma ops; the store's own TierModel
+// exists for pure cost queries (bench model series) and for the local-fetch
+// case where a survivor reads a replica out of its own memory.
+//
+// Death semantics: when a rank dies, Job's death hook calls wipe_rank(),
+// which drops everything the rank held AND dead-marks it inside the store.
+// The dead-mark closes the deposit/death race — a put whose rma handshake
+// succeeded an instant before the target died would otherwise deposit into
+// a ghost; instead it fails with kProcFailed under the same mutex that ran
+// the wipe. wipe_all() resets holdings and dead-marks for the next
+// checkpoint/restart incarnation.
+//
+// Fault injection mirrors the file tiers (storage.hpp TierFaults): torn
+// puts silently store a strict prefix, corrupt gets flip one bit of the
+// returned copy (the stored blob stays pristine — transient, like bus bit
+// rot), clean failures return kIo. All of it feeds FaultStats so tests can
+// assert the injector actually fired.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/sync.hpp"
+#include "storage/storage.hpp"
+
+namespace ftmr::storage {
+
+class ReplicaStore {
+ public:
+  explicit ReplicaStore(TierModel model) : model_(model) {}
+
+  ReplicaStore(const ReplicaStore&) = delete;
+  ReplicaStore& operator=(const ReplicaStore&) = delete;
+
+  /// Deposit a blob into `holder`'s memory (overwrites any prior copy —
+  /// puts are idempotent, which makes concurrent re-replication pushes
+  /// harmless). Fails with kProcFailed if `holder` is dead-marked, kIo on
+  /// an injected clean failure. `*sim_cost` (if non-null) gets the modeled
+  /// tier time; callers that already charged wire time pass nullptr.
+  Status put(int holder, std::string_view path, std::span<const std::byte> data,
+             double* sim_cost = nullptr);
+
+  /// Fetch a blob from `holder`'s memory. kNotFound if the holder has no
+  /// copy (or was wiped), kIo on injected read failure; an injected
+  /// corrupt-read flips one bit of `out` only.
+  Status get(int holder, std::string_view path, Bytes& out,
+             double* sim_cost = nullptr);
+
+  /// Drop one blob from one holder (no-op if absent).
+  void remove(int holder, std::string_view path);
+
+  [[nodiscard]] bool exists(int holder, std::string_view path) const;
+
+  /// Live ranks currently holding a copy of `path`, sorted ascending.
+  [[nodiscard]] std::vector<int> holders_of(std::string_view path) const;
+
+  /// Every distinct path held anywhere, sorted (recovery enumerates this).
+  [[nodiscard]] std::vector<std::string> all_paths() const;
+
+  /// Paths `holder` currently holds, sorted.
+  [[nodiscard]] std::vector<std::string> paths_held_by(int holder) const;
+
+  [[nodiscard]] bool is_dead(int rank) const;
+
+  /// Rank death: its RAM is gone. Drops all blobs it held and dead-marks
+  /// it so in-flight deposits fail instead of ghost-writing.
+  void wipe_rank(int rank);
+
+  /// Full reset (holdings, dead-marks; stats are retained) — called
+  /// between checkpoint/restart incarnations, whose fresh processes start
+  /// with empty memories.
+  void wipe_all();
+
+  [[nodiscard]] TierStats stats() const;
+  [[nodiscard]] double cost_of(size_t bytes, int ops,
+                               int concurrency = 1) const noexcept {
+    return model_.cost(bytes, ops, concurrency);
+  }
+  [[nodiscard]] const TierModel& model() const noexcept { return model_; }
+
+  /// Arm the seeded fault injector for this tier (see TierFaults).
+  void set_fault_injector(uint64_t seed, TierFaults faults,
+                          std::string path_filter);
+  void clear_fault_injector();
+  [[nodiscard]] FaultStats fault_stats() const;
+
+ private:
+  enum class WriteFault { kNone, kFail, kTorn };
+  enum class ReadFault { kNone, kFail, kCorrupt };
+  WriteFault draw_write_fault(std::string_view path, size_t size,
+                              size_t* torn_prefix) FTMR_REQUIRES(mu_);
+  ReadFault draw_read_fault(std::string_view path) FTMR_REQUIRES(mu_);
+
+  TierModel model_;
+  mutable Mutex mu_;
+  // holder rank -> (path -> blob). Rank threads deposit into each other's
+  // maps concurrently, so everything lives under one mutex; blobs are
+  // checkpoint-delta sized, copies are cheap relative to the modeled wire.
+  std::map<int, std::map<std::string, Bytes, std::less<>>> held_
+      FTMR_GUARDED_BY(mu_);
+  std::set<int> dead_ FTMR_GUARDED_BY(mu_);
+  bool injector_armed_ FTMR_GUARDED_BY(mu_) = false;
+  TierFaults faults_ FTMR_GUARDED_BY(mu_);
+  std::string path_filter_ FTMR_GUARDED_BY(mu_);
+  Rng rng_ FTMR_GUARDED_BY(mu_);
+  FaultStats fault_stats_ FTMR_GUARDED_BY(mu_);
+  TierStats stats_ FTMR_GUARDED_BY(mu_);
+};
+
+/// Replacement-aware replica placement: the k peers that hold `owner`'s
+/// blobs, chosen from `live` (sorted ascending) excluding the owner itself
+/// and every rank on the owner's node (a node crash must not take a blob
+/// and all its replicas together). Deterministic under (owner, seed);
+/// recomputed over the post-shrink live set after failures, which is what
+/// makes re-replication converge to the same targets on every survivor
+/// without communication. Returns min(k, eligible) ranks.
+[[nodiscard]] std::vector<int> replica_placement(int owner, int k,
+                                                 const std::vector<int>& live,
+                                                 int ppn, uint64_t seed = 0);
+
+}  // namespace ftmr::storage

@@ -6,17 +6,23 @@
 #include <fstream>
 #include <system_error>
 
+#include "common/hash.hpp"
 #include "common/log.hpp"
+#include "storage/replica.hpp"
 
 namespace ftmr::storage {
 
 namespace fs = std::filesystem;
 
-StorageSystem::StorageSystem(StorageOptions opts) : opts_(std::move(opts)) {
+StorageSystem::StorageSystem(StorageOptions opts)
+    : opts_(std::move(opts)),
+      memory_(std::make_unique<ReplicaStore>(opts_.memory)) {
   std::error_code ec;
   fs::create_directories(opts_.root / "shared", ec);
   if (opts_.has_local_disk) fs::create_directories(opts_.root / "local", ec);
 }
+
+StorageSystem::~StorageSystem() = default;
 
 fs::path StorageSystem::real_path(Tier tier, int node, std::string_view path) const {
   if (tier == Tier::kShared) return opts_.root / "shared" / fs::path(path);
@@ -38,6 +44,10 @@ Status StorageSystem::take_injected_failure() {
 }
 
 void StorageSystem::set_fault_injector(FaultInjectorConfig cfg) {
+  // The memory tier draws from its own derived-seed stream so arming it
+  // does not perturb the file tiers' (seed-reproducible) fault sequences.
+  memory_->set_fault_injector(mix64(cfg.seed ^ 0x6d656d6f7279ULL), cfg.memory,
+                              cfg.path_filter);
   MutexLock lock(stats_mu_);
   injector_rng_ = Rng(cfg.seed);
   injector_ = std::move(cfg);
@@ -45,13 +55,20 @@ void StorageSystem::set_fault_injector(FaultInjectorConfig cfg) {
 }
 
 void StorageSystem::clear_fault_injector() {
+  memory_->clear_fault_injector();
   MutexLock lock(stats_mu_);
   injector_armed_ = false;
 }
 
 FaultStats StorageSystem::fault_stats() const {
+  FaultStats total = memory_->fault_stats();
   MutexLock lock(stats_mu_);
-  return fault_stats_;
+  total.write_failures += fault_stats_.write_failures;
+  total.torn_writes += fault_stats_.torn_writes;
+  total.read_failures += fault_stats_.read_failures;
+  total.corrupt_reads += fault_stats_.corrupt_reads;
+  total.count_failures += fault_stats_.count_failures;
+  return total;
 }
 
 StorageSystem::WriteFault StorageSystem::draw_write_fault(Tier tier,
@@ -108,6 +125,11 @@ void StorageSystem::corrupt_buffer(Bytes& buf) {
 }
 
 Status StorageSystem::check_tier(Tier tier) const {
+  if (tier == Tier::kMemory) {
+    // Not a file-backed tier: replicas live in ReplicaStore (memory()).
+    return {ErrorCode::kInvalidArgument,
+            "memory tier is not file-backed; use StorageSystem::memory()"};
+  }
   if (tier == Tier::kLocal && !opts_.has_local_disk) {
     // A configuration error, not a transient fault: retry layers must not
     // spin on it and best-effort checkpointing must surface it.
@@ -118,7 +140,9 @@ Status StorageSystem::check_tier(Tier tier) const {
 
 double StorageSystem::cost_of(Tier tier, size_t bytes, int ops,
                               int concurrency) const noexcept {
-  const TierModel& m = (tier == Tier::kLocal) ? opts_.local : opts_.shared;
+  const TierModel& m = (tier == Tier::kLocal)    ? opts_.local
+                       : (tier == Tier::kShared) ? opts_.shared
+                                                 : opts_.memory;
   return m.cost(bytes, ops, concurrency);
 }
 
@@ -268,6 +292,7 @@ void StorageSystem::wipe_node_local(int node) {
 }
 
 TierStats StorageSystem::stats(Tier tier) const {
+  if (tier == Tier::kMemory) return memory_->stats();
   MutexLock lock(stats_mu_);
   return tier == Tier::kLocal ? local_stats_ : shared_stats_;
 }

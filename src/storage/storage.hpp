@@ -15,6 +15,7 @@
 #pragma once
 
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,7 +27,12 @@
 
 namespace ftmr::storage {
 
-enum class Tier { kLocal, kShared };
+class ReplicaStore;  // replica.hpp — the kMemory tier's backing object
+
+/// kMemory is the diskless replication tier (replica.hpp): checkpoint blobs
+/// k-replicated into peer ranks' RAM. It is not file-backed — the file-path
+/// StorageSystem operations reject it; access it via StorageSystem::memory().
+enum class Tier { kLocal, kShared, kMemory };
 
 /// Cost model of one storage tier.
 struct TierModel {
@@ -56,6 +62,10 @@ struct StorageOptions {
   std::filesystem::path root;  // sandbox; created on demand
   TierModel local{5e-4, 1.0e8, 0.0};
   TierModel shared{2e-3, 4.0e8, 2.0e10};
+  /// Memory tier: peer-RAM over the interconnect. Matches the simmpi
+  /// NetworkModel defaults (2 us latency, 3.2 GB/s) so pure-model bench
+  /// series agree with functional runs that charge wire time via rma ops.
+  TierModel memory{2e-6, 3.2e9, 0.0};
   /// Some HPC clusters have no local disks (Sec. 4.1.3 drawback #1);
   /// setting this false makes kLocal operations fail with IO errors so the
   /// library's shared-storage-only fallback paths can be exercised.
@@ -92,6 +102,7 @@ struct FaultInjectorConfig {
   uint64_t seed = 0x5eedULL;
   TierFaults local;
   TierFaults shared;
+  TierFaults memory;  // replica-store faults (forwarded to ReplicaStore)
   /// If non-empty, only operations whose logical path contains this
   /// substring are eligible for injection (e.g. "ck/r2" to attack one
   /// rank's checkpoints while leaving job input/output pristine).
@@ -111,9 +122,14 @@ struct FaultStats {
 class StorageSystem {
  public:
   explicit StorageSystem(StorageOptions opts);
+  ~StorageSystem();
 
   StorageSystem(const StorageSystem&) = delete;
   StorageSystem& operator=(const StorageSystem&) = delete;
+
+  /// The in-memory replica tier (Tier::kMemory). File-path operations on
+  /// kMemory fail with kInvalidArgument; this is the real interface.
+  [[nodiscard]] ReplicaStore& memory() const noexcept { return *memory_; }
 
   /// Write (create/truncate) a file. `node` namespaces the local tier
   /// (each compute node has its own disk); ignored for kShared.
@@ -204,6 +220,9 @@ class StorageSystem {
   FaultInjectorConfig injector_ FTMR_GUARDED_BY(stats_mu_);
   Rng injector_rng_ FTMR_GUARDED_BY(stats_mu_);
   FaultStats fault_stats_ FTMR_GUARDED_BY(stats_mu_);
+  // unique_ptr to a forward-declared type: replica.hpp includes this
+  // header, so the concrete type is only visible in storage.cpp.
+  std::unique_ptr<ReplicaStore> memory_;
 };
 
 /// RAII temp sandbox for tests/benches: creates a unique directory under

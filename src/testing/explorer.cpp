@@ -16,6 +16,7 @@
 #include "core/ftjob.hpp"
 #include "mr/accounting.hpp"
 #include "simmpi/runtime.hpp"
+#include "storage/replica.hpp"
 #include "storage/storage.hpp"
 
 namespace ftmr::testing {
@@ -300,6 +301,7 @@ std::string Explorer::artifact_json(const FaultSchedule& schedule,
        ", \"words_per_line\": " + std::to_string(w.words_per_line) +
        ", \"vocabulary\": " + std::to_string(w.vocabulary) +
        ", \"records_per_ckpt\": " + std::to_string(w.records_per_ckpt) +
+       ", \"memory_replication_k\": " + std::to_string(w.memory_replication_k) +
        ", \"ppn\": " + std::to_string(w.ppn) +
        ", \"max_submissions\": " + std::to_string(w.max_submissions) +
        ", \"deadlock_timeout_s\": " + format_double(w.deadlock_timeout_s) +
@@ -364,6 +366,8 @@ Status Explorer::artifact_parse(const std::string& json, FaultSchedule& schedule
     workload.vocabulary = geti("vocabulary", workload.vocabulary);
     workload.records_per_ckpt =
         geti("records_per_ckpt", workload.records_per_ckpt);
+    workload.memory_replication_k =
+        geti("memory_replication_k", workload.memory_replication_k);
     workload.ppn = geti("ppn", workload.ppn);
     workload.max_submissions = geti("max_submissions", workload.max_submissions);
     if (const JsonValue* v = w->find("deadlock_timeout_s")) {
@@ -428,6 +432,7 @@ RunReport Explorer::run_schedule(const FaultSchedule& schedule,
   opts.mode = mode_from_string(schedule.mode);
   opts.ppn = w.ppn;
   opts.ckpt.records_per_ckpt = w.records_per_ckpt;
+  opts.ckpt.memory_replication_k = w.memory_replication_k;
   if (opts.mode == core::FtMode::kDetectResumeNWC) opts.ckpt.enabled = false;
   opts.testing_break_recovery = opts_.break_recovery;
 
@@ -445,8 +450,14 @@ RunReport Explorer::run_schedule(const FaultSchedule& schedule,
   std::set<int> killed_ever;
   for (;;) {
     ++rep.submissions;
+    // A resubmission is a fresh incarnation: peer RAM does not survive the
+    // job, so the replica store starts empty (recovery must come from files).
+    if (rep.submissions > 1) fs.memory().wipe_all();
     simmpi::JobOptions sim;
     sim.deadlock_timeout_s = w.deadlock_timeout_s;
+    // Death wipes the rank's replica holdings atomically (under the job
+    // lock), so no survivor can fetch from a dead peer's memory.
+    sim.on_rank_death = [&fs](int r) { fs.memory().wipe_rank(r); };
     for (const KillSpec& k : schedule.kills) {
       if (k.submission == rep.submissions - 1) {
         sim.kills.push_back({k.rank, k.vtime, k.after_ops});
@@ -504,6 +515,18 @@ RunReport Explorer::run_schedule(const FaultSchedule& schedule,
   const bool single_incarnation = killed_ever.empty() && rep.submissions == 1;
   check_checkpoint_chains(fs, w.nranks, w.ppn, single_incarnation,
                           rep.violations);
+  if (opts.ckpt.enabled && w.memory_replication_k > 0) {
+    // Census = the union of what surviving ranks know died; kills the
+    // survivors never detected (post-last-collective tail deaths) become
+    // slack in the coverage requirement.
+    std::set<int> census;
+    for (const RankObservation& o : obs) {
+      if (o.ran) census.insert(o.known_dead.begin(), o.known_dead.end());
+    }
+    check_replica_coverage(fs, w.nranks, w.ppn, w.memory_replication_k,
+                           killed_ever, census, rep.submissions == 1,
+                           rep.violations);
+  }
   if (schedule.kills.empty()) {
     // Conservation laws only balance failure-free (re-execution legitimately
     // inflates the upstream taps).

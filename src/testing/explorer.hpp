@@ -89,6 +89,11 @@ struct ExplorerWorkload {
   int ppn = 2;
   int max_submissions = 8;        // checkpoint/restart resubmission cap
   double deadlock_timeout_s = 30.0;
+  /// In-memory replication degree (CkptOptions::memory_replication_k).
+  /// >0 makes peer RAM the primary recovery source, adds replication-window
+  /// kill candidates (ckpt.replica_push spans) to the harvest, and arms the
+  /// replica-coverage invariant after every run.
+  int memory_replication_k = 0;
 };
 
 struct ExplorerOptions {

@@ -6,6 +6,7 @@
 #include "common/bytes.hpp"
 #include "core/checkpoint.hpp"
 #include "mr/kv.hpp"
+#include "storage/replica.hpp"
 
 namespace ftmr::testing {
 
@@ -308,6 +309,90 @@ void check_checkpoint_chains(storage::StorageSystem& fs, int nranks, int ppn,
             std::to_string(segs[i].start) + "," +
             std::to_string(segs[i].progress) + "))");
       }
+    }
+  }
+}
+
+void check_replica_coverage(storage::StorageSystem& fs, int nranks, int ppn,
+                            int k, const std::set<int>& killed,
+                            const std::set<int>& census,
+                            bool include_local_files,
+                            std::vector<Violation>& out) {
+  if (k <= 0 || ppn <= 0) return;
+  storage::ReplicaStore& mem = fs.memory();
+
+  // Undetected tail deaths: a rank killed after every survivor's last
+  // collective leaves its holdings wiped with no repair opportunity. Each
+  // such rank can cost every blob at most one replica.
+  int slack = 0;
+  for (int d : killed) {
+    if (!census.count(d)) slack++;
+  }
+
+  std::vector<int> live;
+  for (int r = 0; r < nranks; ++r) {
+    if (!killed.count(r)) live.push_back(r);
+  }
+
+  // Audit set: blob path -> owner. Everything the store still holds, plus
+  // (single-submission runs) every blob named by a live rank's own files on
+  // either tier — a blob all of whose replicas silently vanished would
+  // otherwise escape the audit entirely.
+  std::map<std::string, int> blobs;
+  auto note_path = [&](const std::string& path) {
+    if (path.compare(0, 4, "ck/r") != 0) return;
+    const size_t slash = path.find('/', 4);
+    if (slash == std::string::npos) return;
+    int owner = 0;
+    for (size_t i = 4; i < slash; ++i) {
+      if (path[i] < '0' || path[i] > '9') return;
+      owner = owner * 10 + (path[i] - '0');
+    }
+    blobs.emplace(path, owner);
+  };
+  for (const std::string& p : mem.all_paths()) note_path(p);
+  if (include_local_files) {
+    for (int r : live) {
+      const int node = r / ppn;
+      const std::string dir = core::checkpoint_rank_dir(r);
+      for (storage::Tier tier : {storage::Tier::kLocal, storage::Tier::kShared}) {
+        std::vector<std::string> names;
+        if (!fs.list_dir(tier, node, dir, names).ok()) continue;
+        for (std::string n : names) {
+          core::CkptFileName parsed;
+          if (!core::parse_checkpoint_name(n, parsed)) continue;
+          if (const auto dpos = n.rfind("_d"); dpos != std::string::npos) {
+            n.resize(dpos);
+          }
+          note_path(dir + "/" + n);
+        }
+      }
+    }
+  }
+
+  for (const auto& [path, owner] : blobs) {
+    const int owner_node = owner / ppn;
+    int eligible = 0;
+    for (int r : live) {
+      if (r != owner && r / ppn != owner_node) eligible++;
+    }
+    const int required = std::max(0, std::min(k, eligible) - slack);
+    if (required == 0) continue;
+    int intact = 0;
+    for (int h : mem.holders_of(path)) {
+      if (killed.count(h)) continue;  // wiped concurrently; not a copy
+      Bytes raw, payload;
+      if (!mem.get(h, path, raw).ok()) continue;
+      if (!core::unframe_checkpoint(raw, payload).ok()) continue;
+      intact++;
+    }
+    if (intact < required) {
+      add(out, "replica-coverage",
+          path + " (owner " + std::to_string(owner) + "): " +
+          std::to_string(intact) + " intact replicas < required " +
+          std::to_string(required) + " (k=" + std::to_string(k) +
+          ", eligible peers " + std::to_string(eligible) +
+          ", slack " + std::to_string(slack) + ")");
     }
   }
 }

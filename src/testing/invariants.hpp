@@ -87,4 +87,24 @@ void check_checkpoint_chains(storage::StorageSystem& fs, int nranks, int ppn,
 void check_record_conservation(const mr::RecordLedger& run, bool has_combiner,
                                std::vector<Violation>& out);
 
+/// Invariant 6: replica coverage of the memory tier (memory_replication_k
+/// = `k` > 0). After the run, every checkpointed blob still reachable from
+/// a live rank must retain at least
+///     min(k, |eligible placement peers|) - slack
+/// intact (CRC-verified) in-memory replicas, where the eligible peers are
+/// the live ranks off the owner's node — the same set the placement policy
+/// draws from — and `slack = |killed \ census|` tolerates ranks that died
+/// *after* the survivors' last collective: nobody detected those deaths,
+/// so no re-replication round could have healed the blobs they held. On
+/// scheduled sweeps the census normally covers every kill and the check is
+/// strict. `include_local_files` extends the audit from blobs currently in
+/// the store to every blob in live ranks' own checkpoint files (valid only
+/// for single-submission runs: earlier CR incarnations' files legitimately
+/// have no replicas, memory does not survive resubmission).
+void check_replica_coverage(storage::StorageSystem& fs, int nranks, int ppn,
+                            int k, const std::set<int>& killed,
+                            const std::set<int>& census,
+                            bool include_local_files,
+                            std::vector<Violation>& out);
+
 }  // namespace ftmr::testing
