@@ -276,9 +276,9 @@ int main() {
   const std::vector<Workload> workloads = {
       // The acceptance-bar workload: shuffle-dominated, tiny records.
       make_workload("small_records", 200000, 20000, 6, 0.0, 1001),
-      // Few large values: both sides memcpy-bound. Legacy's exact-size
-      // string allocations dodge arena-growth copies, so near-parity is
-      // the realistic bar here; the flat layout wins on the other two.
+      // Few large values: both sides memcpy-bound. Jumbo-aware arena
+      // growth (8x size class above kJumboPayloadBytes) keeps the flat
+      // path at or ahead of legacy's exact-size string allocations.
       make_workload("large_records", 2000, 500, 32768, 0.0, 1002),
       // Zipf keys: stresses grouping (long chains, few distinct keys).
       make_workload("skewed_keys", 150000, 5000, 12, 1.1, 1003),
@@ -316,8 +316,8 @@ int main() {
   rep.check("small-record pipeline speedup >= 2x",
             series[0].speedup() >= 2.0,
             "measured " + std::to_string(series[0].speedup()) + "x");
-  rep.check("large-record pipeline near parity (>= 0.85x)",
-            series[1].speedup() >= 0.85,
+  rep.check("large-record pipeline at least parity (>= 1.0x)",
+            series[1].speedup() >= 1.0,
             "measured " + std::to_string(series[1].speedup()) + "x");
   rep.check("skewed-key pipeline faster", series[2].speedup() >= 1.0,
             "measured " + std::to_string(series[2].speedup()) + "x");

@@ -89,5 +89,27 @@ int main() {
             nwc.total_time > wc.total_time && nwc.total_time < mr.total_time);
   rep.check("functional: WC beats MR-MPI by a wide margin",
             wc.total_time < mr.total_time * 0.9);
+
+  // Recovery at the top of the figure's x-axis, functionally: kill a
+  // mid-pack rank mid-run at 2048 simulated ranks and let the
+  // work-conserving model shrink and continue in place. Exercises failure
+  // detection, shrink, state patch-up, and orphan-partition rebuild at
+  // paper scale.
+  rep.section("functional @ paper scale (2048 ranks, kill one mid-run)");
+  {
+    const MiniResult golden =
+        run_mini(wordcount_mini(core::FtMode::kDetectResumeWC, 2048, 64));
+    MiniJob k = wordcount_mini(core::FtMode::kDetectResumeWC, 2048, 64);
+    k.sim.kills.push_back({1027, golden.makespan * 0.6, -1});
+    const MiniResult killed = run_mini(k);
+    rep.row("%-12s total=%.4fs", "failure-free", golden.makespan);
+    rep.row("%-12s total=%.4fs recov=%d subs=%d (norm %.3f)", "killed+WC",
+            killed.total_time, killed.recoveries, killed.submissions,
+            killed.total_time / golden.makespan);
+    rep.check("2048-rank D/R-WC survives the failure in place",
+              killed.ok && killed.submissions == 1 && killed.recoveries >= 1);
+    rep.check("2048-rank in-place recovery bounded (<2x failure-free)",
+              killed.total_time < golden.makespan * 2.0);
+  }
   return rep.finish();
 }

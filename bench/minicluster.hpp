@@ -1,8 +1,10 @@
 // minicluster.hpp — functional-simulation harness for the benches.
 //
-// Runs real FT-MRMPI jobs on the thread-per-rank simulator at reduced scale
-// (the virtual clock supplies the timing), so every figure gets a
-// functional data point next to the paper-scale model series.
+// Runs real FT-MRMPI jobs on the fiber-scheduled simulator (thousands of
+// cooperatively scheduled ranks multiplexed over a small worker pool; the
+// virtual clock supplies the timing), so every figure gets a functional
+// data point next to the paper-scale model series — at paper-scale rank
+// counts when the figure calls for it.
 #pragma once
 
 #include <functional>

@@ -23,6 +23,18 @@ constexpr uint64_t kNsAgree = 2;
 
 uint64_t slot_seq(uint64_t ns, uint64_t n) noexcept { return (ns << 56) | n; }
 
+// Cooperative-progress guard for the non-blocking query ops (iprobe,
+// failure/revocation observation, clock reads). User and engine code spins
+// on these — `while (failed_ranks().empty()) {}` — and under cooperative
+// scheduling such a loop would otherwise pin its worker and starve the very
+// fibers whose progress would terminate it (with preemptive thread-per-rank
+// the OS forced fairness; the scheduler needs the op itself to yield).
+void cooperative_yield(Job* job) {
+  if (job != nullptr && job->sched != nullptr && Scheduler::current() != nullptr) {
+    job->sched->yield();
+  }
+}
+
 template <typename T>
 T apply_op(ReduceOp op, T a, T b) noexcept {
   switch (op) {
@@ -117,9 +129,21 @@ Status Comm::send(int dst, int tag, std::span<const std::byte> data) {
   msg.tag = tag;
   msg.payload.assign(data.begin(), data.end());
   msg.arrival = arrival;
-  job_->ranks[dst_global].mailbox.push_back(std::move(msg));
-  job_->cv.notify_all();
+  // Batched delivery: stage into the destination's inbox. A wakeup is
+  // issued only when the receiver has published its intent to park
+  // (inbox.waiting), and clearing the flag here makes the *first* send of
+  // a batch pay the wakeup while the rest just append — the receiver
+  // splices the entire batch in one drain.
+  bool need_wake = false;
+  {
+    Inbox& inbox = *job_->inboxes[dst_global];
+    MutexLock il(inbox.mu);
+    inbox.staged.push_back(std::move(msg));
+    need_wake = inbox.waiting;
+    inbox.waiting = false;
+  }
   lock.unlock();
+  if (need_wake) job_->wake_recv(dst_global);
   job_->check_vtime_kill(global_rank_);
   return Status::Ok();
 }
@@ -177,12 +201,19 @@ Status Comm::rma_get(int src, size_t bytes) {
 
 Status Comm::recv(int src, int tag, Bytes& out, MessageInfo* info) {
   job_->check_callable(global_rank_);
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(job_->opts.deadlock_timeout_s);
   MutexLock lock(job_->mu);
   RankState& me = job_->ranks[global_rank_];
+  Inbox& inbox = *job_->inboxes[global_rank_];
   for (;;) {
     job_->check_callable_locked(global_rank_);
+    // 0) drain the whole staged batch into the private mailbox: one lock
+    //    acquisition per batch, however many sends are pending.
+    {
+      MutexLock il(inbox.mu);
+      inbox.waiting = false;
+      for (Message& m : inbox.staged) me.mailbox.push_back(std::move(m));
+      inbox.staged.clear();
+    }
     // 1) a buffered matching message is deliverable even if the sender has
     //    since died (eager buffering survives the sender).
     auto& box = me.mailbox;
@@ -217,7 +248,16 @@ Status Comm::recv(int src, int tag, Bytes& out, MessageInfo* info) {
                        "recv(ANY_SOURCE) with un-acked failures"});
       }
     }
-    if (job_->cv.wait_until(job_->mu, deadline) == std::cv_status::timeout) {
+    // 3) two-phase park: publish the intent to sleep, re-check for sends
+    //    staged in between, then block. The first sender to stage after
+    //    `waiting` is set clears it and issues exactly one wakeup (a wake
+    //    racing the park itself is latched on the channel).
+    {
+      MutexLock il(inbox.mu);
+      if (!inbox.staged.empty()) continue;
+      inbox.waiting = true;
+    }
+    if (job_->wait_blocked(job_->recv_ch[global_rank_])) {
       return handle({ErrorCode::kInternal, "recv: deadlock timeout"});
     }
   }
@@ -225,18 +265,33 @@ Status Comm::recv(int src, int tag, Bytes& out, MessageInfo* info) {
 
 bool Comm::iprobe(int src, int tag, MessageInfo* info) {
   job_->check_callable(global_rank_);
-  MutexLock lock(job_->mu);
-  for (const Message& m : job_->ranks[global_rank_].mailbox) {
-    if (m.ctx != state_->ctx) continue;
-    if (src != kAnySource && m.src_rel != src) continue;
-    if (tag != kAnyTag && m.tag != tag) continue;
-    if (info) {
-      info->source = m.src_rel;
-      info->tag = m.tag;
-      info->size = m.payload.size();
+  {
+    MutexLock lock(job_->mu);
+    {
+      Inbox& inbox = *job_->inboxes[global_rank_];
+      MutexLock il(inbox.mu);
+      inbox.waiting = false;
+      for (Message& m : inbox.staged) {
+        job_->ranks[global_rank_].mailbox.push_back(std::move(m));
+      }
+      inbox.staged.clear();
     }
-    return true;
+    for (const Message& m : job_->ranks[global_rank_].mailbox) {
+      if (m.ctx != state_->ctx) continue;
+      if (src != kAnySource && m.src_rel != src) continue;
+      if (tag != kAnyTag && m.tag != tag) continue;
+      if (info) {
+        info->source = m.src_rel;
+        info->tag = m.tag;
+        info->size = m.payload.size();
+      }
+      return true;
+    }
   }
+  // Miss: yield (outside the lock) so the peers a spinning prober is
+  // waiting on get scheduled. A hit must NOT yield — drain loops probe
+  // millions of times and each hit is immediately followed by a recv.
+  cooperative_yield(job_);
   return false;
 }
 
@@ -324,8 +379,6 @@ Status Comm::run_collective(
     const std::function<void(CollectiveSlot&, const CommState&, Job&)>& compute,
     bool tolerant, Bytes* result_out) {
   job_->check_callable(global_rank_);
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(job_->opts.deadlock_timeout_s);
   MutexLock lock(job_->mu);
   RankState& me = job_->ranks[global_rank_];
   if (!tolerant && state_->revoked) {
@@ -348,15 +401,24 @@ Status Comm::run_collective(
 
   slot->contribs[rel_rank_] = std::move(contribution);
   slot->arrive_vtime[rel_rank_] = state_->accounts_time ? me.vtime : 0.0;
-  job_->cv.notify_all();
+  // No wake here: intermediate arrivals don't change a parked waiter's
+  // predicate (it waits for `computed`; deaths/revokes broadcast via
+  // wake_all). The last arriver runs the completion check inline below —
+  // waking k parked peers per arrival is an O(n^2) thundering herd at
+  // thousands of ranks.
 
   auto all_arrived_or_dead = [&]() {
     job_->mu.assert_held();  // only called from the wait loop below
-    for (int g : state_->group) {
-      const int rel = state_->rel_rank_of(g);
-      if (!slot->contribs.count(rel) && job_->ranks[g].alive) return false;
+    // A group index is settled once it contributed or died — both
+    // monotone, so the cursor never moves backwards. Iterating by index
+    // also avoids the O(p) rel_rank_of lookup per member.
+    int& cur = slot->scan_cursor;
+    const int p = state_->size();
+    while (cur < p && (slot->contribs.count(cur) != 0 ||
+                       !job_->ranks[state_->group[cur]].alive)) {
+      ++cur;
     }
-    return true;
+    return cur >= p;
   };
 
   for (;;) {
@@ -373,10 +435,10 @@ Status Comm::run_collective(
         compute(*slot, *state_, *job_);
       }
       slot->computed = true;
-      job_->cv.notify_all();
+      job_->wake_channel(slot->ch);
       break;
     }
-    if (job_->cv.wait_until(job_->mu, deadline) == std::cv_status::timeout) {
+    if (job_->wait_blocked(slot->ch)) {
       lock.unlock();
       return handle({ErrorCode::kInternal, "collective: deadlock timeout"});
     }
@@ -784,11 +846,13 @@ Status Comm::revoke() {
     FTMR_INFO << "rank " << global_rank_ << " revokes comm ctx=" << state_->ctx;
     state_->revoked = true;
   }
-  job_->cv.notify_all();
+  // Revocation interrupts recvs and collectives on every channel: broadcast.
+  job_->wake_all();
   return Status::Ok();
 }
 
 bool Comm::is_revoked() const {
+  cooperative_yield(job_);
   MutexLock lock(job_->mu);
   return state_->revoked;
 }
@@ -804,8 +868,6 @@ Status Comm::run_tolerant(
     const std::function<void(CollectiveSlot&, const CommState&, Job&)>& compute,
     Bytes* result_out) {
   job_->check_callable(global_rank_);
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(job_->opts.deadlock_timeout_s);
   MutexLock lock(job_->mu);
   RankState& me = job_->ranks[global_rank_];
 
@@ -818,15 +880,18 @@ Status Comm::run_tolerant(
 
   slot->contribs[rel_rank_] = std::move(contribution);
   slot->arrive_vtime[rel_rank_] = state_->accounts_time ? me.vtime : 0.0;
-  job_->cv.notify_all();
+  // No arrival wake — same thundering-herd reasoning as run_collective.
 
   auto all_alive_arrived = [&]() {
     job_->mu.assert_held();  // only called from the wait loop below
-    for (int g : state_->group) {
-      const int rel = state_->rel_rank_of(g);
-      if (job_->ranks[g].alive && !slot->contribs.count(rel)) return false;
+    // Same monotone-cursor scan as run_collective's all_arrived_or_dead.
+    int& cur = slot->scan_cursor;
+    const int p = state_->size();
+    while (cur < p && (slot->contribs.count(cur) != 0 ||
+                       !job_->ranks[state_->group[cur]].alive)) {
+      ++cur;
     }
-    return true;
+    return cur >= p;
   };
 
   for (;;) {
@@ -836,10 +901,10 @@ Status Comm::run_tolerant(
       compute(*slot, *state_, *job_);
       slot->computed = true;
       job_->tol_epochs[epoch_key] = epoch + 1;
-      job_->cv.notify_all();
+      job_->wake_channel(slot->ch);
       break;
     }
-    if (job_->cv.wait_until(job_->mu, deadline) == std::cv_status::timeout) {
+    if (job_->wait_blocked(slot->ch)) {
       lock.unlock();
       return handle({ErrorCode::kInternal, "tolerant collective: deadlock timeout"});
     }
@@ -956,6 +1021,7 @@ void Comm::ack_failures() {
 }
 
 std::vector<int> Comm::failed_ranks() const {
+  cooperative_yield(job_);
   MutexLock lock(job_->mu);
   std::vector<int> out;
   for (int rel = 0; rel < state_->size(); ++rel) {
@@ -965,6 +1031,7 @@ std::vector<int> Comm::failed_ranks() const {
 }
 
 std::vector<int> Comm::failed_global_ranks() const {
+  cooperative_yield(job_);
   MutexLock lock(job_->mu);
   return job_->dead_in_locked(*state_);
 }

@@ -1,0 +1,60 @@
+#include "simmpi/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "simmpi/sanitizer_fiber.hpp"
+
+namespace ftmr::simmpi {
+
+namespace {
+
+size_t page_size() noexcept {
+  static const size_t p = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return p;
+}
+
+size_t round_up_pages(size_t bytes) noexcept {
+  const size_t p = page_size();
+  return (bytes + p - 1) / p * p;
+}
+
+}  // namespace
+
+Fiber::Fiber(std::function<void()> body, size_t stack_bytes, int tag)
+    : body_(std::move(body)), tag_(tag) {
+  const size_t p = page_size();
+  stack_bytes_ = round_up_pages(stack_bytes);
+  map_bytes_ = stack_bytes_ + p;  // one guard page below the stack
+  // MAP_NORESERVE: thousands of fibers reserve address space, not memory —
+  // only pages a rank actually touches get committed.
+  void* base = mmap(nullptr, map_bytes_, PROT_NONE,
+                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_STACK,
+                    -1, 0);
+  if (base == MAP_FAILED) {
+    throw std::runtime_error("simmpi: fiber stack mmap failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  map_base_ = static_cast<std::byte*>(base);
+  stack_lo_ = map_base_ + p;
+  if (mprotect(stack_lo_, stack_bytes_, PROT_READ | PROT_WRITE) != 0) {
+    munmap(map_base_, map_bytes_);
+    map_base_ = nullptr;
+    throw std::runtime_error("simmpi: fiber stack mprotect failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  tsan_fiber_ = sanitizer::create_fiber_handle();
+  // The ucontext itself is prepared by the Scheduler just before the first
+  // dispatch (the trampoline needs scheduler thread-locals in scope).
+}
+
+Fiber::~Fiber() {
+  sanitizer::destroy_fiber_handle(tsan_fiber_);
+  if (map_base_ != nullptr) munmap(map_base_, map_bytes_);
+}
+
+}  // namespace ftmr::simmpi

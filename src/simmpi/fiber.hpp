@@ -1,0 +1,84 @@
+// fiber.hpp — stackful execution contexts for the simmpi scheduler.
+//
+// A Fiber is one simulated rank's call stack + ucontext. Fibers never run
+// by themselves: the Scheduler (scheduler.hpp) multiplexes them over a
+// small pool of worker OS threads, switching a worker into a fiber with
+// swapcontext and getting control back when the fiber parks, yields, or
+// finishes. Stacks are private mmap regions with a PROT_NONE guard page
+// below them, so an overflow faults loudly instead of silently corrupting
+// a neighbouring rank — thousands of fibers cost only the pages they
+// actually touch (the mapping is lazily committed).
+//
+// Sanitizer support: under ASan the switches are bracketed with
+// __sanitizer_start/finish_switch_fiber so the shadow stack follows the
+// context; under TSan every fiber owns a __tsan fiber so the race detector
+// models it as its own thread. Both sets of hooks are declared manually in
+// fiber.cpp (the sanitizer headers are not guaranteed present) and compile
+// away entirely in plain builds.
+#pragma once
+
+#include <ucontext.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+
+namespace ftmr::simmpi {
+
+class Scheduler;
+struct WaitChannel;
+
+/// One cooperatively scheduled context. Construction allocates the stack
+/// and prepares the ucontext; the body runs the first time the Scheduler
+/// dispatches the fiber. The body must not let exceptions escape (the
+/// trampoline has a terminal catch-all, but unwinding across a context
+/// switch is undefined — simmpi's rank bodies catch everything).
+class Fiber {
+ public:
+  Fiber(std::function<void()> body, size_t stack_bytes, int tag);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Logical identity (the simulated global rank) — used for log
+  /// attribution on switch-in and for diagnostics.
+  [[nodiscard]] int tag() const noexcept { return tag_; }
+
+ private:
+  friend class Scheduler;
+
+  enum class State { kReady, kRunning, kParked, kDone };
+
+  std::function<void()> body_;
+  int tag_ = -1;
+
+  ucontext_t ctx_{};
+  std::byte* map_base_ = nullptr;  // mmap base (guard page at the bottom)
+  size_t map_bytes_ = 0;
+  void* stack_lo_ = nullptr;  // usable stack low address (above the guard)
+  size_t stack_bytes_ = 0;
+
+  // ---- scheduler bookkeeping; guarded by the owning Scheduler's mutex ----
+  State state_ = State::kReady;
+  WaitChannel* channel_ = nullptr;  // where parked (null unless kParked)
+  bool timed_out_ = false;          // last park ended by deadlock/deadline
+  std::chrono::steady_clock::time_point parked_at_{};
+
+  /// Handoff latch. A suspending fiber clears this (under the scheduler
+  /// mutex) before its context save; the worker it switches back to sets
+  /// it once swapcontext has completed. A worker about to resume the fiber
+  /// spins until it reads true — the only moment two OS threads could
+  /// otherwise touch the same ucontext concurrently.
+  std::atomic<bool> resume_ready_{true};
+
+  // ---- sanitizer bookkeeping (unused in plain builds) ----
+  void* tsan_fiber_ = nullptr;
+  /// Bounds of the worker stack this fiber must switch back to; refreshed
+  /// at every switch-in (the resuming worker may differ from the last one).
+  const void* ret_stack_bottom_ = nullptr;
+  size_t ret_stack_size_ = 0;
+};
+
+}  // namespace ftmr::simmpi

@@ -1,11 +1,16 @@
 #include "simmpi/job.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace ftmr::simmpi {
 
 Job::Job(int nranks_, JobOptions opts_)
-    : nranks(nranks_), opts(std::move(opts_)), ranks(nranks_) {
+    : nranks(nranks_), opts(std::move(opts_)), recv_ch(nranks_), ranks(nranks_) {
+  inboxes.reserve(static_cast<size_t>(nranks_));
+  for (int i = 0; i < nranks_; ++i) {
+    inboxes.push_back(std::make_unique<Inbox>());
+  }
   for (const KillEvent& k : opts.kills) {
     if (k.rank < 0 || k.rank >= nranks) continue;
     if (k.vtime >= 0.0) ranks[k.rank].kill_vtime = k.vtime;
@@ -22,7 +27,9 @@ void Job::die_locked(int rank) {
   // memory) are atomic with the death itself, so no peer can observe a
   // dead rank with live replicas. The hook must not re-enter simmpi.
   if (opts.on_rank_death) opts.on_rank_death(rank);
-  cv.notify_all();
+  // Death can unblock any predicate (recv from the dead rank, collective
+  // membership, tolerant-collective failure observation): broadcast.
+  wake_all();
 }
 
 void Job::check_callable(int rank) {
@@ -89,6 +96,26 @@ void Job::abort_job(int code) {
     aborted = true;
     abort_code = code;
   }
+  wake_all();
+}
+
+bool Job::wait_blocked(WaitChannel& ch) {
+  if (sched != nullptr && Scheduler::current() != nullptr) {
+    return sched->park(ch, mu);
+  }
+  // Plain-thread fallback: classic timed CV wait under mu.
+  return cv.wait_for(mu, std::chrono::duration<double>(opts.deadlock_timeout_s)) ==
+         std::cv_status::timeout;
+}
+
+void Job::wake_channel(WaitChannel& ch) {
+  if (sched != nullptr) sched->wake(ch);
+  // Cheap when nobody waits on the CV (the fiber runtime never does).
+  cv.notify_all();
+}
+
+void Job::wake_all() {
+  if (sched != nullptr) sched->wake_all_parked();
   cv.notify_all();
 }
 

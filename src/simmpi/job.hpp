@@ -1,12 +1,20 @@
 // job.hpp — internal shared state of one simulated MPI job.
 //
-// Concurrency design (CP.20/CP.22 style): one job-wide mutex + condition
-// variable guards all cross-rank state (mailboxes, collective slots, comm
-// registry, liveness). Rank threads block on the CV; every state change
-// that could unblock someone (message enqueue, death, revoke, abort,
-// collective arrival) does notify_all. At simulator scale (<= a few hundred
-// ranks, virtual time) the single lock is both correct and fast enough,
-// and it makes the failure paths easy to audit.
+// Concurrency design (CP.20/CP.22 style): one job-wide mutex guards all
+// cross-rank state (mailboxes, collective slots, comm registry, liveness);
+// it keeps the failure paths easy to audit. Blocking and wakeups, however,
+// are *targeted*: rank fibers park on per-predicate WaitChannels (a rank's
+// recv channel, a collective slot's channel) via Job::wait_blocked, and a
+// state change wakes only the channel whose predicate it touched — a send
+// wakes its destination, a collective arrival wakes that slot. Only rare
+// global events (death, revoke, abort, rank finish) broadcast via
+// Job::wake_all. Point-to-point sends additionally stage into a per-rank
+// Inbox with its own small mutex, so a receiver drains a whole batch of
+// pending sends with one lock acquisition and senders issue at most one
+// wakeup per batch (see Inbox).
+//
+// Lock ordering: Job::mu -> Scheduler internals; Job::mu -> Inbox::mu.
+// Inbox::mu and the scheduler mutex are never held together.
 #pragma once
 
 #include <deque>
@@ -16,6 +24,7 @@
 
 #include "common/bytes.hpp"
 #include "common/sync.hpp"
+#include "simmpi/scheduler.hpp"
 #include "simmpi/types.hpp"
 
 namespace ftmr::simmpi {
@@ -70,6 +79,29 @@ struct CollectiveSlot {
   bool computed = false;
   bool failed = false;  // a participant died (fails intolerant collectives)
   int pickups = 0;      // alive ranks that have taken their result
+  /// First group index not yet arrived-or-dead. Arrivals and deaths are
+  /// both monotone, so the completion predicate advances this cursor
+  /// instead of rescanning the whole group — amortized O(p log p) per
+  /// collective instead of O(p^2) (which was O(p^3) via rel_rank_of).
+  int scan_cursor = 0;
+  /// Fibers waiting on this slot (arrivals / compute) park here, so an
+  /// arrival wakes only this collective's participants, not the whole job.
+  /// Safe against slot erasure: waiters hold their own shared_ptr to the
+  /// slot, and a slot is only erased by its last alive participant — at
+  /// which point every participant has picked up (none can be parked here).
+  WaitChannel ch;
+};
+
+/// Staging area for point-to-point sends to one rank. Senders append under
+/// `mu` (already holding Job::mu for liveness/vtime checks) and issue a
+/// wakeup only when `waiting` was set; the receiver splices the whole batch
+/// into its private mailbox in one acquisition. `waiting` is the receiver's
+/// published intent to park (two-phase: set waiting, re-check staged, then
+/// park) — it makes "N pending sends" cost one wakeup instead of N.
+struct Inbox {
+  Mutex mu;
+  std::vector<Message> staged FTMR_GUARDED_BY(mu);
+  bool waiting FTMR_GUARDED_BY(mu) = false;
 };
 
 /// Per-rank runtime state. Every field is guarded by the owning Job's `mu`
@@ -95,7 +127,7 @@ struct RankState {
   std::map<uint64_t, std::vector<int>> acked;     // ctx -> acked dead global ranks
 };
 
-/// Whole-job shared state; owned by the Runtime, outlives all rank threads.
+/// Whole-job shared state; owned by the Runtime, outlives all rank fibers.
 class Job {
  public:
   Job(int nranks, JobOptions opts);
@@ -105,10 +137,22 @@ class Job {
 
   // ---- guarded by mu ----
   Mutex mu;
+  /// Legacy wait path for threads that are not scheduler fibers (none in
+  /// the current runtime, but wait_blocked falls back here so Comm stays
+  /// usable from a plain thread). Fiber wakeup goes through the channels.
   CondVar cv;
 
   const int nranks;
   const JobOptions opts;
+  /// Set by the Runtime for the duration of the run (before the worker
+  /// pool starts, cleared after it joins — publication is ordered by
+  /// thread creation/join, so no lock is needed). Null => CV fallback.
+  Scheduler* sched = nullptr;
+  /// Per-global-rank recv wait channel; sized at construction, immutable
+  /// after. Channel contents are guarded by the scheduler's mutex.
+  std::vector<WaitChannel> recv_ch;
+  /// Per-global-rank send staging; sized at construction, immutable after.
+  std::vector<std::unique_ptr<Inbox>> inboxes;
   std::vector<RankState> ranks FTMR_GUARDED_BY(mu);
   std::map<std::pair<uint64_t, uint64_t>, std::shared_ptr<CollectiveSlot>> slots
       FTMR_GUARDED_BY(mu);
@@ -153,6 +197,26 @@ class Job {
 
   /// Trigger job-wide abort (MPI_Abort semantics).
   void abort_job(int code) FTMR_EXCLUDES(mu);
+
+  // ---- blocking / wakeup ----
+
+  /// Block the caller on `ch` until a wake arrives, releasing `mu` for the
+  /// duration (condition-variable style; the caller re-checks its predicate
+  /// in a loop). On a scheduler fiber this parks the fiber; on a plain
+  /// thread it falls back to the legacy CV with the wall-clock timeout.
+  /// Returns true if the wait was ended by deadlock detection / timeout.
+  bool wait_blocked(WaitChannel& ch) FTMR_REQUIRES(mu);
+
+  /// Wake fibers parked on `ch` (and legacy CV waiters). Callable with or
+  /// without `mu`; the caller must have already applied its state change.
+  void wake_channel(WaitChannel& ch);
+
+  /// Wake `global_rank`'s recv channel (a message was staged for it).
+  void wake_recv(int global_rank) { wake_channel(recv_ch[global_rank]); }
+
+  /// Broadcast: wake every parked fiber and all CV waiters. For events
+  /// whose predicate spans all channels (death, revoke, abort, finish).
+  void wake_all();
 };
 
 }  // namespace ftmr::simmpi

@@ -2,10 +2,9 @@
 
 #include <exception>
 #include <memory>
-#include <thread>
-#include <vector>
 
 #include "common/log.hpp"
+#include "simmpi/scheduler.hpp"
 
 namespace ftmr::simmpi {
 
@@ -22,41 +21,54 @@ JobResult Runtime::run(int nranks, const RankMain& main, JobOptions opts) {
     job->comms[0] = world_state;
   }
 
-  std::vector<std::thread> threads;
-  threads.reserve(nranks);
+  // One fiber per rank, multiplexed over a small worker pool. The on_switch
+  // hook keeps log-line rank attribution correct as workers hop between
+  // fibers. Publication of job->sched is ordered by worker-thread creation.
+  Scheduler::Options so;
+  so.workers = job->opts.worker_threads;
+  so.stack_bytes = job->opts.fiber_stack_bytes;
+  so.deadline_s = job->opts.deadlock_timeout_s;
+  so.on_switch = [](int tag) { set_thread_rank(tag); };
+  Scheduler sched(so);
+  job->sched = &sched;
+
+  Job* jp = job.get();
   for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&, r] {
-      set_thread_rank(r);
-      Comm world(job.get(), world_state, r);
-      try {
-        main(world);
-        MutexLock lock(job->mu);
-        job->ranks[r].finished = true;
-        // A finishing rank wakes peers blocked on it (they will time out /
-        // error out per MPI semantics rather than hang silently).
-        job->cv.notify_all();
-      } catch (const KilledError&) {
-        // die_locked already updated state and notified.
-      } catch (const AbortError& e) {
-        MutexLock lock(job->mu);
-        job->ranks[r].exit_code = e.exit_code;
-        job->cv.notify_all();
-      } catch (const std::exception& e) {
-        FTMR_ERROR << "rank " << r << " escaped exception: " << e.what();
-        MutexLock lock(job->mu);
-        job->cv.notify_all();
-      } catch (...) {
-        // Non-std exceptions (e.g. a FailureDetected escaping user recovery
-        // code) must not std::terminate the whole simulator process: the
-        // rank is left neither finished nor killed, which downstream
-        // correctness checks flag as an anomaly.
-        FTMR_ERROR << "rank " << r << " escaped non-standard exception";
-        MutexLock lock(job->mu);
-        job->cv.notify_all();
-      }
-    });
+    sched.add_fiber(
+        [jp, &main, world_state, r] {
+          Comm world(jp, world_state, r);
+          try {
+            main(world);
+            MutexLock lock(jp->mu);
+            jp->ranks[r].finished = true;
+            lock.unlock();
+            // A finishing rank wakes peers blocked on it (they will error
+            // out per MPI semantics rather than hang silently).
+            jp->wake_all();
+          } catch (const KilledError&) {
+            // die_locked already updated state and woke everyone.
+          } catch (const AbortError& e) {
+            {
+              MutexLock lock(jp->mu);
+              jp->ranks[r].exit_code = e.exit_code;
+            }
+            jp->wake_all();
+          } catch (const std::exception& e) {
+            FTMR_ERROR << "rank " << r << " escaped exception: " << e.what();
+            jp->wake_all();
+          } catch (...) {
+            // Non-std exceptions (e.g. a FailureDetected escaping user
+            // recovery code) must not std::terminate the whole simulator
+            // process: the rank is left neither finished nor killed, which
+            // downstream correctness checks flag as an anomaly.
+            FTMR_ERROR << "rank " << r << " escaped non-standard exception";
+            jp->wake_all();
+          }
+        },
+        r);
   }
-  for (auto& t : threads) t.join();
+  sched.run_until_done();
+  job->sched = nullptr;
 
   JobResult result;
   {

@@ -1,7 +1,8 @@
 // runtime.hpp — launches simulated MPI jobs.
 //
-// Runtime::run is the moral equivalent of `mpiexec -n <nranks>`: it spawns
-// one thread per rank, hands each a world communicator, and reaps results.
+// Runtime::run is the moral equivalent of `mpiexec -n <nranks>`: it runs
+// one cooperatively scheduled fiber per rank over a small worker pool
+// (scheduler.hpp), hands each a world communicator, and reaps results.
 // When the job aborts (MPI_Abort — the checkpoint/restart teardown path),
 // the JobResult says so and the caller may "resubmit" by calling run again;
 // that loop *is* the paper's restart model, with the gang scheduler's
@@ -19,7 +20,7 @@ class Runtime {
  public:
   using RankMain = std::function<void(Comm&)>;
 
-  /// Run one job: `main` is executed once per rank on its own thread with
+  /// Run one job: `main` is executed once per rank on its own fiber with
   /// the world communicator. Returns after every rank finished, was killed,
   /// or was torn down by abort.
   static JobResult run(int nranks, const RankMain& main, JobOptions opts = {});

@@ -1,0 +1,109 @@
+// sanitizer_fiber.hpp — internal ASan/TSan glue for fiber context switches.
+//
+// The sanitizer runtimes track one stack (ASan) and one thread (TSan) per
+// OS thread; swapcontext without telling them corrupts the ASan shadow
+// stack and makes TSan attribute one fiber's accesses to another. These
+// wrappers bracket every switch with the documented fiber interfaces.
+// Prototypes are declared by hand: the <sanitizer/...> headers are not
+// guaranteed to ship with every toolchain, but the interface symbols are a
+// stable part of the compiler-rt / libsanitizer ABI. In plain builds all
+// wrappers compile to nothing.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define FTMR_FIBER_ASAN 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define FTMR_FIBER_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+#define FTMR_FIBER_ASAN 1
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define FTMR_FIBER_TSAN 1
+#endif
+
+#if defined(FTMR_FIBER_ASAN)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old, size_t* size_old);
+}
+#endif
+
+#if defined(FTMR_FIBER_TSAN)
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
+namespace ftmr::simmpi::sanitizer {
+
+/// Announce the upcoming stack switch to the sanitizers. `fake_stack_save`
+/// must live on the *current* stack (it is read back by finish_switch when
+/// this context resumes); pass nullptr when the current context will never
+/// resume (fiber exit) so ASan can release its fake-stack history.
+/// `dst_tsan` is the destination's TSan fiber handle (nullptr = none).
+inline void before_switch(void** fake_stack_save, const void* dst_stack_bottom,
+                          size_t dst_stack_size, void* dst_tsan) {
+#if defined(FTMR_FIBER_ASAN)
+  __sanitizer_start_switch_fiber(fake_stack_save, dst_stack_bottom,
+                                 dst_stack_size);
+#else
+  (void)fake_stack_save;
+  (void)dst_stack_bottom;
+  (void)dst_stack_size;
+#endif
+#if defined(FTMR_FIBER_TSAN)
+  if (dst_tsan != nullptr) __tsan_switch_to_fiber(dst_tsan, 0);
+#else
+  (void)dst_tsan;
+#endif
+}
+
+/// First call after landing in a context. Recovers the stack bounds of the
+/// context we came from (needed to switch back to it later).
+inline void after_switch(void* fake_stack_save, const void** from_bottom,
+                         size_t* from_size) {
+#if defined(FTMR_FIBER_ASAN)
+  __sanitizer_finish_switch_fiber(fake_stack_save, from_bottom, from_size);
+#else
+  (void)fake_stack_save;
+  (void)from_bottom;
+  (void)from_size;
+#endif
+}
+
+inline void* create_fiber_handle() {
+#if defined(FTMR_FIBER_TSAN)
+  return __tsan_create_fiber(0);
+#else
+  return nullptr;
+#endif
+}
+
+inline void destroy_fiber_handle(void* h) {
+#if defined(FTMR_FIBER_TSAN)
+  if (h != nullptr) __tsan_destroy_fiber(h);
+#else
+  (void)h;
+#endif
+}
+
+inline void* current_thread_handle() {
+#if defined(FTMR_FIBER_TSAN)
+  return __tsan_get_current_fiber();
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace ftmr::simmpi::sanitizer

@@ -1,0 +1,285 @@
+#include "simmpi/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "simmpi/sanitizer_fiber.hpp"
+
+namespace ftmr::simmpi {
+
+namespace {
+
+#if defined(__GNUC__)
+#define FTMR_NOINLINE __attribute__((noinline))
+#else
+#define FTMR_NOINLINE
+#endif
+
+// Per-OS-thread context. Fibers must read these through the noinline
+// accessors below: a fiber's stack frame survives a suspension and may
+// resume on a *different* worker thread, so the compiler must never cache
+// a thread-local address across a context switch — the opaque call
+// boundary forces a fresh lookup every time.
+thread_local Fiber* t_current_fiber = nullptr;
+thread_local Scheduler* t_scheduler = nullptr;
+thread_local ucontext_t* t_worker_ctx = nullptr;
+thread_local void* t_worker_tsan = nullptr;
+
+FTMR_NOINLINE Fiber* current_fiber_tls() noexcept { return t_current_fiber; }
+FTMR_NOINLINE Scheduler* scheduler_tls() noexcept { return t_scheduler; }
+FTMR_NOINLINE ucontext_t* worker_ctx_tls() noexcept { return t_worker_ctx; }
+FTMR_NOINLINE void* worker_tsan_tls() noexcept { return t_worker_tsan; }
+
+}  // namespace
+
+Scheduler::Scheduler(Options opts) : opts_(std::move(opts)) {
+  if (opts_.stack_bytes == 0) opts_.stack_bytes = default_stack_bytes();
+  if (opts_.deadline_s <= 0.0) opts_.deadline_s = 120.0;
+}
+
+Scheduler::~Scheduler() = default;
+
+size_t Scheduler::default_stack_bytes() noexcept {
+#if defined(FTMR_FIBER_ASAN)
+  return size_t{2} << 20;  // ASan redzones roughly double frame sizes
+#else
+  return size_t{1} << 20;
+#endif
+}
+
+Fiber* Scheduler::current() noexcept { return current_fiber_tls(); }
+
+void Scheduler::add_fiber(std::function<void()> body, int tag) {
+  auto f = std::make_unique<Fiber>(std::move(body), opts_.stack_bytes, tag);
+  if (getcontext(&f->ctx_) != 0) {
+    throw std::runtime_error("simmpi: getcontext failed");
+  }
+  f->ctx_.uc_stack.ss_sp = f->stack_lo_;
+  f->ctx_.uc_stack.ss_size = f->stack_bytes_;
+  f->ctx_.uc_link = nullptr;  // fibers exit via switch_out, never by return
+  makecontext(&f->ctx_, &Scheduler::trampoline, 0);
+  std::lock_guard<std::mutex> lk(mu_);
+  runq_.push_back(f.get());
+  fibers_.push_back(std::move(f));
+}
+
+void Scheduler::run_until_done() {
+  int n = opts_.workers;
+  if (n <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = static_cast<int>(std::min(4u, hw == 0 ? 1u : hw));
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) pool.emplace_back([this] { worker_loop(); });
+  for (std::thread& t : pool) t.join();
+}
+
+void Scheduler::worker_loop() {
+  t_scheduler = this;
+  t_worker_tsan = sanitizer::current_thread_handle();
+  uint64_t dispatches = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  while (done_ < fibers_.size()) {
+    if (!runq_.empty()) {
+      Fiber* f = runq_.front();
+      runq_.pop_front();
+      f->state_ = Fiber::State::kRunning;
+      running_++;
+      lk.unlock();
+      run_fiber(f);
+      lk.lock();
+      running_--;
+      // Periodic wall-clock backstop even when the run queue never drains
+      // (a yielding spin loop keeps workers busy forever; parked peers
+      // must still time out eventually).
+      if ((++dispatches & 0x3FF) == 0) sweep_deadline_locked();
+      continue;
+    }
+    if (running_ == 0 && parked_ > 0) {
+      // Nothing runnable, nothing running, somebody parked. Every wake
+      // source is a fiber of this job, so no future wake can arrive: a
+      // proven deadlock. Fail the blocked ops now instead of after the
+      // wall-clock guard.
+      wake_parked_locked(/*timed_out=*/true);
+      continue;
+    }
+    cv_.wait_for(lk, std::chrono::milliseconds(50));
+    sweep_deadline_locked();
+  }
+  cv_.notify_all();  // release idle peers so they observe completion
+}
+
+void Scheduler::run_fiber(Fiber* f) {
+  // Wait out the handoff window: the fiber may still be saving its context
+  // on the worker that ran it last (see Fiber::resume_ready_).
+  while (!f->resume_ready_.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  t_current_fiber = f;
+  if (opts_.on_switch) opts_.on_switch(f->tag_);
+  ucontext_t self{};
+  t_worker_ctx = &self;
+  void* fake_stack = nullptr;
+  sanitizer::before_switch(&fake_stack, f->stack_lo_, f->stack_bytes_,
+                           f->tsan_fiber_);
+  swapcontext(&self, &f->ctx_);
+  // The fiber suspended (parked, yielded, or finished); we are the worker
+  // again. Its state_ was already updated by the fiber itself, under mu_.
+  sanitizer::after_switch(fake_stack, nullptr, nullptr);
+  t_current_fiber = nullptr;
+  t_worker_ctx = nullptr;
+  if (opts_.on_switch) opts_.on_switch(-1);
+  f->resume_ready_.store(true, std::memory_order_release);
+}
+
+void Scheduler::switch_out(Fiber* f, bool dying) {
+  ucontext_t* ret = worker_ctx_tls();
+  void* fake_stack = nullptr;
+  sanitizer::before_switch(dying ? nullptr : &fake_stack, f->ret_stack_bottom_,
+                           f->ret_stack_size_, worker_tsan_tls());
+  swapcontext(&f->ctx_, ret);
+  // Resumed — possibly on a different OS thread than the one we left.
+  sanitizer::after_switch(fake_stack, &f->ret_stack_bottom_,
+                          &f->ret_stack_size_);
+}
+
+void Scheduler::trampoline() {
+  // First entry: complete the sanitizer switch and learn which worker
+  // stack to return to.
+  Fiber* f = current_fiber_tls();
+  sanitizer::after_switch(nullptr, &f->ret_stack_bottom_, &f->ret_stack_size_);
+  trampoline_body();
+}
+
+void Scheduler::trampoline_body() {
+  Fiber* f = current_fiber_tls();
+  try {
+    f->body_();
+  } catch (...) {
+    // Rank bodies catch everything themselves (see Runtime::run); an
+    // exception here would otherwise try to unwind off the fiber stack.
+    std::fputs("simmpi: fatal: exception escaped a fiber body\n", stderr);
+    std::abort();
+  }
+  Scheduler* sched = scheduler_tls();  // fresh: the body may have migrated
+  {
+    std::lock_guard<std::mutex> lk(sched->mu_);
+    f->state_ = Fiber::State::kDone;
+    sched->done_++;
+    sched->cv_.notify_all();
+  }
+  switch_out(f, /*dying=*/true);
+  std::abort();  // unreachable: a done fiber is never resumed
+}
+
+bool Scheduler::park(WaitChannel& ch, Mutex& guard) {
+  Fiber* f = current_fiber_tls();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (ch.wake_pending) {
+      // A targeted wake raced ahead of this park (two-phase protocol, e.g.
+      // a sender that saw the receiver's intent to sleep): consume it.
+      ch.wake_pending = false;
+      return false;
+    }
+    f->state_ = Fiber::State::kParked;
+    f->channel_ = &ch;
+    f->timed_out_ = false;
+    f->parked_at_ = std::chrono::steady_clock::now();
+    ch.waiters.push_back(f);
+    parked_++;
+    f->resume_ready_.store(false, std::memory_order_relaxed);
+  }
+  // Predicate lock released only *after* registration: a notifier needs it
+  // to change the predicate, so it either ran before our caller's check or
+  // will find us on the channel.
+  guard.unlock();
+  switch_out(f, /*dying=*/false);
+  guard.lock();
+  return f->timed_out_;
+}
+
+void Scheduler::yield() {
+  Fiber* f = current_fiber_tls();
+  if (f == nullptr) return;  // non-fiber thread: nothing to reschedule
+  Scheduler* sched = scheduler_tls();
+  {
+    std::lock_guard<std::mutex> lk(sched->mu_);
+    if (sched->runq_.empty() && sched->running_ == 1) {
+      return;  // sole runnable fiber — a switch would come straight back
+    }
+    f->state_ = Fiber::State::kReady;
+    sched->runq_.push_back(f);
+    f->resume_ready_.store(false, std::memory_order_relaxed);
+    sched->cv_.notify_one();
+  }
+  switch_out(f, /*dying=*/false);
+}
+
+void Scheduler::wake(WaitChannel& ch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ch.waiters.empty()) {
+    ch.wake_pending = true;  // latched; the next park consumes it
+    return;
+  }
+  for (Fiber* f : ch.waiters) {
+    f->state_ = Fiber::State::kReady;
+    f->channel_ = nullptr;
+    runq_.push_back(f);
+    parked_--;
+  }
+  ch.waiters.clear();
+  cv_.notify_all();
+}
+
+void Scheduler::wake_all_parked() {
+  std::lock_guard<std::mutex> lk(mu_);
+  wake_parked_locked(/*timed_out=*/false);
+}
+
+bool Scheduler::wake_parked_locked(bool timed_out) {
+  bool any = false;
+  for (const auto& up : fibers_) {
+    Fiber* f = up.get();
+    if (f->state_ != Fiber::State::kParked) continue;
+    // Clearing the whole channel is safe: every fiber it held is kParked
+    // and this loop visits each exactly once.
+    if (f->channel_ != nullptr) f->channel_->waiters.clear();
+    f->channel_ = nullptr;
+    f->state_ = Fiber::State::kReady;
+    f->timed_out_ = timed_out;
+    runq_.push_back(f);
+    parked_--;
+    any = true;
+  }
+  if (any) cv_.notify_all();
+  return any;
+}
+
+bool Scheduler::sweep_deadline_locked() {
+  if (parked_ == 0) return false;
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::duration<double>(opts_.deadline_s);
+  bool any = false;
+  for (const auto& up : fibers_) {
+    Fiber* f = up.get();
+    if (f->state_ != Fiber::State::kParked) continue;
+    if (now - f->parked_at_ < limit) continue;
+    auto& ws = f->channel_->waiters;
+    ws.erase(std::remove(ws.begin(), ws.end(), f), ws.end());
+    f->channel_ = nullptr;
+    f->state_ = Fiber::State::kReady;
+    f->timed_out_ = true;
+    runq_.push_back(f);
+    parked_--;
+    any = true;
+  }
+  if (any) cv_.notify_all();
+  return any;
+}
+
+}  // namespace ftmr::simmpi

@@ -1,0 +1,149 @@
+// scheduler.hpp — cooperative fiber scheduler for simulated ranks.
+//
+// Replaces the thread-per-rank execution model: every simulated rank is a
+// Fiber (fiber.hpp) and a small pool of worker OS threads runs whichever
+// fibers are ready. A rank that would block — recv with no matching
+// message, a collective waiting for peers — parks its fiber on a
+// WaitChannel and the worker moves on to the next ready rank, so thousands
+// of simulated ranks need only a handful of OS threads.
+//
+// Wakeups are *targeted*: state changes wake only the channel whose
+// predicate they affect (a send wakes the destination's recv channel, a
+// collective arrival wakes that slot's channel). Rare global events
+// (death, revoke, abort) broadcast with wake_all_parked(). Woken fibers
+// always re-check their predicate under the caller's lock, so spurious
+// wakes are harmless.
+//
+// Lost-wakeup freedom: parking registers the fiber on the channel (under
+// the scheduler mutex) *while the caller still holds the guard mutex* that
+// protects the predicate. A notifier must take that guard to change the
+// predicate and the scheduler mutex to scan the channel, so it either ran
+// before the waiter's predicate check (waiter sees the change, never
+// parks) or after its registration (notifier finds it on the channel).
+// For wakes issued without the guard (the batched send fast path), a
+// channel with no waiters latches `wake_pending`, which the next park
+// consumes instead of sleeping.
+//
+// Deadlock detection is exact and instant: all wake sources live inside
+// the job, so "run queue empty + no fiber running + some fibers parked"
+// proves no future wake can arrive. The scheduler then wakes every parked
+// fiber with timed_out set, and blocked ops surface the same INTERNAL
+// "deadlock timeout" error the wall-clock guard used to produce after
+// deadlock_timeout_s. The wall-clock deadline is kept as a backstop
+// against livelock (a fiber spinning through yields forever while peers
+// stay parked).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "simmpi/fiber.hpp"
+
+namespace ftmr::simmpi {
+
+/// A parking spot for fibers waiting on one predicate (a rank's recv
+/// queue, one collective slot). All fields are guarded by the owning
+/// Scheduler's internal mutex — channels are only ever touched inside
+/// Scheduler::park / wake / wake_all_parked. (The guard relationship
+/// crosses objects, which the static analysis cannot express; it is
+/// enforced by keeping every access inside scheduler.cpp, and by TSan.)
+struct WaitChannel {
+  std::vector<Fiber*> waiters;
+  /// Latched wake delivered while no fiber was parked here; consumed by
+  /// the next park instead of sleeping (two-phase wake protocol).
+  bool wake_pending = false;
+};
+
+class Scheduler {
+ public:
+  struct Options {
+    /// Worker OS threads multiplexing the fibers. 0 = min(hardware
+    /// concurrency, 4) — virtual time means workers only buy wall-clock
+    /// parallelism, not simulation fidelity.
+    int workers = 0;
+    /// Per-fiber stack bytes (rounded up to pages). 0 = default_stack_bytes().
+    size_t stack_bytes = 0;
+    /// Wall-clock backstop: a fiber parked longer than this is woken with
+    /// timed_out set even if the scheduler never detects a full stall.
+    double deadline_s = 120.0;
+    /// Called on the worker thread at every switch: fiber's tag on switch
+    /// in, -1 on switch back to the scheduler. The runtime uses it to keep
+    /// log lines attributed to the right simulated rank.
+    std::function<void(int)> on_switch;
+  };
+
+  explicit Scheduler(Options opts);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// 1 MiB; 2 MiB under ASan (whose redzones roughly double frame sizes).
+  static size_t default_stack_bytes() noexcept;
+
+  /// Register a fiber before run_until_done(). `tag` is the simulated rank.
+  void add_fiber(std::function<void()> body, int tag);
+
+  /// Run every registered fiber to completion (spawns the worker pool,
+  /// joins it). Returns once all fibers are done.
+  void run_until_done();
+
+  /// The fiber the calling OS thread is currently executing, or nullptr on
+  /// a non-fiber thread (the scheduler loop itself, or an external thread).
+  [[nodiscard]] static Fiber* current() noexcept;
+
+  /// Park the current fiber on `ch` until woken. The caller must hold
+  /// `guard` (the mutex protecting the awaited predicate); it is released
+  /// for the duration of the park and re-held on return, condition-variable
+  /// style. Returns true if the park was ended by deadlock detection or
+  /// the wall-clock deadline rather than a wake. Must be called on a fiber.
+  bool park(WaitChannel& ch, Mutex& guard) FTMR_REQUIRES(guard);
+
+  /// Reschedule the current fiber to the back of the run queue, letting
+  /// other ready fibers run. No-op on a non-fiber thread. Polling loops
+  /// (iprobe) yield so single-worker configurations still make progress.
+  void yield();
+
+  /// Wake every fiber parked on `ch`; latch wake_pending if none is.
+  void wake(WaitChannel& ch);
+
+  /// Wake every parked fiber regardless of channel (death/revoke/abort —
+  /// events whose predicates span all channels).
+  void wake_all_parked();
+
+ private:
+  void worker_loop();
+  /// Switch the calling worker into `f` until it suspends. No locks held.
+  void run_fiber(Fiber* f);
+  /// Fiber side: save context and switch back to the dispatching worker.
+  /// When `dying`, the fiber never resumes (sanitizer teardown differs).
+  static void switch_out(Fiber* f, bool dying);
+  [[noreturn]] static void trampoline_body();
+  static void trampoline();
+
+  // All return true if they woke at least one fiber. Caller holds mu_.
+  bool wake_parked_locked(bool timed_out);
+  bool sweep_deadline_locked();
+
+  Options opts_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+
+  // The scheduler's internal lock. A std::mutex (not ftmr::Mutex) because
+  // the worker loop needs std::condition_variable::wait_for on it; the
+  // fiber-facing entry points document their locking in comments instead
+  // of annotations (see WaitChannel).
+  std::mutex mu_;
+  std::condition_variable cv_;          // idle workers wait here
+  std::deque<Fiber*> runq_;             // guarded by mu_
+  int running_ = 0;                     // fibers checked out by workers
+  int parked_ = 0;                      // fibers on some channel
+  size_t done_ = 0;                     // fibers finished for good
+};
+
+}  // namespace ftmr::simmpi

@@ -2,9 +2,11 @@
 // MPI runtime.
 //
 // simmpi is an in-process reproduction of the MPI subset + ULFM extensions
-// FT-MRMPI needs. Each MPI rank is an OS thread with a mailbox; time is
-// *virtual* (a LogGP-style cost model advances per-rank clocks), so
-// experiments are deterministic and scale-faithful on a small machine.
+// FT-MRMPI needs. Each MPI rank is a cooperatively scheduled fiber with a
+// mailbox, multiplexed over a small worker-thread pool (see scheduler.hpp);
+// time is *virtual* (a LogGP-style cost model advances per-rank clocks), so
+// experiments are deterministic and scale-faithful on a small machine —
+// thousands of simulated ranks fit on one core.
 //
 // Fault model reproduced from the paper:
 //  * a killed rank unwinds at its next MPI call (KilledError), exactly like
@@ -61,10 +63,22 @@ struct JobOptions {
   NetworkModel net{};
   std::vector<KillEvent> kills;
   /// Real-time guard against deadlocked tests; blocked ops give up with an
-  /// INTERNAL error after this long.
+  /// INTERNAL error after this long. The fiber scheduler usually detects a
+  /// deadlock exactly (no runnable fiber, no future wake source) and fails
+  /// the blocked ops immediately; this wall-clock bound remains as a
+  /// backstop against livelock (e.g. a rank spinning on iprobe forever).
   double deadlock_timeout_s = 120.0;
-  /// Stack size hint is irrelevant for std::thread; kept for documentation.
-  int max_ranks_hint = 0;
+  /// Per-rank fiber stack size in bytes, rounded up to whole pages, with a
+  /// PROT_NONE guard page below so overflow faults instead of corrupting a
+  /// neighbour. 0 = scheduler default (1 MiB; 2 MiB under ASan). Stacks are
+  /// lazily committed, so thousands of ranks cost only the pages touched.
+  /// Raise this for map functions with deep recursion or large locals.
+  size_t fiber_stack_bytes = 0;
+  /// Worker OS threads that multiplex the rank fibers. 0 = min(hardware
+  /// concurrency, 4). Virtual time makes results — including the per-rank
+  /// counted-op totals that op-indexed fault schedules address — identical
+  /// for any worker count; workers only buy wall-clock parallelism.
+  int worker_threads = 0;
   /// Fired exactly once per rank death (kill injection or abort teardown),
   /// with the dead global rank, from inside the runtime's locked death
   /// path. The hook MUST NOT call back into simmpi or block — it exists so
