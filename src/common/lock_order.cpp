@@ -1,0 +1,90 @@
+#include "common/lock_order.hpp"
+
+#if defined(FTMR_LOCK_ORDER_CHECKS)
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/lock_order_table.hpp"
+
+namespace ftmr::lockorder {
+
+namespace {
+
+// Deep enough for any legal chain (the table is two levels today); a
+// overflow would itself indicate a hierarchy violation long before 16.
+constexpr int kMaxHeld = 16;
+thread_local const char* t_held[kMaxHeld];
+thread_local int t_depth = 0;
+
+std::atomic<ViolationHandler> g_handler{nullptr};
+
+bool is_tracked(const char* name) noexcept {
+  for (const char* k : kLockNames) {
+    if (std::strcmp(k, name) == 0) return true;
+  }
+  return false;
+}
+
+bool edge_allowed(const char* from, const char* to) noexcept {
+  for (const Edge& e : kAllowedEdges) {
+    if (std::strcmp(e.from, from) == 0 && std::strcmp(e.to, to) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void violate(const char* held, const char* acquiring,
+             const char* what) noexcept {
+  ViolationHandler h = g_handler.load(std::memory_order_acquire);
+  if (h != nullptr) {
+    h(held, acquiring, what);
+    return;
+  }
+  std::fprintf(stderr,
+               "ftmr: lock-order violation: %s (holding '%s', acquiring "
+               "'%s')\n       the allowed hierarchy lives in "
+               "tools/ftmr_lint/lock_table.yaml\n",
+               what, held == nullptr ? "<none>" : held, acquiring);
+  std::abort();
+}
+
+}  // namespace
+
+ViolationHandler set_violation_handler(ViolationHandler h) noexcept {
+  return g_handler.exchange(h, std::memory_order_acq_rel);
+}
+
+void on_acquire(const char* name) noexcept {
+  if (name == nullptr || !is_tracked(name)) return;
+  for (int i = 0; i < t_depth; ++i) {
+    const char* held = t_held[i];
+    if (std::strcmp(held, name) == 0) {
+      violate(held, name, "re-acquisition of a lock already held");
+    } else if (!edge_allowed(held, name)) {
+      violate(held, name, "nested acquisition is not a lock-table edge");
+    }
+  }
+  if (t_depth < kMaxHeld) t_held[t_depth++] = name;
+}
+
+void on_release(const char* name) noexcept {
+  if (name == nullptr || t_depth == 0) return;
+  // Released in any order (relockable MutexLock): search from the top.
+  for (int i = t_depth - 1; i >= 0; --i) {
+    if (std::strcmp(t_held[i], name) == 0) {
+      for (int j = i; j + 1 < t_depth; ++j) t_held[j] = t_held[j + 1];
+      --t_depth;
+      return;
+    }
+  }
+}
+
+int held_depth() noexcept { return t_depth; }
+
+}  // namespace ftmr::lockorder
+
+#endif  // FTMR_LOCK_ORDER_CHECKS

@@ -1,0 +1,55 @@
+// lock_order.hpp — debug-build runtime validation of the lock hierarchy.
+//
+// Every *named* ftmr::Mutex (see sync.hpp) reports acquisitions and
+// releases here. A per-thread stack of held lock names is checked against
+// the edge set generated from tools/ftmr_lint/lock_table.yaml (the single
+// source of truth, shared with the ftmr-lint static pass): acquiring B
+// while holding A is legal only if A -> B is a table edge, and
+// re-acquiring a held lock is always a violation. This is the dynamic
+// cross-validation of the static table — it catches orderings the linter
+// cannot see (acquisitions reached through std::function, like the
+// on_rank_death death-wipe hook into ReplicaStore).
+//
+// A thread-local stack is correct even though fibers migrate between
+// worker threads: no lock is ever held across a fiber suspension point
+// (Scheduler::park releases the handed-off guard before switching out and
+// re-acquires it after resuming), so a fiber's held set is empty whenever
+// it changes threads. The fiber-blocking lint check is what enforces that
+// precondition statically.
+//
+// Enabled by the FTMR_LOCK_ORDER_CHECKS compile definition (cmake option
+// of the same name; default ON for Debug/sanitizer builds, OFF for
+// Release). When off, the hooks below are empty inline functions and the
+// whole mechanism compiles out.
+#pragma once
+
+namespace ftmr::lockorder {
+
+#if defined(FTMR_LOCK_ORDER_CHECKS)
+
+/// Called with (held lock name, lock being acquired, what went wrong).
+/// The default handler prints both names and aborts; tests install their
+/// own to count violations instead. Returns the previous handler.
+using ViolationHandler = void (*)(const char* held, const char* acquiring,
+                                  const char* what);
+ViolationHandler set_violation_handler(ViolationHandler h) noexcept;
+
+void on_acquire(const char* name) noexcept;
+void on_release(const char* name) noexcept;
+
+/// Number of tracked locks the calling thread currently holds (tests).
+int held_depth() noexcept;
+
+#else
+
+using ViolationHandler = void (*)(const char*, const char*, const char*);
+inline ViolationHandler set_violation_handler(ViolationHandler) noexcept {
+  return nullptr;
+}
+inline void on_acquire(const char*) noexcept {}
+inline void on_release(const char*) noexcept {}
+inline int held_depth() noexcept { return 0; }
+
+#endif  // FTMR_LOCK_ORDER_CHECKS
+
+}  // namespace ftmr::lockorder

@@ -15,7 +15,7 @@ thread_local int t_rank = -1;
 // mutex serializes both, so a swap never races an emit and the previous
 // sink is fully quiesced once set_log_sink returns.
 struct SinkState {
-  Mutex mu;
+  Mutex mu{"log.sink"};
   LogSink sink FTMR_GUARDED_BY(mu);  // empty = default stderr sink
 };
 SinkState& sink_state() {

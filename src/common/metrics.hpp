@@ -139,7 +139,7 @@ class TraceRecorder {
     return probe ? probe() : -1;
   }
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"metrics.trace"};
   int tid_ FTMR_GUARDED_BY(mu_) = 0;
   std::function<int64_t()> op_probe_ FTMR_GUARDED_BY(mu_);
   std::vector<TraceEvent> ev_ FTMR_GUARDED_BY(mu_);
@@ -189,7 +189,7 @@ class MetricsRegistry {
 
  private:
   using Key = std::pair<std::string, int>;  // (metric name, rank label)
-  mutable Mutex mu_;
+  mutable Mutex mu_{"metrics.registry"};
   std::map<Key, double> counters_ FTMR_GUARDED_BY(mu_);
   std::map<Key, double> gauges_ FTMR_GUARDED_BY(mu_);
   std::map<Key, Summary> hists_ FTMR_GUARDED_BY(mu_);

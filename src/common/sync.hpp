@@ -25,6 +25,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/lock_order.hpp"
+
 // ---------------------------------------------------------------------------
 // Attribute macros (see clang's Thread Safety Analysis documentation).
 // ---------------------------------------------------------------------------
@@ -50,20 +52,56 @@
 #define FTMR_RETURN_CAPABILITY(x) FTMR_THREAD_ANNOTATION(lock_returned(x))
 #define FTMR_NO_THREAD_SAFETY_ANALYSIS FTMR_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+// Marks a function that may suspend the calling fiber (park on a wait
+// channel, yield to the scheduler, or call something that does). ftmr-lint
+// closes this set transitively over the call graph and rejects any
+// may-park call made while a lock is live — a parked fiber would keep the
+// lock held and deadlock single-worker schedules. The only sanctioned
+// exception is the guard handoff into Job::wait_blocked / Scheduler::park
+// with exactly the one lock being handed off. Under clang the annotation
+// is also visible to AST tooling.
+#if defined(__clang__)
+#define FTMR_MAY_PARK __attribute__((annotate("ftmr_may_park")))
+#else
+#define FTMR_MAY_PARK
+#endif
+
 namespace ftmr {
 
 class CondVar;
 
 /// std::mutex with a capability annotation.
+///
+/// A Mutex constructed with a name participates in the debug-build runtime
+/// lock-order check (see common/lock_order.hpp): the name must match a
+/// `locks:` entry in tools/ftmr_lint/lock_table.yaml, and every nested
+/// acquisition is validated against the table's edges on the spot. Unnamed
+/// mutexes (locals in tests, ad-hoc guards) are not tracked. With
+/// FTMR_LOCK_ORDER_CHECKS off the hooks are empty inline functions and
+/// only the name pointer remains.
 class FTMR_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(const char* name) noexcept : name_(name) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() FTMR_ACQUIRE() { mu_.lock(); }
-  void unlock() FTMR_RELEASE() { mu_.unlock(); }
-  bool try_lock() FTMR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() FTMR_ACQUIRE() {
+    lockorder::on_acquire(name_);
+    mu_.lock();
+  }
+  void unlock() FTMR_RELEASE() {
+    mu_.unlock();
+    lockorder::on_release(name_);
+  }
+  bool try_lock() FTMR_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lockorder::on_acquire(name_);
+    return true;
+  }
+
+  /// Table name this mutex was registered under (nullptr if untracked).
+  const char* name() const noexcept { return name_; }
 
   /// Assert (to the static analysis only — this is a runtime no-op) that
   /// the calling context holds this mutex. For code the analysis cannot
@@ -73,6 +111,7 @@ class FTMR_CAPABILITY("mutex") Mutex {
  private:
   friend class CondVar;
   std::mutex mu_;
+  const char* name_ = nullptr;
 };
 
 /// Scoped lock (std::lock_guard/unique_lock replacement). Relockable: the

@@ -111,9 +111,13 @@ Status Comm::send(int dst, int tag, std::span<const std::byte> data) {
     return handle({ErrorCode::kInvalidArgument, "send: bad destination rank"});
   }
   MutexLock lock(job_->mu);
-  if (state_->revoked) return handle({ErrorCode::kRevoked, "send on revoked comm"});
+  if (state_->revoked) {
+    lock.unlock();
+    return handle({ErrorCode::kRevoked, "send on revoked comm"});
+  }
   const int dst_global = state_->group[dst];
   if (!job_->ranks[dst_global].alive) {
+    lock.unlock();
     return handle({ErrorCode::kProcFailed, "send: peer is dead"});
   }
   RankState& me = job_->ranks[global_rank_];
@@ -164,10 +168,12 @@ Status Comm::rma_put(int dst, size_t bytes) {
   }
   MutexLock lock(job_->mu);
   if (state_->revoked) {
+    lock.unlock();
     return handle({ErrorCode::kRevoked, "rma_put on revoked comm"});
   }
   const int dst_global = state_->group[dst];
   if (!job_->ranks[dst_global].alive) {
+    lock.unlock();
     return handle({ErrorCode::kProcFailed, "rma_put: target is dead"});
   }
   if (state_->accounts_time) {
@@ -185,10 +191,12 @@ Status Comm::rma_get(int src, size_t bytes) {
   }
   MutexLock lock(job_->mu);
   if (state_->revoked) {
+    lock.unlock();
     return handle({ErrorCode::kRevoked, "rma_get on revoked comm"});
   }
   const int src_global = state_->group[src];
   if (!job_->ranks[src_global].alive) {
+    lock.unlock();
     return handle({ErrorCode::kProcFailed, "rma_get: source is dead"});
   }
   if (state_->accounts_time) {
@@ -234,16 +242,21 @@ Status Comm::recv(int src, int tag, Bytes& out, MessageInfo* info) {
       return Status::Ok();
     }
     // 2) otherwise fail on revocation / peer death.
-    if (state_->revoked) return handle({ErrorCode::kRevoked, "recv on revoked comm"});
+    if (state_->revoked) {
+      lock.unlock();
+      return handle({ErrorCode::kRevoked, "recv on revoked comm"});
+    }
     if (src != kAnySource) {
       const int src_global = state_->group[src];
       if (!job_->ranks[src_global].alive) {
+        lock.unlock();
         return handle({ErrorCode::kProcFailed, "recv: peer is dead"});
       }
     } else {
       // ULFM semantics: a wildcard receive cannot complete while there are
       // un-acknowledged failures in the communicator.
       if (!job_->unacked_dead_locked(global_rank_, *state_).empty()) {
+        lock.unlock();
         return handle({ErrorCode::kProcFailedPending,
                        "recv(ANY_SOURCE) with un-acked failures"});
       }
@@ -258,6 +271,7 @@ Status Comm::recv(int src, int tag, Bytes& out, MessageInfo* info) {
       inbox.waiting = true;
     }
     if (job_->wait_blocked(job_->recv_ch[global_rank_])) {
+      lock.unlock();
       return handle({ErrorCode::kInternal, "recv: deadlock timeout"});
     }
   }

@@ -42,13 +42,13 @@ class Request {
   /// Attempt completion without blocking; true once complete.
   bool test();
   /// Block until complete; returns the operation's status.
-  Status wait();
+  Status wait() FTMR_MAY_PARK;
   [[nodiscard]] bool done() const;
   /// Status observed so far (meaningful once done()).
   [[nodiscard]] Status status() const;
 
   /// MPI_Waitall: wait on every request; returns the first non-OK status.
-  static Status wait_all(std::span<Request> requests);
+  static Status wait_all(std::span<Request> requests) FTMR_MAY_PARK;
 
  private:
   friend class Comm;
@@ -182,7 +182,9 @@ class Comm {
   friend class Runtime;
 
   /// Run the error handler (if any) on a non-OK status, then return it.
-  Status handle(Status s);
+  /// May-park: a user error handler may issue arbitrary MPI calls (recv,
+  /// collectives), so it must never run under a live lock.
+  Status handle(Status s) FTMR_MAY_PARK;
 
   /// Generic arrival-synchronized collective (see job.hpp). `compute` runs
   /// once, on the last arriver, and must fill slot.results/done_vtime for

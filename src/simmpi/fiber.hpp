@@ -60,7 +60,10 @@ class Fiber {
   void* stack_lo_ = nullptr;  // usable stack low address (above the guard)
   size_t stack_bytes_ = 0;
 
-  // ---- scheduler bookkeeping; guarded by the owning Scheduler's mutex ----
+  // ---- scheduler bookkeeping; guarded by the owning Scheduler's mu_ ----
+  // A cross-object guard the thread-safety annotations cannot express
+  // (same situation as WaitChannel): enforced by keeping every access
+  // inside scheduler.cpp and by the TSan CI leg.
   State state_ = State::kReady;
   WaitChannel* channel_ = nullptr;  // where parked (null unless kParked)
   bool timed_out_ = false;          // last park ended by deadlock/deadline

@@ -99,7 +99,7 @@ struct CollectiveSlot {
 /// published intent to park (two-phase: set waiting, re-check staged, then
 /// park) — it makes "N pending sends" cost one wakeup instead of N.
 struct Inbox {
-  Mutex mu;
+  Mutex mu{"inbox.mu"};
   std::vector<Message> staged FTMR_GUARDED_BY(mu);
   bool waiting FTMR_GUARDED_BY(mu) = false;
 };
@@ -136,7 +136,7 @@ class Job {
   Job& operator=(const Job&) = delete;
 
   // ---- guarded by mu ----
-  Mutex mu;
+  Mutex mu{"job.mu"};
   /// Legacy wait path for threads that are not scheduler fibers (none in
   /// the current runtime, but wait_blocked falls back here so Comm stays
   /// usable from a plain thread). Fiber wakeup goes through the channels.
@@ -205,7 +205,7 @@ class Job {
   /// in a loop). On a scheduler fiber this parks the fiber; on a plain
   /// thread it falls back to the legacy CV with the wall-clock timeout.
   /// Returns true if the wait was ended by deadlock detection / timeout.
-  bool wait_blocked(WaitChannel& ch) FTMR_REQUIRES(mu);
+  bool wait_blocked(WaitChannel& ch) FTMR_REQUIRES(mu) FTMR_MAY_PARK;
 
   /// Wake fibers parked on `ch` (and legacy CV waiters). Callable with or
   /// without `mu`; the caller must have already applied its state change.

@@ -61,7 +61,7 @@ void Scheduler::add_fiber(std::function<void()> body, int tag) {
   f->ctx_.uc_stack.ss_size = f->stack_bytes_;
   f->ctx_.uc_link = nullptr;  // fibers exit via switch_out, never by return
   makecontext(&f->ctx_, &Scheduler::trampoline, 0);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   runq_.push_back(f.get());
   fibers_.push_back(std::move(f));
 }
@@ -82,7 +82,7 @@ void Scheduler::worker_loop() {
   t_scheduler = this;
   t_worker_tsan = sanitizer::current_thread_handle();
   uint64_t dispatches = 0;
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   while (done_ < fibers_.size()) {
     if (!runq_.empty()) {
       Fiber* f = runq_.front();
@@ -107,7 +107,7 @@ void Scheduler::worker_loop() {
       wake_parked_locked(/*timed_out=*/true);
       continue;
     }
-    cv_.wait_for(lk, std::chrono::milliseconds(50));
+    cv_.wait_for(mu_, std::chrono::milliseconds(50));
     sweep_deadline_locked();
   }
   cv_.notify_all();  // release idle peers so they observe completion
@@ -167,7 +167,7 @@ void Scheduler::trampoline_body() {
   }
   Scheduler* sched = scheduler_tls();  // fresh: the body may have migrated
   {
-    std::lock_guard<std::mutex> lk(sched->mu_);
+    MutexLock lk(sched->mu_);
     f->state_ = Fiber::State::kDone;
     sched->done_++;
     sched->cv_.notify_all();
@@ -179,7 +179,7 @@ void Scheduler::trampoline_body() {
 bool Scheduler::park(WaitChannel& ch, Mutex& guard) {
   Fiber* f = current_fiber_tls();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (ch.wake_pending) {
       // A targeted wake raced ahead of this park (two-phase protocol, e.g.
       // a sender that saw the receiver's intent to sleep): consume it.
@@ -189,6 +189,7 @@ bool Scheduler::park(WaitChannel& ch, Mutex& guard) {
     f->state_ = Fiber::State::kParked;
     f->channel_ = &ch;
     f->timed_out_ = false;
+    // ftmr-lint: allow(determinism, parked_at_ only feeds the wall-clock livelock backstop - replayed state never reads it)
     f->parked_at_ = std::chrono::steady_clock::now();
     ch.waiters.push_back(f);
     parked_++;
@@ -208,7 +209,7 @@ void Scheduler::yield() {
   if (f == nullptr) return;  // non-fiber thread: nothing to reschedule
   Scheduler* sched = scheduler_tls();
   {
-    std::lock_guard<std::mutex> lk(sched->mu_);
+    MutexLock lk(sched->mu_);
     if (sched->runq_.empty() && sched->running_ == 1) {
       return;  // sole runnable fiber — a switch would come straight back
     }
@@ -221,7 +222,7 @@ void Scheduler::yield() {
 }
 
 void Scheduler::wake(WaitChannel& ch) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (ch.waiters.empty()) {
     ch.wake_pending = true;  // latched; the next park consumes it
     return;
@@ -237,7 +238,7 @@ void Scheduler::wake(WaitChannel& ch) {
 }
 
 void Scheduler::wake_all_parked() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   wake_parked_locked(/*timed_out=*/false);
 }
 
@@ -262,6 +263,7 @@ bool Scheduler::wake_parked_locked(bool timed_out) {
 
 bool Scheduler::sweep_deadline_locked() {
   if (parked_ == 0) return false;
+  // ftmr-lint: allow(determinism, deadline sweep is the wall-clock livelock backstop - fires only after deadline_s of real-time stall)
   const auto now = std::chrono::steady_clock::now();
   const auto limit = std::chrono::duration<double>(opts_.deadline_s);
   bool any = false;

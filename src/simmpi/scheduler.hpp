@@ -34,11 +34,9 @@
 // stay parked).
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -103,12 +101,12 @@ class Scheduler {
   /// for the duration of the park and re-held on return, condition-variable
   /// style. Returns true if the park was ended by deadlock detection or
   /// the wall-clock deadline rather than a wake. Must be called on a fiber.
-  bool park(WaitChannel& ch, Mutex& guard) FTMR_REQUIRES(guard);
+  bool park(WaitChannel& ch, Mutex& guard) FTMR_REQUIRES(guard) FTMR_MAY_PARK;
 
   /// Reschedule the current fiber to the back of the run queue, letting
   /// other ready fibers run. No-op on a non-fiber thread. Polling loops
   /// (iprobe) yield so single-worker configurations still make progress.
-  void yield();
+  void yield() FTMR_MAY_PARK;
 
   /// Wake every fiber parked on `ch`; latch wake_pending if none is.
   void wake(WaitChannel& ch);
@@ -128,22 +126,23 @@ class Scheduler {
   static void trampoline();
 
   // All return true if they woke at least one fiber. Caller holds mu_.
-  bool wake_parked_locked(bool timed_out);
-  bool sweep_deadline_locked();
+  bool wake_parked_locked(bool timed_out) FTMR_REQUIRES(mu_);
+  bool sweep_deadline_locked() FTMR_REQUIRES(mu_);
 
   Options opts_;
-  std::vector<std::unique_ptr<Fiber>> fibers_;
+  /// Registration happens before the worker pool exists; after that the
+  /// vector is append-free and workers only read through stable Fiber*.
+  /// Mutations and the size() read in worker_loop stay under mu_.
+  std::vector<std::unique_ptr<Fiber>> fibers_ FTMR_GUARDED_BY(mu_);
 
-  // The scheduler's internal lock. A std::mutex (not ftmr::Mutex) because
-  // the worker loop needs std::condition_variable::wait_for on it; the
-  // fiber-facing entry points document their locking in comments instead
-  // of annotations (see WaitChannel).
-  std::mutex mu_;
-  std::condition_variable cv_;          // idle workers wait here
-  std::deque<Fiber*> runq_;             // guarded by mu_
-  int running_ = 0;                     // fibers checked out by workers
-  int parked_ = 0;                      // fibers on some channel
-  size_t done_ = 0;                     // fibers finished for good
+  /// The scheduler's internal lock (a leaf: only Job::mu may be held when
+  /// acquiring it, via the park handoff — see lock_table.yaml).
+  Mutex mu_{"sched.mu"};
+  CondVar cv_;                                   // idle workers wait here
+  std::deque<Fiber*> runq_ FTMR_GUARDED_BY(mu_);
+  int running_ FTMR_GUARDED_BY(mu_) = 0;  // fibers checked out by workers
+  int parked_ FTMR_GUARDED_BY(mu_) = 0;   // fibers on some channel
+  size_t done_ FTMR_GUARDED_BY(mu_) = 0;  // fibers finished for good
 };
 
 }  // namespace ftmr::simmpi

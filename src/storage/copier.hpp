@@ -103,7 +103,7 @@ class CopierAgent {
   int concurrency_;
   CopierModel model_;
   RetryPolicy retry_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"copier.mu"};
   double busy_until_ FTMR_GUARDED_BY(mu_) = 0.0;
   double cpu_seconds_ FTMR_GUARDED_BY(mu_) = 0.0;
   double io_seconds_ FTMR_GUARDED_BY(mu_) = 0.0;

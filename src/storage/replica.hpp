@@ -108,7 +108,7 @@ class ReplicaStore {
   ReadFault draw_read_fault(std::string_view path) FTMR_REQUIRES(mu_);
 
   TierModel model_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"replica.store"};
   // holder rank -> (path -> blob). Rank threads deposit into each other's
   // maps concurrently, so everything lives under one mutex; blobs are
   // checkpoint-delta sized, copies are cheap relative to the modeled wire.

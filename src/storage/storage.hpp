@@ -211,7 +211,7 @@ class StorageSystem {
   // fault injector, which share one seeded RNG stream — lives under
   // stats_mu_, which rank threads and the stress tests hit concurrently.
   StorageOptions opts_;
-  mutable Mutex stats_mu_;
+  mutable Mutex stats_mu_{"storage.stats"};
   TierStats local_stats_ FTMR_GUARDED_BY(stats_mu_);
   TierStats shared_stats_ FTMR_GUARDED_BY(stats_mu_);
   int injected_failures_ FTMR_GUARDED_BY(stats_mu_) = 0;

@@ -1,0 +1,22 @@
+// ftmr-lint selftest fixture: counted-op MUST-FLAG — mailbox/op state
+// mutated outside the counted-op helper files. `staged` and `waiting`
+// are watched members (the deterministic kill-addressing axis).
+
+namespace fixture {
+
+struct SideDoor {
+  int staged;
+  bool waiting;
+};
+
+struct Carton {
+  SideDoor box;
+  void poke();
+};
+
+void Carton::poke() {
+  box.staged = 3;      // FLAG(counted-op)
+  box.waiting = true;  // FLAG(counted-op)
+}
+
+}  // namespace fixture

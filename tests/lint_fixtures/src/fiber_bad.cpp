@@ -1,0 +1,40 @@
+// ftmr-lint selftest fixture: fiber-blocking MUST-FLAG cases — parking
+// or yielding while a lock is live, directly, transitively, and through
+// a two-lock "handoff". Never compiled; the linter reads the tokens.
+
+namespace fixture {
+
+// Seed by name: matches the may_park_seeds config entry.
+void cooperative_yield() {}
+
+// Transitively may-park: calls the seed.
+void helper_that_yields() { cooperative_yield(); }
+
+struct Box {
+  Mutex mu;
+  Mutex mu2;
+  bool wait_blocked() FTMR_MAY_PARK;
+  void direct_yield_under_lock();
+  void transitive_park_under_lock();
+  void handoff_with_two_locks();
+};
+
+bool Box::wait_blocked() { return false; }
+
+void Box::direct_yield_under_lock() {
+  MutexLock lock(mu);
+  cooperative_yield();  // FLAG(fiber-blocking)
+}
+
+void Box::transitive_park_under_lock() {
+  MutexLock lock(mu);
+  helper_that_yields();  // FLAG(fiber-blocking)
+}
+
+void Box::handoff_with_two_locks() {
+  MutexLock lock(mu);
+  MutexLock inner(mu2);
+  wait_blocked();  // FLAG(fiber-blocking)
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// ftmr-lint selftest fixture: fiber-blocking MUST-PASS cases — the
+// unlock-then-call idiom and the sanctioned single-lock guard handoff.
+
+namespace fixture {
+
+// cooperative_yield (the seed) is defined in fiber_bad.cpp; the linter
+// sees the whole fixture tree as one model, so the bare call resolves.
+struct Crate {
+  Mutex mu;
+  bool wait_blocked() FTMR_MAY_PARK;
+  void unlock_then_yield();
+  void sanctioned_handoff();
+};
+
+bool Crate::wait_blocked() { return false; }
+
+void Crate::unlock_then_yield() {
+  MutexLock lock(mu);
+  lock.unlock();
+  cooperative_yield();
+}
+
+void Crate::sanctioned_handoff() {
+  MutexLock lock(mu);
+  wait_blocked();  // exactly one live lock: the condition-variable-style handoff
+}
+
+}  // namespace fixture

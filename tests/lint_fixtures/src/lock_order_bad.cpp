@@ -1,0 +1,32 @@
+// ftmr-lint selftest fixture: lock-order MUST-FLAG cases — a nesting
+// that is not a lock-table edge, an unregistered lock, and a
+// self-deadlocking re-acquisition.
+
+namespace fixture {
+
+struct Alpha {
+  Mutex mu;
+};
+struct Beta {
+  Mutex mu;
+};
+struct Delta {
+  Mutex mu;
+  void acquire_unregistered();
+};
+
+void inverted_nesting(Alpha& a, Beta& b) {
+  MutexLock outer(b.mu);
+  MutexLock inner(a.mu);  // FLAG(lock-order)
+}
+
+void Delta::acquire_unregistered() {
+  MutexLock lock(mu);  // FLAG(lock-order)
+}
+
+void reacquire_same(Alpha& a) {
+  MutexLock first(a.mu);
+  MutexLock again(a.mu);  // FLAG(lock-order)
+}
+
+}  // namespace fixture

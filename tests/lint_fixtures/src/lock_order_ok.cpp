@@ -1,0 +1,29 @@
+// ftmr-lint selftest fixture: lock-order MUST-PASS — nesting along the
+// table's a.mu -> b.mu edge, including through a call (the transitive
+// acquire summary must not misfire on a legal chain).
+
+namespace fixture {
+
+// Registered in the fixture lock table as a2.mu / b2.mu.
+struct Alpha2 {
+  Mutex mu;
+};
+struct Beta2 {
+  Mutex mu;
+};
+
+void take_leaf(Beta2& b) {
+  MutexLock lock(b.mu);
+}
+
+void legal_nesting(Alpha2& a, Beta2& b) {
+  MutexLock outer(a.mu);
+  MutexLock inner(b.mu);
+}
+
+void legal_via_call(Alpha2& a, Beta2& b) {
+  MutexLock outer(a.mu);
+  take_leaf(b);
+}
+
+}  // namespace fixture

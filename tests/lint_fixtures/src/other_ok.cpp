@@ -1,0 +1,12 @@
+// ftmr-lint selftest fixture: MUST-PASS. The same wall-clock calls that
+// determinism_bad.cpp flags are fine outside the replay-critical paths
+// (this file is under src/ but not src/simmpi/ or src/testing/).
+#include <ctime>
+
+namespace fixture {
+
+double outside_replay_path() {
+  return static_cast<double>(time(nullptr));
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// ftmr-lint selftest fixture: determinism MUST-FLAG cases. This file
+// lives under the fixture tree's src/simmpi/ so it is replay-critical;
+// every FLAG(...) marker names the diagnostic the linter must emit on
+// that line (selftest.py compares the sets exactly). Never compiled.
+#include <chrono>
+#include <ctime>
+#include <unordered_map>
+
+namespace fixture {
+
+double wall_stamp() {
+  return static_cast<double>(time(nullptr));  // FLAG(determinism)
+}
+
+int unseeded_jitter() {
+  return rand() % 7;  // FLAG(determinism)
+}
+
+double monotonic_read() {
+  auto t = std::chrono::steady_clock::now();  // FLAG(determinism)
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+int hash_ordered() {
+  std::unordered_map<int, int> m;  // FLAG(determinism)
+  m[1] = 2;
+  return static_cast<int>(m.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// ftmr-lint selftest fixture: determinism MUST-PASS cases. A reasoned
+// escape hatch and an ordered container in a replay-critical path emit
+// nothing.
+#include <ctime>
+#include <map>
+
+namespace fixture {
+
+double justified_wall_read() {
+  // ftmr-lint: allow(determinism, fixture exercises the reasoned hatch)
+  return static_cast<double>(time(nullptr));
+}
+
+int ordered_container() {
+  std::map<int, int> m;
+  m[1] = 2;
+  return static_cast<int>(m.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// ftmr-lint selftest fixture: a reason-less escape hatch is itself an
+// error AND fails to suppress the underlying diagnostic.
+#include <ctime>
+
+namespace fixture {
+
+double hatch_without_reason() {
+  // ftmr-lint: allow(determinism) FLAG(escape-hatch)
+  return static_cast<double>(time(nullptr));  // FLAG(determinism)
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// ftmr-lint selftest fixture: counted-op MUST-PASS. This path matches a
+// counted_op_allowed_files entry (src/simmpi/job.cpp), so the same
+// watched-member mutations counted_bad.cpp flags are legal here — this
+// is where the counted-op helpers themselves live.
+
+namespace fixture {
+
+struct HelperDoor {
+  int staged;
+  bool waiting;
+};
+
+struct HelperOwner {
+  HelperDoor box;
+  void counted_mutation();
+};
+
+void HelperOwner::counted_mutation() {
+  box.staged = 3;
+  box.waiting = true;
+}
+
+}  // namespace fixture

@@ -1,0 +1,138 @@
+// Runtime lock-order checker (common/lock_order.cpp): the debug-build
+// assertion layer that cross-validates tools/ftmr_lint/lock_table.yaml
+// dynamically. The meaningful assertions need FTMR_LOCK_ORDER_CHECKS;
+// in release builds the suite degrades to checking that the hooks are
+// compiled-out no-ops.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/lock_order.hpp"
+#include "common/sync.hpp"
+
+namespace ftmr {
+namespace {
+
+#if defined(FTMR_LOCK_ORDER_CHECKS)
+
+struct Violation {
+  std::string held, acquiring, what;
+};
+std::vector<Violation>* g_violations = nullptr;
+
+void record_violation(const char* held, const char* acquiring,
+                      const char* what) {
+  g_violations->push_back({held == nullptr ? "" : held, acquiring, what});
+}
+
+class LockOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_violations = &violations_;
+    prev_ = lockorder::set_violation_handler(&record_violation);
+    ASSERT_EQ(lockorder::held_depth(), 0);
+  }
+  void TearDown() override {
+    lockorder::set_violation_handler(prev_);
+    g_violations = nullptr;
+    EXPECT_EQ(lockorder::held_depth(), 0);
+  }
+  std::vector<Violation> violations_;
+  lockorder::ViolationHandler prev_ = nullptr;
+};
+
+TEST_F(LockOrderTest, AllowedEdgeIsSilent) {
+  // job.mu -> inbox.mu is a table edge (the send/recv staging path).
+  Mutex job{"job.mu"};
+  Mutex inbox{"inbox.mu"};
+  {
+    MutexLock a(job);
+    MutexLock b(inbox);
+    EXPECT_EQ(lockorder::held_depth(), 2);
+  }
+  EXPECT_TRUE(violations_.empty());
+}
+
+TEST_F(LockOrderTest, ReversedEdgeIsViolation) {
+  Mutex job{"job.mu"};
+  Mutex inbox{"inbox.mu"};
+  {
+    MutexLock b(inbox);
+    MutexLock a(job);  // inbox.mu -> job.mu is not in the table
+  }
+  ASSERT_EQ(violations_.size(), 1u);
+  EXPECT_EQ(violations_[0].held, "inbox.mu");
+  EXPECT_EQ(violations_[0].acquiring, "job.mu");
+}
+
+TEST_F(LockOrderTest, ReacquisitionIsViolation) {
+  // Two Mutex objects sharing a name model a second instance of the same
+  // lock class; re-entry on one rank's chain is a self-deadlock risk the
+  // checker reports regardless of object identity.
+  Mutex a1{"job.mu"};
+  Mutex a2{"job.mu"};
+  {
+    MutexLock l1(a1);
+    MutexLock l2(a2);
+  }
+  ASSERT_EQ(violations_.size(), 1u);
+  EXPECT_EQ(violations_[0].what,
+            std::string("re-acquisition of a lock already held"));
+}
+
+TEST_F(LockOrderTest, UnnamedAndUntrackedLocksIgnored) {
+  Mutex anon;              // no name: never reported to the checker
+  Mutex other{"not.in.table"};
+  {
+    MutexLock a(anon);
+    MutexLock b(other);
+    EXPECT_EQ(lockorder::held_depth(), 0);
+  }
+  EXPECT_TRUE(violations_.empty());
+}
+
+TEST_F(LockOrderTest, RelockableGuardReleasesOutOfOrder) {
+  // MutexLock::unlock releases mid-scope; the held stack must cope with
+  // non-LIFO release (the unlock-then-return idiom).
+  Mutex job{"job.mu"};
+  Mutex inbox{"inbox.mu"};
+  MutexLock a(job);
+  MutexLock b(inbox);
+  a.unlock();
+  EXPECT_EQ(lockorder::held_depth(), 1);
+  b.unlock();
+  EXPECT_EQ(lockorder::held_depth(), 0);
+  EXPECT_TRUE(violations_.empty());
+}
+
+TEST_F(LockOrderTest, RuntimeCatchesTheCallbackEdge) {
+  // The edge the static pass cannot see: Job::mu held while a
+  // std::function death hook reaches into the replica store. The table
+  // allows it explicitly, so it must be silent.
+  Mutex job{"job.mu"};
+  Mutex store{"replica.store"};
+  {
+    MutexLock a(job);
+    MutexLock b(store);
+  }
+  EXPECT_TRUE(violations_.empty());
+}
+
+#else  // !FTMR_LOCK_ORDER_CHECKS
+
+TEST(LockOrderTest, CompiledOutHooksAreNoOps) {
+  auto prev = lockorder::set_violation_handler(nullptr);
+  EXPECT_EQ(prev, nullptr);
+  lockorder::on_acquire("job.mu");
+  EXPECT_EQ(lockorder::held_depth(), 0);
+  lockorder::on_release("job.mu");
+  Mutex named{"job.mu"};
+  MutexLock l(named);  // named mutexes still work; they just don't report
+}
+
+#endif  // FTMR_LOCK_ORDER_CHECKS
+
+}  // namespace
+}  // namespace ftmr

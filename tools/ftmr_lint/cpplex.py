@@ -1,0 +1,186 @@
+"""cpplex — a small C++ lexer for ftmr-lint.
+
+Produces a token stream (identifier / number / string / char / punctuator),
+a per-line comment map (the escape-hatch channel), and the list of
+#include directives. This is a real lexer, not line regexes: comments,
+string literals (including raw strings), character literals and line
+splices are handled, so an identifier inside a string can never be
+mistaken for code and a brace inside a comment can never unbalance a
+scope. Preprocessor directives other than #include are dropped from the
+token stream (both arms of an #if are lexed — the parser above is
+expected to tolerate that).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+CHAR = "char"
+PUNCT = "punct"
+
+# Longest-match punctuators that matter to the parser. Everything else
+# falls through as single characters.
+_PUNCTS = [
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", ".*",
+]
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUM_RE = re.compile(r"\.?[0-9](?:[0-9a-zA-Z_.']|[eEpP][+-])*")
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^>"]+)[>"]')
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+
+
+def lex(text: str):
+    """Lex `text`. Returns (tokens, comments, includes) where comments is a
+    list of (line, comment_text) and includes a list of (line, path)."""
+    tokens: list[Token] = []
+    comments: list[tuple[int, str]] = []
+    includes: list[tuple[int, str]] = []
+
+    # Fold line splices but keep line numbers stable by remembering how many
+    # splices preceded each position. Simpler: process with an index walk.
+    i = 0
+    n = len(text)
+    line = 1
+    at_line_start = True
+
+    def splice(j: int) -> int:
+        # Skip backslash-newline sequences starting at j; returns new index.
+        nonlocal line
+        while j + 1 < n and text[j] == "\\" and text[j + 1] == "\n":
+            j += 2
+            line += 1
+        return j
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "\\" and i + 1 < n and text[i + 1] == "\n":
+            i += 2
+            line += 1
+            continue
+        # Comments.
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            comments.append((line, text[i:j]))
+            i = j
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            if j == -1:
+                j = n
+            else:
+                j += 2
+            body = text[i:j]
+            # A block comment spanning lines attaches to its first line.
+            comments.append((line, body))
+            line += body.count("\n")
+            i = j
+            continue
+        # Preprocessor directive: record #include, swallow the directive
+        # line (honoring splices) for everything else.
+        if c == "#" and at_line_start:
+            j = i
+            start_line = line
+            while j < n and text[j] != "\n":
+                if text[j] == "\\" and j + 1 < n and text[j + 1] == "\n":
+                    j += 2
+                    line += 1
+                    continue
+                if text[j] == "/" and j + 1 < n and text[j + 1] == "/":
+                    break
+                j += 1
+            directive = text[i:j]
+            m = _INCLUDE_RE.match(directive)
+            if m:
+                includes.append((start_line, m.group(1)))
+            i = j
+            continue
+        at_line_start = False
+        # Raw strings: R"delim( ... )delim"
+        if c == "R" and text.startswith('R"', i):
+            m = re.match(r'R"([^ ()\\\t\n]{0,16})\(', text[i:])
+            if m:
+                delim = m.group(1)
+                close = ")" + delim + '"'
+                j = text.find(close, i + m.end())
+                j = n if j == -1 else j + len(close)
+                body = text[i:j]
+                tokens.append(Token(STRING, body, line))
+                line += body.count("\n")
+                i = j
+                continue
+        # Ordinary string / char literals (with prefixes).
+        m = re.match(r'(?:u8|[uUL])?"', text[i:])
+        if m:
+            j = i + m.end()
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == '"':
+                    j += 1
+                    break
+                if text[j] == "\n":  # unterminated; bail at line end
+                    break
+                j += 1
+            tokens.append(Token(STRING, text[i:j], line))
+            i = j
+            continue
+        m = re.match(r"(?:u8|[uUL])?'", text[i:])
+        if m:
+            j = i + m.end()
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == "'":
+                    j += 1
+                    break
+                if text[j] == "\n":
+                    break
+                j += 1
+            tokens.append(Token(CHAR, text[i:j], line))
+            i = j
+            continue
+        m = _IDENT_RE.match(text, i)
+        if m:
+            tokens.append(Token(IDENT, m.group(0), line))
+            i = m.end()
+            continue
+        m = _NUM_RE.match(text, i)
+        if m and c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            m = _NUM_RE.match(text, i)
+            tokens.append(Token(NUMBER, m.group(0), line))
+            i = m.end()
+            continue
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                tokens.append(Token(PUNCT, p, line))
+                i += len(p)
+                break
+        else:
+            tokens.append(Token(PUNCT, c, line))
+            i += 1
+    return tokens, comments, includes

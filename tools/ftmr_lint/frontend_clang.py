@@ -1,0 +1,392 @@
+"""frontend_clang — libclang (clang.cindex) lowering to the shared IR.
+
+The CI lint job runs this frontend: it parses every TU with the real
+compile flags from compile_commands.json, so templates, macros, and
+overload resolution are the compiler's, not a lexer's. Where cindex
+resolves a reference (a callee's class, the field a lock expression
+names) the IR gets *precise* canon/recv_cls values; where it cannot
+(calls through `std::function` values), the same sentinels the builtin
+frontend uses keep the checks' semantics identical.
+
+Import of this module is optional — ftmr_lint.make_frontend() falls back
+to frontend_builtin when `clang.cindex` (python3-clang + libclang) is
+absent, and `ClangFrontend.available()` additionally probes that the
+shared library actually loads.
+"""
+
+from __future__ import annotations
+
+import os
+
+from model import Event, FunctionIR, ClassInfo, FileIR, Model, parse_allows
+
+try:
+    from clang import cindex
+    from clang.cindex import CursorKind, TokenKind
+except ImportError:  # caller gates on this
+    cindex = None
+    CursorKind = TokenKind = None
+
+_SCOPED_LOCK_TYPES = ("MutexLock", "lock_guard", "unique_lock", "scoped_lock")
+_MUTEX_TYPES = ("Mutex", "mutex", "shared_mutex", "recursive_mutex")
+
+_FN_KINDS = None
+_CLASS_KINDS = None
+
+
+def _init_kinds():
+    global _FN_KINDS, _CLASS_KINDS
+    _FN_KINDS = {
+        CursorKind.CXX_METHOD, CursorKind.FUNCTION_DECL,
+        CursorKind.CONSTRUCTOR, CursorKind.DESTRUCTOR,
+        CursorKind.FUNCTION_TEMPLATE,
+    }
+    _CLASS_KINDS = {
+        CursorKind.CLASS_DECL, CursorKind.STRUCT_DECL,
+        CursorKind.CLASS_TEMPLATE,
+    }
+
+
+def _qualified(cur) -> str:
+    """Fully qualified spelling (namespaces + classes), e.g.
+    std::chrono::steady_clock::now."""
+    parts = []
+    c = cur
+    while c is not None and c.kind != CursorKind.TRANSLATION_UNIT:
+        if c.spelling:
+            parts.append(c.spelling)
+        c = c.semantic_parent
+    return "::".join(reversed(parts))
+
+
+def _extent_text(cur) -> str:
+    try:
+        return " ".join(t.spelling for t in cur.get_tokens())
+    except Exception:
+        return ""
+
+
+def _type_leaf(spelling: str) -> str:
+    """Last identifier-ish component of a type spelling, template args and
+    qualifiers stripped: `const ftmr::Mutex &` -> Mutex."""
+    s = spelling.split("<")[0]
+    for q in ("const ", "volatile ", "mutable "):
+        s = s.replace(q, "")
+    s = s.replace("&", "").replace("*", "").strip()
+    return s.rsplit("::", 1)[-1]
+
+
+class ClangFrontend:
+    name = "clang"
+
+    _probe = None  # cached availability result
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+
+    @classmethod
+    def available(cls) -> bool:
+        if cindex is None:
+            return False
+        if cls._probe is None:
+            try:
+                cindex.Index.create()
+                cls._probe = True
+            except Exception:
+                cls._probe = False
+        return cls._probe
+
+    # -- project ----------------------------------------------------------
+
+    def parse_project(self, units, root) -> Model:
+        _init_kinds()
+        model = Model(root=os.path.abspath(root))
+        excluded = tuple(self.cfg.get("exclude_files", ()))
+        index = cindex.Index.create()
+        seen_files = set()
+
+        def want(path: str) -> bool:
+            if not path or not path.startswith(model.root + os.sep):
+                return False
+            rel = model.rel(path)
+            return not any(rel.endswith(e) for e in excluded)
+
+        for src, incs in units:
+            args = [f"-I{d}" for d in incs] + [
+                "-std=c++20", "-xc++", "-fsyntax-only", "-Wno-everything",
+            ]
+            try:
+                tu = index.parse(
+                    src, args=args,
+                    options=cindex.TranslationUnit
+                    .PARSE_DETAILED_PROCESSING_RECORD)
+            except Exception as e:  # unparsable TU: skip, don't abort the run
+                print(f"ftmr-lint[clang]: warning: failed to parse {src}: {e}")
+                continue
+            self._lower_tu(tu, model, seen_files, want)
+        return model
+
+    def _lower_tu(self, tu, model, seen_files, want):
+        macro_lines = {}   # (path, line) -> mapped call name
+        ident_macros = self.cfg.get("macro_ident_calls", {})
+
+        for cur in tu.cursor.get_children():
+            loc_file = cur.location.file
+            path = os.path.abspath(loc_file.name) if loc_file else ""
+            if cur.kind == CursorKind.MACRO_INSTANTIATION:
+                if cur.spelling in ident_macros and want(path):
+                    macro_lines[(path, cur.location.line)] = \
+                        ident_macros[cur.spelling]
+                continue
+            if not want(path):
+                continue
+            if path not in seen_files:
+                seen_files.add(path)
+                fir = FileIR(path=path)
+                fir.allows, fir.allow_errors = \
+                    parse_allows(self._comments(tu, path))
+                model.files[path] = fir
+            self._walk_decl(cur, model, "", macro_lines)
+
+        # A TU's headers may carry macro uses too; the instantiation list
+        # above covers them because it is TU-global.
+
+    def _comments(self, tu, path):
+        out = []
+        try:
+            for tok in tu.get_tokens(extent=tu.cursor.extent):
+                f = tok.location.file
+                if (tok.kind == TokenKind.COMMENT and f
+                        and os.path.abspath(f.name) == path):
+                    out.append((tok.location.line, tok.spelling))
+        except Exception:
+            pass
+        return out
+
+    # -- declarations ------------------------------------------------------
+
+    def _walk_decl(self, cur, model, cls, macro_lines):
+        if cur.kind in _CLASS_KINDS:
+            name = cur.spelling
+            if name and cur.is_definition():
+                info = model.classes.setdefault(name, ClassInfo(name=name))
+                for ch in cur.get_children():
+                    if ch.kind == CursorKind.FIELD_DECL:
+                        leaf = _type_leaf(ch.type.spelling)
+                        info.members[ch.spelling] = leaf
+                        if leaf in _MUTEX_TYPES:
+                            info.mutexes.add(ch.spelling)
+                    self._walk_decl(ch, model, name, macro_lines)
+            return
+        if cur.kind == CursorKind.NAMESPACE or \
+                cur.kind == CursorKind.LINKAGE_SPEC:
+            for ch in cur.get_children():
+                self._walk_decl(ch, model, cls, macro_lines)
+            return
+        if cur.kind in _FN_KINDS:
+            self._lower_function(cur, model, cls, macro_lines)
+
+    def _annotations(self, cur):
+        """ftmr annotate() attrs + FTMR_REQUIRES exprs across redecls."""
+        may_park = False
+        requires = []
+        decls = {cur}
+        try:
+            decls.add(cur.canonical)
+        except Exception:
+            pass
+        for d in decls:
+            for ch in d.get_children():
+                if ch.kind == CursorKind.ANNOTATE_ATTR and \
+                        ch.spelling == "ftmr_may_park":
+                    may_park = True
+                elif ch.kind == CursorKind.UNEXPOSED_ATTR:
+                    # Thread-safety attrs (FTMR_REQUIRES) come through
+                    # unexposed; recover the expr from the tokens.
+                    txt = _extent_text(ch)
+                    if "requires_capability" in txt or "REQUIRES" in txt:
+                        inner = txt[txt.find("(") + 1: txt.rfind(")")]
+                        if inner.strip():
+                            requires.append(inner.replace(" ", ""))
+        return may_park, requires
+
+    def _lower_function(self, cur, model, cls, macro_lines):
+        body = None
+        for ch in cur.get_children():
+            if ch.kind == CursorKind.COMPOUND_STMT:
+                body = ch
+        if body is None:  # declaration only — annotations merge via canonical
+            return
+        parent = cur.semantic_parent
+        if parent is not None and parent.kind in _CLASS_KINDS:
+            cls = parent.spelling
+        path = os.path.abspath(cur.location.file.name)
+        qname = f"{cls}::{cur.spelling}" if cls else cur.spelling
+        fn = FunctionIR(qname=qname, cls=cls, file=path,
+                        line=cur.location.line)
+        for p in cur.get_arguments():
+            fn.params[p.spelling] = _type_leaf(p.type.spelling)
+        may_park, requires = self._annotations(cur)
+        fn.may_park_annot = may_park
+        ci = model.classes.get(cls)
+        for expr in requires:
+            leaf = expr.rsplit("->", 1)[-1].rsplit(".", 1)[-1]
+            canon = ""
+            if ci and (leaf in ci.mutexes or leaf in ci.members):
+                canon = f"{cls}::{leaf}"
+            fn.requires.append((expr, canon))
+
+        st = _StmtLowerer(fn, model, self.cfg, macro_lines, path)
+        st.lower_block(body, ())
+        fn.events.sort(key=lambda e: e.line)
+        fir = model.files.get(path)
+        if fir is not None:
+            fir.functions.append(fn)
+        model.functions.append(fn)
+
+
+class _StmtLowerer:
+    """Walk a function body, tracking compound-statement scope paths and
+    emitting the event vocabulary of model.py."""
+
+    def __init__(self, fn, model, cfg, macro_lines, path):
+        self.fn = fn
+        self.model = model
+        self.cfg = cfg
+        self.macro_lines = macro_lines
+        self.path = path
+        self.lock_vars = set()
+        self.watched = set(cfg.get("watched_members", ()))
+        self.mutating = set(cfg.get("mutating_methods", ()))
+        self.banned_types = set(cfg.get("banned_type_tokens", ()))
+        self.counter = 0
+        self.macro_done = set()
+
+    def lower_block(self, block, scope):
+        for ch in block.get_children():
+            self.lower_stmt(ch, scope)
+
+    def _sub(self, scope):
+        self.counter += 1
+        return scope + (self.counter,)
+
+    def lower_stmt(self, cur, scope):
+        line = cur.location.line
+        key = (self.path, line)
+        if key in self.macro_lines and key not in self.macro_done:
+            self.macro_done.add(key)
+            self.fn.events.append(
+                Event("call", self.macro_lines[key], scope, line))
+
+        k = cur.kind
+        if k == CursorKind.COMPOUND_STMT:
+            self.lower_block(cur, self._sub(scope))
+            return
+        if k == CursorKind.DECL_STMT:
+            for ch in cur.get_children():
+                if ch.kind == CursorKind.VAR_DECL:
+                    self._var_decl(ch, scope)
+            return
+        if k == CursorKind.CALL_EXPR:
+            self._call(cur, scope)
+            # fall through to children for nested calls/args
+        if k in (CursorKind.BINARY_OPERATOR,
+                 CursorKind.COMPOUND_ASSIGNMENT_OPERATOR,
+                 CursorKind.UNARY_OPERATOR):
+            self._mutation(cur, scope)
+        if k in (CursorKind.TYPE_REF, CursorKind.TEMPLATE_REF):
+            leaf = _type_leaf(cur.spelling)
+            if leaf in self.banned_types:
+                self.fn.events.append(Event("type", leaf, scope, line))
+        for ch in cur.get_children():
+            self.lower_stmt(ch, scope)
+
+    def _var_decl(self, cur, scope):
+        leaf = _type_leaf(cur.type.spelling)
+        if leaf in self.banned_types:
+            self.fn.events.append(
+                Event("type", leaf, scope, cur.location.line))
+        if leaf not in _SCOPED_LOCK_TYPES:
+            for ch in cur.get_children():
+                self.lower_stmt(ch, scope)
+            return
+        # Scoped lock: the ctor argument names the mutex.
+        expr, canon = "", ""
+        for ch in cur.walk_preorder():
+            if ch.kind in (CursorKind.MEMBER_REF_EXPR, CursorKind.DECL_REF_EXPR):
+                ref = ch.referenced
+                if ref is not None and \
+                        _type_leaf(ref.type.spelling) in _MUTEX_TYPES:
+                    expr = ch.spelling or _extent_text(ch)
+                    owner = ref.semantic_parent
+                    if owner is not None and owner.kind in _CLASS_KINDS:
+                        canon = f"{owner.spelling}::{ref.spelling}"
+                    break
+        self.lock_vars.add(cur.spelling)
+        self.fn.events.append(
+            Event("acquire", expr or "?", scope, cur.location.line,
+                  var=cur.spelling, canon=canon))
+
+    def _call(self, cur, scope):
+        callee = cur.referenced
+        line = cur.location.line
+        name, recv, recv_cls = "", "", ""
+        if callee is not None and callee.spelling:
+            name = _qualified(callee)
+            owner = callee.semantic_parent
+            if owner is not None and owner.kind in _CLASS_KINDS:
+                recv_cls = owner.spelling
+        else:
+            # Unresolved callee (call through a function value / template
+            # dependent): same sentinel as the builtin frontend, so the
+            # checks skip it rather than mis-binding by leaf name.
+            name = cur.spelling or _extent_text(cur).split("(")[0].strip()
+            recv_cls = "<callable>"
+        leaf = name.rsplit("::", 1)[-1]
+
+        # Receiver expression (first child of a member call).
+        kids = list(cur.get_children())
+        if kids and kids[0].kind == CursorKind.MEMBER_REF_EXPR:
+            inner = list(kids[0].get_children())
+            if inner:
+                recv = _extent_text(inner[0])
+
+        if leaf == "unlock" and recv in self.lock_vars:
+            self.fn.events.append(
+                Event("unlock", recv, scope, line, var=recv))
+            return
+        if leaf == "lock" and recv in self.lock_vars:
+            self.fn.events.append(
+                Event("relock", recv, scope, line, var=recv))
+            return
+
+        if leaf in self.mutating and recv:
+            member = recv.rsplit(".", 1)[-1].rsplit("->", 1)[-1].strip()
+            if member in self.watched:
+                obj = recv[: len(recv) - len(member)].rstrip(".->  ")
+                self.fn.events.append(
+                    Event("mutate", member, scope, line, recv=obj))
+
+        self.fn.events.append(
+            Event("call", name, scope, line, recv=recv, recv_cls=recv_cls))
+
+    def _mutation(self, cur, scope):
+        toks = list(cur.get_tokens())
+        if not toks:
+            return
+        txt = [t.spelling for t in toks]
+        is_write = any(s in ("=", "+=", "-=", "++", "--") for s in txt)
+        if not is_write:
+            return
+        kids = list(cur.get_children())
+        target = kids[0] if kids else None
+        if target is None:
+            return
+        # Unwrap to the member ref actually written.
+        mr = None
+        for ch in target.walk_preorder():
+            if ch.kind == CursorKind.MEMBER_REF_EXPR:
+                mr = ch
+        if mr is not None and mr.spelling in self.watched:
+            self.fn.events.append(
+                Event("mutate", mr.spelling, scope, cur.location.line))

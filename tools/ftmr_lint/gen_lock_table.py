@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""gen_lock_table — derive the lock-order artifacts from lock_table.yaml.
+
+tools/ftmr_lint/lock_table.yaml is the single source of truth for the
+lock hierarchy. This script projects it into the two places that would
+otherwise drift:
+
+  * src/common/lock_order_table.hpp — the constexpr name/edge arrays the
+    debug-build runtime checker (common/lock_order.cpp) validates
+    against. Committed, so builds never depend on Python.
+  * DESIGN.md — the "Locks, and what each guards" table and the allowed
+    nesting list, regenerated between the GENERATED markers.
+
+Usage:
+  gen_lock_table.py --write    rewrite both artifacts in place
+  gen_lock_table.py --check    exit 1 if either artifact is stale (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, _HERE)
+
+import minyaml  # noqa: E402
+
+ROOT = os.path.dirname(os.path.dirname(_HERE))
+TABLE = os.path.join(_HERE, "lock_table.yaml")
+HEADER = os.path.join(ROOT, "src", "common", "lock_order_table.hpp")
+DESIGN = os.path.join(ROOT, "DESIGN.md")
+
+BEGIN = "<!-- BEGIN GENERATED: lock-table (tools/ftmr_lint/gen_lock_table.py) -->"
+END = "<!-- END GENERATED: lock-table -->"
+
+
+def render_header(table) -> str:
+    lines = [
+        "// lock_order_table.hpp — GENERATED from tools/ftmr_lint/lock_table.yaml",
+        "// by tools/ftmr_lint/gen_lock_table.py. DO NOT EDIT; edit the yaml and",
+        "// run `python3 tools/ftmr_lint/gen_lock_table.py --write`.",
+        "//",
+        "// Consumed by common/lock_order.cpp (the debug-build runtime lock-order",
+        "// checker). The same yaml drives the ftmr-lint static lock-order check,",
+        "// so the two validations can never disagree about the hierarchy.",
+        "#pragma once",
+        "",
+        "namespace ftmr::lockorder {",
+        "",
+        "inline constexpr const char* kLockNames[] = {",
+    ]
+    for lk in table["locks"]:
+        lines.append(f'    "{lk["name"]}",')
+    lines += [
+        "};",
+        "",
+        "struct Edge {",
+        "  const char* from;",
+        "  const char* to;",
+        "};",
+        "",
+        "// from may be held while acquiring to.",
+        "inline constexpr Edge kAllowedEdges[] = {",
+    ]
+    for e in table.get("edges", []):
+        lines.append(f'    {{"{e["from"]}", "{e["to"]}"}},')
+    lines += [
+        "};",
+        "",
+        "}  // namespace ftmr::lockorder",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def render_design(table) -> str:
+    by_name = {lk["name"]: lk for lk in table["locks"]}
+    out = [
+        "**Locks, and what each guards.** (Generated from",
+        "`tools/ftmr_lint/lock_table.yaml` — edit the yaml, then run",
+        "`python3 tools/ftmr_lint/gen_lock_table.py --write`.)",
+        "",
+        "| Lock | C++ | Guards | Kind |",
+        "|---|---|---|---|",
+    ]
+    for lk in table["locks"]:
+        out.append(f'| `{lk["name"]}` | `{lk["cxx"]}` | {lk["guards"]} '
+                   f'| {lk["kind"]} |')
+    out += [
+        "",
+        "**Allowed nesting** (everything else is a lint error and a",
+        "debug-build runtime abort; `A -> B` means B may be acquired while",
+        "holding A):",
+        "",
+    ]
+    for e in table.get("edges", []):
+        frm, to = by_name[e["from"]], by_name[e["to"]]
+        out.append(f'- `{frm["cxx"]}` → `{to["cxx"]}` — {e["why"]}')
+    out.append("")
+    return "\n".join(out)
+
+
+def splice_design(text: str, generated: str) -> str:
+    b = text.find(BEGIN)
+    e = text.find(END)
+    if b < 0 or e < 0 or e < b:
+        raise SystemExit(f"gen_lock_table: markers not found in {DESIGN}; "
+                         f"expected {BEGIN!r} … {END!r}")
+    return text[: b + len(BEGIN)] + "\n" + generated + text[e:]
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(prog="gen_lock_table")
+    mode = ap.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--write", action="store_true")
+    mode.add_argument("--check", action="store_true")
+    args = ap.parse_args(argv)
+
+    table = minyaml.load_path(TABLE)
+    names = [lk["name"] for lk in table["locks"]]
+    if len(set(names)) != len(names):
+        raise SystemExit("gen_lock_table: duplicate lock names in the yaml")
+    for e in table.get("edges", []):
+        for end in ("from", "to"):
+            if e[end] not in names:
+                raise SystemExit(
+                    f"gen_lock_table: edge references unknown lock {e[end]!r}")
+
+    header = render_header(table)
+    with open(DESIGN, "r", encoding="utf-8") as f:
+        design_old = f.read()
+    design_new = splice_design(design_old, render_design(table))
+
+    stale = []
+    try:
+        with open(HEADER, "r", encoding="utf-8") as f:
+            if f.read() != header:
+                stale.append(HEADER)
+    except OSError:
+        stale.append(HEADER)
+    if design_new != design_old:
+        stale.append(DESIGN)
+
+    if args.check:
+        if stale:
+            for p in stale:
+                print(f"gen_lock_table: {os.path.relpath(p, ROOT)} is stale "
+                      "(regenerate with --write)", file=sys.stderr)
+            return 1
+        print("gen_lock_table: artifacts match lock_table.yaml")
+        return 0
+
+    with open(HEADER, "w", encoding="utf-8") as f:
+        f.write(header)
+    with open(DESIGN, "w", encoding="utf-8") as f:
+        f.write(design_new)
+    print(f"gen_lock_table: wrote {os.path.relpath(HEADER, ROOT)} and "
+          f"updated {os.path.relpath(DESIGN, ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""minyaml — a tiny YAML-subset loader for lock_table.yaml.
+
+PyYAML is used when importable; this module is the zero-dependency
+fallback so ftmr-lint runs on bare CI runners and dev boxes alike. The
+subset covers what the lock table needs: nested mappings, block lists of
+scalars or mappings, `- key: value` inline first pairs, quoted and plain
+scalars, and `#` comments. It is NOT a general YAML parser.
+"""
+
+from __future__ import annotations
+
+
+def _parse_scalar(s: str):
+    s = s.strip()
+    if len(s) >= 2 and s[0] == s[-1] and s[0] in "\"'":
+        return s[1:-1]
+    if s in ("true", "True"):
+        return True
+    if s in ("false", "False"):
+        return False
+    if s in ("null", "~", ""):
+        return None
+    try:
+        return int(s)
+    except ValueError:
+        pass
+    return s
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    quote = None
+    for ch in line:
+        if quote:
+            out.append(ch)
+            if ch == quote:
+                quote = None
+            continue
+        if ch in "\"'":
+            quote = ch
+            out.append(ch)
+            continue
+        if ch == "#":
+            break
+        out.append(ch)
+    return "".join(out).rstrip()
+
+
+def loads(text: str):
+    lines = []
+    for raw in text.splitlines():
+        line = _strip_comment(raw)
+        if not line.strip():
+            continue
+        indent = len(line) - len(line.lstrip(" "))
+        lines.append((indent, line.strip()))
+    value, pos = _parse_block(lines, 0, 0)
+    if pos != len(lines):
+        raise ValueError(f"minyaml: trailing content at entry {pos}: "
+                         f"{lines[pos][1]!r}")
+    return value
+
+
+def _parse_block(lines, pos, indent):
+    if pos >= len(lines):
+        return None, pos
+    ind, content = lines[pos]
+    if ind < indent:
+        return None, pos
+    if content.startswith("- "):
+        return _parse_list(lines, pos, ind)
+    return _parse_map(lines, pos, ind)
+
+
+def _parse_list(lines, pos, indent):
+    items = []
+    while pos < len(lines):
+        ind, content = lines[pos]
+        if ind < indent:
+            break
+        if ind != indent or not (content == "-" or content.startswith("- ")):
+            raise ValueError(f"minyaml: bad list item {content!r}")
+        rest = content[1:].strip()
+        if not rest:
+            value, pos = _parse_block(lines, pos + 1, indent + 1)
+            items.append(value)
+            continue
+        if _looks_like_pair(rest):
+            # `- key: value` starts an inline mapping; fold in deeper pairs.
+            key, val = _split_pair(rest)
+            item = {key: val}
+            pos += 1
+            while pos < len(lines) and lines[pos][0] > indent:
+                sub_ind = lines[pos][0]
+                sub, pos = _parse_map(lines, pos, sub_ind)
+                item.update(sub)
+            items.append(item)
+        else:
+            items.append(_parse_scalar(rest))
+            pos += 1
+    return items, pos
+
+
+def _parse_map(lines, pos, indent):
+    out = {}
+    while pos < len(lines):
+        ind, content = lines[pos]
+        if ind < indent or content.startswith("- "):
+            break
+        if ind != indent:
+            raise ValueError(f"minyaml: bad indent for {content!r}")
+        if not _looks_like_pair(content):
+            raise ValueError(f"minyaml: expected key: value, got {content!r}")
+        key, val = _split_pair(content)
+        if val is None and content.rstrip().endswith(":"):
+            sub, pos = _parse_block(lines, pos + 1, indent + 1)
+            out[key] = sub
+        else:
+            out[key] = val
+            pos += 1
+    return out, pos
+
+
+def _looks_like_pair(s: str) -> bool:
+    quote = None
+    for i, ch in enumerate(s):
+        if quote:
+            if ch == quote:
+                quote = None
+            continue
+        if ch in "\"'":
+            quote = ch
+            continue
+        if ch == ":" and (i + 1 == len(s) or s[i + 1] in " \t"):
+            return True
+    return False
+
+
+def _split_pair(s: str):
+    quote = None
+    for i, ch in enumerate(s):
+        if quote:
+            if ch == quote:
+                quote = None
+            continue
+        if ch in "\"'":
+            quote = ch
+            continue
+        if ch == ":" and (i + 1 == len(s) or s[i + 1] in " \t"):
+            key = _parse_scalar(s[:i])
+            rest = s[i + 1:].strip()
+            return key, (_parse_scalar(rest) if rest else None)
+    raise ValueError(f"minyaml: no key in {s!r}")
+
+
+def load_path(path: str):
+    try:
+        import yaml  # type: ignore
+        with open(path, "r", encoding="utf-8") as f:
+            return yaml.safe_load(f)
+    except ImportError:
+        with open(path, "r", encoding="utf-8") as f:
+            return loads(f.read())
