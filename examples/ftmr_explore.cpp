@@ -10,6 +10,8 @@
 //   $ ./ftmr_explore mode=wc artifacts=out/       # write failing schedules
 //   $ ./ftmr_explore mode=wc replication_k=2      # memory-tier replicas as
 //                                                 # primary recovery source
+//   $ ./ftmr_explore mode=wc memory_budget=16384  # out-of-core: spill-backed
+//                                                 # buffers + paged ckpts
 //   $ ./ftmr_explore mode=wc break_recovery=1     # mutation sanity check:
 //                                                 # MUST report violations
 //
@@ -105,6 +107,7 @@ int main(int argc, char** argv) {
   opts.workload.records_per_ckpt = cfg.get_or("records_per_ckpt", int64_t{8});
   opts.workload.memory_replication_k =
       static_cast<int>(cfg.get_or("replication_k", int64_t{0}));
+  opts.workload.memory_budget = cfg.get_or("memory_budget", int64_t{0});
 
   testing::Explorer explorer(opts);
   if (auto s = explorer.harvest(); !s.ok()) {

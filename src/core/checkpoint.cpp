@@ -262,40 +262,45 @@ Status CheckpointManager::put_impl(simmpi::Comm& comm, const std::string& name,
         return Status::Ok();
       }
       if (opts_.location == CkptOptions::Location::kLocalWithCopier) {
-        double done_at = 0.0;
-        // The copier drains in the background (its own virtual timeline);
-        // the shared copy is stamped with its drain-completion time.
-        const std::string probe = rank_dir + "/" + name;
-        if (auto s = copier_.enqueue(probe, probe, comm.now(), &done_at); !s.ok()) {
-          // Permanently failed drain: reported by the copier, counted here.
-          // The local copy exists, so restart-on-same-node still works.
-          integ_.drain_failures++;
-          FTMR_WARN << "rank " << rank_ << " drain failed for " << probe << ": "
-                    << s.to_string();
-          return Status::Ok();
-        }
-        const std::string stamped =
-            probe + "_d" + std::to_string(static_cast<int64_t>(done_at * 1e6));
-        // Rename the drained copy to carry its stamp. If the rename chain
-        // fails the unstamped probe remains readable, so this too degrades
-        // instead of failing the job.
-        Bytes data;
-        if (auto s = fs_->read_file(storage::Tier::kShared, node_, probe, data);
-            !s.ok()) {
-          integ_.drain_failures++;
-          return Status::Ok();
-        }
-        if (auto s = fs_->write_file(storage::Tier::kShared, node_, stamped, data);
-            !s.ok()) {
-          integ_.drain_failures++;
-          return Status::Ok();
-        }
-        (void)fs_->remove(storage::Tier::kShared, node_, probe);
+        return drain_to_shared(comm, rank_dir + "/" + name);
       }
       return Status::Ok();
     }
   }
   return {ErrorCode::kInternal, "unknown checkpoint location"};
+}
+
+Status CheckpointManager::drain_to_shared(simmpi::Comm& comm,
+                                          const std::string& probe) {
+  double done_at = 0.0;
+  // The copier drains in the background (its own virtual timeline); the
+  // shared copy is stamped with its drain-completion time.
+  if (auto s = copier_.enqueue(probe, probe, comm.now(), &done_at); !s.ok()) {
+    // Permanently failed drain: reported by the copier, counted here. The
+    // local copy exists, so restart-on-same-node still works.
+    integ_.drain_failures++;
+    FTMR_WARN << "rank " << rank_ << " drain failed for " << probe << ": "
+              << s.to_string();
+    return Status::Ok();
+  }
+  const std::string stamped =
+      probe + "_d" + std::to_string(static_cast<int64_t>(done_at * 1e6));
+  // Rename the drained copy to carry its stamp. If the rename chain fails
+  // the unstamped probe remains readable, so this too degrades instead of
+  // failing the job.
+  Bytes data;
+  if (auto s = fs_->read_file(storage::Tier::kShared, node_, probe, data);
+      !s.ok()) {
+    integ_.drain_failures++;
+    return Status::Ok();
+  }
+  if (auto s = fs_->write_file(storage::Tier::kShared, node_, stamped, data);
+      !s.ok()) {
+    integ_.drain_failures++;
+    return Status::Ok();
+  }
+  (void)fs_->remove(storage::Tier::kShared, node_, probe);
+  return Status::Ok();
 }
 
 Status CheckpointManager::map_ckpt(simmpi::Comm& comm, int stage, uint64_t task,
@@ -320,6 +325,163 @@ Status CheckpointManager::partition_ckpt(simmpi::Comm& comm, int stage,
   w.put_blob(kv.wire_view());
   return put(comm, base_name(kPart, stage, static_cast<uint64_t>(partition), seq),
              std::move(w).take());
+}
+
+Status CheckpointManager::partition_ckpt_paged(simmpi::Comm& comm, int stage,
+                                               int partition,
+                                               mr::SpillableKvBuffer& kv) {
+  if (!opts_.enabled) return Status::Ok();
+  const int seq = next_seq_++;
+  const std::string name =
+      base_name(kPart, stage, static_cast<uint64_t>(partition), seq);
+  const std::string rank_dir = "ck/r" + std::to_string(rank_);
+  const double t0 = comm.now();
+
+  // Frame prefix: header + payload fields up to the KV wire body, built
+  // once. The resulting file is byte-identical to frame_checkpoint() over
+  // partition_ckpt's payload — [i32 partition][u32 blob_len][u64 count]
+  // followed by the record bytes — but the record bytes are appended one
+  // page at a time below, so the partition is never whole in memory.
+  const uint64_t body_bytes = kv.bytes();
+  const uint64_t blob_len = mr::kCountHeaderBytes + body_bytes;
+  const uint64_t payload_len = sizeof(int32_t) + sizeof(uint32_t) + blob_len;
+  const uint64_t framed_size = kCkptFrameOverhead + payload_len;
+  ByteWriter w;
+  w.put<uint32_t>(kCkptMagic);
+  w.put<uint16_t>(kCkptVersion);
+  w.put<uint16_t>(0);  // reserved
+  w.put<uint64_t>(payload_len);
+  w.put<int32_t>(partition);
+  w.put<uint32_t>(static_cast<uint32_t>(blob_len));
+  w.put<uint64_t>(kv.size());  // the KV wire's record-count header
+  const Bytes prefix = std::move(w).take();
+  if (trace_) trace_->span("ckpt.frame", "ckpt", t0, comm.now());
+
+  // One streaming pass: prefix, then each page's wire body (spilled pages
+  // load one at a time and stay intact on their spill files), then the CRC
+  // trailer accumulated across everything written. A final size probe
+  // catches torn appends — a stream that raced a storage fault mid-page
+  // would otherwise leave a plausible-length file that only recovery-time
+  // CRC checking could reject.
+  auto stream_once = [&](storage::Tier tier, const std::string& path,
+                         int concurrency) -> Status {
+    uint32_t crc = crc32_init();
+    crc = crc32_update(crc, prefix);
+    double cost = 0.0;
+    if (auto s = fs_->write_file(tier, node_, path, prefix, &cost, concurrency);
+        !s.ok()) {
+      return s;
+    }
+    comm.compute(cost);
+    write_seconds_ += cost;
+    const size_t npages = kv.page_count();
+    mr::KvBuffer page;
+    for (size_t i = 0; i < npages; ++i) {
+      if (auto s = kv.read_page(i, page); !s.ok()) return s;
+      const auto body = page.wire_view().subspan(mr::kCountHeaderBytes);
+      crc = crc32_update(crc, body);
+      cost = 0.0;
+      if (auto s = fs_->append_file(tier, node_, path, body, &cost, concurrency);
+          !s.ok()) {
+        return s;
+      }
+      comm.compute(cost);
+      write_seconds_ += cost;
+    }
+    ByteWriter tw;
+    tw.put<uint32_t>(crc32_final(crc));
+    cost = 0.0;
+    if (auto s = fs_->append_file(tier, node_, path, std::move(tw).take(), &cost,
+                                  concurrency);
+        !s.ok()) {
+      return s;
+    }
+    comm.compute(cost);
+    write_seconds_ += cost;
+    const int64_t sz = fs_->file_size(tier, node_, path);
+    if (sz < 0 || static_cast<uint64_t>(sz) != framed_size) {
+      return {ErrorCode::kCorrupt, "paged ckpt: torn stream on " + path};
+    }
+    return Status::Ok();
+  };
+
+  // Same retry ladder and best-effort-drop policy as put_impl, but a failed
+  // or torn stream restarts the whole file: appends cannot be rewound, so
+  // the partial file is removed and the stream re-runs from the prefix.
+  auto stream_retrying = [&](storage::Tier tier, const std::string& path,
+                             int concurrency) -> Status {
+    Status last;
+    for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+      (void)fs_->remove(tier, node_, path);
+      last = stream_once(tier, path, concurrency);
+      if (last.ok()) return last;
+      if (last.code() == ErrorCode::kFailedPrecondition ||
+          last.code() == ErrorCode::kInvalidArgument) {
+        return last;
+      }
+      if (attempt < retry_.max_attempts) {
+        const double backoff = retry_.backoff_before(attempt);
+        comm.compute(backoff);
+        write_seconds_ += backoff;
+        integ_.io_retries++;
+        if (trace_) trace_->instant("ckpt.retry", "ckpt", comm.now());
+        metrics::MetricsRegistry::global().add("ckpt.io_retries", rank_);
+      }
+    }
+    return last;
+  };
+
+  count_++;
+  bytes_written_ += framed_size;
+  Status result = Status::Ok();
+  switch (opts_.location) {
+    case CkptOptions::Location::kSharedDirect: {
+      const std::string shared_name =
+          name + "_d" + std::to_string(static_cast<int64_t>(comm.now() * 1e6));
+      if (auto s = stream_retrying(storage::Tier::kShared,
+                                   rank_dir + "/" + shared_name, conc_);
+          !s.ok()) {
+        if (s.code() == ErrorCode::kFailedPrecondition) {
+          result = s;
+          break;
+        }
+        integ_.ckpt_write_failures++;
+        FTMR_WARN << "rank " << rank_ << " dropped checkpoint " << name << ": "
+                  << s.to_string();
+      }
+      break;
+    }
+    case CkptOptions::Location::kLocalOnly:
+    case CkptOptions::Location::kLocalWithCopier: {
+      if (auto s =
+              stream_retrying(storage::Tier::kLocal, rank_dir + "/" + name, 1);
+          !s.ok()) {
+        if (s.code() == ErrorCode::kFailedPrecondition) {
+          result = s;
+          break;
+        }
+        integ_.ckpt_write_failures++;
+        FTMR_WARN << "rank " << rank_ << " dropped checkpoint " << name << ": "
+                  << s.to_string();
+        break;
+      }
+      if (opts_.location == CkptOptions::Location::kLocalWithCopier) {
+        result = drain_to_shared(comm, rank_dir + "/" + name);
+      }
+      break;
+    }
+  }
+  // Spill I/O incurred re-loading pages for the stream elapses on the
+  // writer's clock here, at the checkpoint boundary.
+  comm.compute(kv.take_io_seconds());
+  if (trace_) trace_->span("ckpt.write", "ckpt", t0, comm.now());
+  metrics::MetricsRegistry::global().add("ckpt.writes", rank_);
+  metrics::MetricsRegistry::global().add("ckpt.bytes_written", rank_,
+                                         static_cast<double>(framed_size));
+  // No memory-tier replicate(): a full in-RAM replica of an out-of-core
+  // partition would re-buy exactly the residency the spill budget gave up,
+  // so paged checkpoints recover through the file tiers only.
+  return result;
 }
 
 Status CheckpointManager::reduce_ckpt(simmpi::Comm& comm, int stage, int partition,

@@ -34,6 +34,7 @@
 
 #include "common/metrics.hpp"
 #include "mr/kv.hpp"
+#include "mr/spill.hpp"
 #include "simmpi/comm.hpp"
 #include "storage/copier.hpp"
 #include "storage/storage.hpp"
@@ -178,6 +179,19 @@ class CheckpointManager {
   /// Shuffle-end partition checkpoint.
   Status partition_ckpt(simmpi::Comm& comm, int stage, int partition,
                         const mr::KvBuffer& kv);
+  /// Shuffle-end partition checkpoint from a spill-backed buffer. The file
+  /// is byte-identical to partition_ckpt's, but it is written as a stream —
+  /// frame header first, then one append per KV page (spilled pages are
+  /// loaded one at a time and stay intact), CRC accumulated incrementally,
+  /// trailer last — so the whole partition is never materialized in memory.
+  /// A failed or torn stream restarts the file on the retry ladder and is
+  /// dropped (best-effort, like every checkpoint write) if the ladder is
+  /// exhausted. Paged checkpoints skip memory-tier replication: a full
+  /// in-RAM replica would re-buy exactly the residency the spill budget
+  /// gave up (ReStore-style budget honesty), so recovery for these files
+  /// goes straight to the file tiers.
+  Status partition_ckpt_paged(simmpi::Comm& comm, int stage, int partition,
+                              mr::SpillableKvBuffer& kv);
   /// Reduce-progress checkpoint; the delta covers KMV entries
   /// [start, entries_done) (see map_ckpt for why start is carried).
   Status reduce_ckpt(simmpi::Comm& comm, int stage, int partition,
@@ -248,6 +262,10 @@ class CheckpointManager {
   Status put(simmpi::Comm& comm, const std::string& name, const Bytes& payload);
   Status put_impl(simmpi::Comm& comm, const std::string& name,
                   const Bytes& framed);
+  /// Copier-drain a just-written local checkpoint to the shared tier and
+  /// stamp the shared copy with its drain-completion time. Degrades (counts
+  /// a drain failure) instead of failing: the local copy stays readable.
+  Status drain_to_shared(simmpi::Comm& comm, const std::string& probe);
   /// Push the framed blob to the placement peers' memories (best-effort:
   /// lost pushes are counted, never fail the checkpoint; a kill landing on
   /// the rma op propagates like any MPI death).

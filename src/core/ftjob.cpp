@@ -276,6 +276,23 @@ Status FtJob::run_one_map_task(const StageFns& fns, bool kv_input, int stage,
     tp.last_ckpt_pos = tp.pos;
     charge_span("ckpt", t0);
   }
+  if (out_of_core()) {
+    // Completed task: move its partitioned output into the stage's paged
+    // stores so residency drops back to O(budget) before the next task.
+    // absorb_kv keeps a page it could not spill resident (over budget,
+    // never lost), so a spill error degrades instead of losing data.
+    for (int p = 0; p < p0_; ++p) {
+      mr::KvBuffer& part = tp.parts[static_cast<size_t>(p)];
+      if (part.empty()) continue;
+      if (auto s = map_store(st, stage, p).absorb_kv(std::move(part)); !s.ok()) {
+        FTMR_WARN << "rank " << world_.global_rank() << " map output for "
+                  << "partition " << p
+                  << " spill degraded to resident: " << s.to_string();
+      }
+    }
+    tp.parts.clear();
+    tp.parts.shrink_to_fit();
+  }
   tp.done = true;
   master_->on_task_done(task, tp.pos, 0);
   master_->observe(map_bytes_done_, wc_.now());
@@ -291,6 +308,14 @@ Status FtJob::map_phase(const StageFns& fns, bool kv_input, int stage,
   for (uint64_t task : my_task_ids(stage, kv_input)) {
     if (auto s = check(run_one_map_task(fns, kv_input, stage, st, task)); !s.ok()) {
       return s;
+    }
+  }
+  if (out_of_core()) {
+    double spill_io = 0.0;
+    for (auto& [p, store] : st.map_spill) spill_io += store.take_io_seconds();
+    if (spill_io > 0.0) {
+      wc_.compute(spill_io);
+      charge_cost("io_wait", spill_io);
     }
   }
   ckpt_->drain(wc_);
@@ -428,6 +453,291 @@ Status FtJob::shuffle_phase(const StageFns& fns, int stage, StageState& st) {
   return Status::Ok();
 }
 
+// ---------------------------------------------------------------------------
+// out-of-core mode (opts_.memory_budget > 0)
+//
+// The same phases, but intermediate KV/KMV data lives in spill-backed
+// buffers: completed map tasks move their partitioned output into paged
+// stores, the shuffle exchanges budget-bounded rounds of pages, partition
+// checkpoints stream page-by-page, and convert/reduce stream the spillable
+// KMV result. Peak residency stays O(memory_budget) however large the
+// dataset (see DESIGN.md "Out-of-core KV").
+// ---------------------------------------------------------------------------
+
+mr::SpillConfig FtJob::spill_config(int stage, std::string_view what) const {
+  mr::SpillConfig cfg;
+  if (!out_of_core()) return cfg;  // disabled: buffers stay in-core
+  cfg.fs = fs_;
+  cfg.node = node();
+  cfg.dir = opts_.spill_dir + "/r" + std::to_string(world_.global_rank()) +
+            "/s" + std::to_string(stage) + "/" + std::string(what);
+  // One per-rank budget, split evenly between the KV side (map output or
+  // received partitions) and the convert/KMV side, which peak together.
+  cfg.memory_budget = std::max<size_t>(1, opts_.memory_budget / 2);
+  cfg.page_bytes = std::min(opts_.spill_page_bytes,
+                            std::max<size_t>(4096, cfg.memory_budget / 8));
+  cfg.meter = &meter_;
+  return cfg;
+}
+
+mr::SpillableKvBuffer& FtJob::map_store(StageState& st, int stage, int p) {
+  auto it = st.map_spill.find(p);
+  if (it == st.map_spill.end()) {
+    it = st.map_spill
+             .emplace(p, mr::SpillableKvBuffer(
+                             spill_config(stage, "map")
+                                 .share(static_cast<size_t>(p0_))
+                                 .sub("p" + std::to_string(p))))
+             .first;
+  }
+  return it->second;
+}
+
+mr::SpillableKvBuffer& FtJob::partition_store(StageState& st, int stage, int p) {
+  auto it = st.my_partitions_spill.find(p);
+  if (it == st.my_partitions_spill.end()) {
+    size_t owned = 0;
+    const int me = world_.global_rank();
+    for (int q = 0; q < p0_; ++q) {
+      if (part_owner_[static_cast<size_t>(q)] == me) owned++;
+    }
+    it = st.my_partitions_spill
+             .emplace(p, mr::SpillableKvBuffer(
+                             spill_config(stage, "part")
+                                 .share(std::max<size_t>(1, owned))
+                                 .sub("p" + std::to_string(p))))
+             .first;
+  }
+  return it->second;
+}
+
+Status FtJob::absorb_shuffle_blocks(StageState& st, int stage, const Bytes& recv,
+                                    size_t* pairs_received) {
+  if (recv.empty()) return Status::Ok();
+  ByteReader r(recv);
+  uint32_t n = 0;
+  if (auto s = r.get(n); !s.ok()) return s;
+  for (uint32_t i = 0; i < n; ++i) {
+    int32_t p = 0;
+    Bytes blob;
+    if (auto s = r.get(p); !s.ok()) return s;
+    if (auto s = r.get_blob(blob); !s.ok()) return s;
+    mr::KvBuffer kv;
+    if (auto s = kv.adopt(std::move(blob)); !s.ok()) return s;
+    if (kv.empty()) continue;
+    if (pairs_received) *pairs_received += kv.size();
+    if (auto s = partition_store(st, stage, p).append_page(std::move(kv));
+        !s.ok()) {
+      // The spill layer keeps a page it could not write resident (over
+      // budget, never lost), so this degrades to extra residency.
+      FTMR_WARN << "rank " << world_.global_rank() << " partition " << p
+                << " spill degraded to resident: " << s.to_string();
+    }
+  }
+  return Status::Ok();
+}
+
+Status FtJob::shuffle_phase_paged(const StageFns& fns, int stage,
+                                  StageState& st) {
+  const double t0 = wc_.now();
+  for (int p = 0; p < p0_; ++p) {
+    if (owner_rel(p) < 0) {
+      return check({ErrorCode::kProcFailed, "partition owner died before shuffle"});
+    }
+  }
+  // A failure mid-exchange re-enters here with partial receives absorbed.
+  // The send side reads map_spill non-destructively, so dropping the
+  // receive stores makes re-entry idempotent — the in-core path cannot do
+  // this (its sends alias tp.parts, retained either way) and tolerates a
+  // narrow duplication window instead.
+  st.my_partitions_spill.clear();
+
+  // Budget-bounded rounds: each round assembles at most round_budget bytes
+  // of outgoing pages from the per-partition cursors, combines, exchanges,
+  // absorbs into paged stores, and the ranks agree (max-reduce) on whether
+  // anyone still holds unsent pages.
+  const size_t round_budget =
+      std::max(opts_.spill_page_bytes, opts_.memory_budget / 2);
+  std::map<int, size_t> cursor;  // partition -> next unsent page
+  size_t received_total = 0;
+  for (;;) {
+    const double c0 = wc_.now();
+    std::map<int, mr::KvBuffer> chunks;
+    size_t assembled = 0;
+    for (auto& [p, store] : st.map_spill) {
+      size_t& cur = cursor[p];
+      const size_t npages = store.page_count();
+      mr::KvBuffer page;
+      while (cur < npages && assembled < round_budget) {
+        if (auto s = store.read_page(cur, page); !s.ok()) return s;
+        assembled += page.bytes();
+        chunks[p].absorb(std::move(page));
+        ++cur;
+      }
+      if (assembled >= round_budget) break;
+    }
+    if (fns.combine) {
+      // Pre-aggregate each chunk before the wire. Combining a partition's
+      // round is a valid partial aggregation: the owner's convert regroups
+      // across rounds, and combine/reduce are associative by contract.
+      for (auto& [p, kv] : chunks) {
+        const size_t before = kv.bytes();
+        kv = combine_block(kv, fns);
+        if (before > kv.bytes()) {
+          times_.charge("combine_saved_bytes",
+                        static_cast<double>(before - kv.bytes()));
+        }
+      }
+    }
+    std::vector<std::vector<std::pair<int, const mr::KvBuffer*>>> by_dest(
+        static_cast<size_t>(wc_.size()));
+    for (auto& [p, kv] : chunks) {
+      const int rel = owner_rel(p);
+      if (rel < 0) {
+        return check({ErrorCode::kProcFailed, "partition owner died mid-shuffle"});
+      }
+      by_dest[static_cast<size_t>(rel)].push_back({p, &kv});
+      mr::tap_records(mr::kTapShuffleSent, world_.global_rank(), kv.size());
+    }
+    std::vector<Bytes> send(by_dest.size());
+    for (size_t d = 0; d < by_dest.size(); ++d) send[d] = encode_blocks(by_dest[d]);
+    trace_.span("shuffle.census", "shuffle", c0, wc_.now());
+
+    const double a0 = wc_.now();
+    std::vector<Bytes> recv;
+    if (auto s = check(wc_.alltoall(send, recv)); !s.ok()) return s;
+    trace_.span("shuffle.alltoall", "shuffle", a0, wc_.now());
+    const double d0 = wc_.now();
+    for (const Bytes& b : recv) {
+      if (auto s = absorb_shuffle_blocks(st, stage, b, &received_total); !s.ok()) {
+        return s;
+      }
+    }
+    trace_.span("shuffle.adopt", "shuffle", d0, wc_.now());
+
+    int64_t more = 0;
+    for (auto& [p, store] : st.map_spill) {
+      if (cursor[p] < store.page_count()) {
+        more = 1;
+        break;
+      }
+    }
+    int64_t any_more = 0;
+    if (auto s = check(wc_.allreduce_one(simmpi::ReduceOp::kMax, more, any_more));
+        !s.ok()) {
+      return s;
+    }
+    if (any_more == 0) break;
+  }
+  mr::tap_records(mr::kTapShuffleReceived, world_.global_rank(), received_total);
+  double spill_io = 0.0;
+  for (auto& [p, store] : st.map_spill) spill_io += store.take_io_seconds();
+  for (auto& [p, store] : st.my_partitions_spill) {
+    spill_io += store.take_io_seconds();
+  }
+  if (spill_io > 0.0) wc_.compute(spill_io);
+
+  // Streamed partition checkpoints for every owned partition — including
+  // ones that received nothing: restart priming claims shuffle-done only
+  // when each owned partition's checkpoint is present.
+  if (opts_.ckpt.enabled) {
+    const double c0 = wc_.now();
+    const int me = world_.global_rank();
+    for (int p = 0; p < p0_; ++p) {
+      if (part_owner_[static_cast<size_t>(p)] != me) continue;
+      if (auto s = check(ckpt_->partition_ckpt_paged(
+              wc_, stage, p, partition_store(st, stage, p)));
+          !s.ok()) {
+        return s;
+      }
+    }
+    ckpt_->drain(wc_);
+    charge_span("ckpt", c0);
+  }
+  st.phase = kPhaseShuffleDone;
+  // Sender-side stores are only needed again by the detect/resume orphan
+  // rebuild; the other modes never rebuild, so their pages free now.
+  if (opts_.mode == FtMode::kNone || opts_.mode == FtMode::kCheckpointRestart) {
+    st.map_spill.clear();
+  }
+  if (auto s = check(wc_.barrier()); !s.ok()) return s;
+  charge_span("shuffle", t0);
+  return Status::Ok();
+}
+
+Status FtJob::rebuild_orphans_paged(const StageFns& fns, int stage,
+                                    StageState& st,
+                                    const std::vector<int>& missing) {
+  const double t0 = wc_.now();
+  // Stream the retained (and patch-up re-executed) map outputs of the
+  // orphaned partitions back out of the paged stores. Orphans are a small
+  // subset of P0, so materializing just their blocks matches the in-core
+  // rebuild's residency.
+  std::vector<mr::KvBuffer> merged(static_cast<size_t>(p0_));
+  for (int p : missing) {
+    auto it = st.map_spill.find(p);
+    if (it == st.map_spill.end()) continue;
+    if (auto s = it->second.for_each_page([&](const mr::KvBuffer& page) {
+          merged[static_cast<size_t>(p)].merge_from(page);
+          return Status::Ok();
+        });
+        !s.ok()) {
+      return s;
+    }
+  }
+  if (fns.combine) {
+    for (int p : missing) merged[p] = combine_block(merged[p], fns);
+  }
+  std::vector<std::vector<std::pair<int, const mr::KvBuffer*>>> by_dest(
+      static_cast<size_t>(wc_.size()));
+  for (int p : missing) {
+    const int rel = owner_rel(p);
+    if (rel < 0) {
+      return check({ErrorCode::kProcFailed, "orphan partition owner died"});
+    }
+    by_dest[static_cast<size_t>(rel)].push_back({p, &merged[static_cast<size_t>(p)]});
+  }
+  std::vector<Bytes> send(by_dest.size());
+  for (size_t d = 0; d < by_dest.size(); ++d) send[d] = encode_blocks(by_dest[d]);
+  const double a0 = wc_.now();
+  std::vector<Bytes> recv;
+  if (auto s = check(wc_.alltoall(send, recv)); !s.ok()) return s;
+  trace_.span("shuffle.alltoall", "shuffle", a0, wc_.now());
+  std::map<int, mr::KvBuffer> rebuilt;
+  for (const Bytes& b : recv) {
+    if (auto s = decode_blocks(b, rebuilt, /*replace=*/false); !s.ok()) return s;
+  }
+  for (auto& [p, kv] : rebuilt) {
+    st.my_partitions_spill.erase(p);  // replace: idempotent under retry
+    st.reduce.erase(p);               // restart this partition's reduce
+    if (auto s = partition_store(st, stage, p).absorb_kv(std::move(kv)); !s.ok()) {
+      FTMR_WARN << "rank " << world_.global_rank() << " rebuilt partition " << p
+                << " spill degraded to resident: " << s.to_string();
+    }
+  }
+  if (opts_.ckpt.enabled) {
+    for (const auto& [p, kv] : rebuilt) {
+      (void)kv;
+      if (auto s = check(ckpt_->partition_ckpt_paged(
+              wc_, stage, p, partition_store(st, stage, p)));
+          !s.ok()) {
+        return s;
+      }
+    }
+    ckpt_->drain(wc_);
+  }
+  double spill_io = 0.0;
+  for (auto& [p, store] : st.map_spill) spill_io += store.take_io_seconds();
+  for (auto& [p, store] : st.my_partitions_spill) {
+    spill_io += store.take_io_seconds();
+  }
+  if (spill_io > 0.0) wc_.compute(spill_io);
+  st.partitions_missing.clear();
+  if (auto s = check(wc_.barrier()); !s.ok()) return s;
+  charge_span("recovery", t0);
+  return Status::Ok();
+}
+
 Status FtJob::rebuild_orphan_partitions(const StageFns& fns, int stage,
                                         StageState& st,
                                         const std::vector<int>& missing) {
@@ -483,6 +793,110 @@ Status FtJob::rebuild_orphan_partitions(const StageFns& fns, int stage,
 // reduce
 // ---------------------------------------------------------------------------
 
+Status FtJob::reduce_partition_spill(const StageFns& fns, int stage,
+                                     StageState& st, int p,
+                                     ReduceProgress& rp) {
+  const double reduce_cost = current_reduce_cost(fns);
+  if (!rp.kmv_spill) {
+    // Spill-aware KV→KMV conversion: consumes the partition store page by
+    // page into a spillable KMV result. Entry order matches the in-core
+    // convert_2pass + sort_by_key (the buckets' k-way merge restores global
+    // key order), so the reduce-entry cursor stays a valid recovery
+    // position across modes.
+    const double m0 = wc_.now();
+    auto kmv = std::make_unique<mr::SpillableKmvBuffer>(
+        spill_config(stage, "kmv_p" + std::to_string(p)));
+    mr::ConvertStats cst;
+    mr::SpillableKvBuffer& in = partition_store(st, stage, p);
+    if (auto s = mr::convert_2pass_spill(
+            in, *kmv, spill_config(stage, "cvt_p" + std::to_string(p)), &cst,
+            opts_.convert_segment_bytes);
+        !s.ok()) {
+      return s;
+    }
+    double convert_io =
+        fs_->cost_of(storage::Tier::kLocal, cst.bytes_moved, cst.passes);
+    convert_io += cst.spill_io_seconds;
+    convert_io += in.take_io_seconds() + kmv->take_io_seconds();
+    wc_.compute(convert_io);
+    st.my_partitions_spill.erase(p);  // consumed by the convert
+    rp.kmv_spill = std::move(kmv);
+    charge_span("merge", m0);
+  }
+
+  if (rp.entries_done > 0) {
+    wc_.compute(static_cast<double>(rp.entries_done) * opts_.skip_cost_per_record);
+  }
+  // The same Algorithm-1 reduce loop as in-core, driven by the streamed
+  // k-way merge. check() may throw FailureDetected out of the stream;
+  // rp.kmv_spill survives in the stage state, so re-entry resumes at the
+  // committed entry cursor without re-converting.
+  mr::KvBuffer emitted;
+  if (auto s = rp.kmv_spill->for_each_entry(
+          rp.entries_done,
+          [&](std::string_view key,
+              std::span<const std::string_view> values) -> Status {
+            emitted.clear();
+            fns.reduce(key, values, emitted);
+            mr::tap_records(mr::kTapReduceEmitted, world_.global_rank(),
+                            emitted.size());
+            rp.out.merge_from(emitted);
+            rp.pending_delta.merge_from(emitted);
+            wc_.compute(reduce_cost * static_cast<double>(values.size()));
+            rp.entries_done++;
+            if (opts_.ckpt.enabled &&
+                opts_.ckpt.granularity == CkptOptions::Granularity::kRecord &&
+                static_cast<int64_t>(rp.entries_done - rp.last_ckpt_entries) >=
+                    opts_.ckpt.records_per_ckpt) {
+              const double c0 = wc_.now();
+              if (auto cs = check(ckpt_->reduce_ckpt(wc_, stage, p,
+                                                     rp.last_ckpt_entries,
+                                                     rp.entries_done,
+                                                     rp.pending_delta));
+                  !cs.ok()) {
+                return cs;
+              }
+              rp.pending_delta.clear();
+              rp.last_ckpt_entries = rp.entries_done;
+              charge_span("ckpt", c0);
+            }
+            if ((rp.entries_done & 0x3f) == 0) {
+              if (auto cs = check(master_->tick()); !cs.ok()) return cs;
+              if (!wc_.failed_ranks().empty()) {
+                if (auto cs = check({ErrorCode::kProcFailed,
+                                     "failure observed in reduce"});
+                    !cs.ok()) {
+                  return cs;
+                }
+              }
+            }
+            return Status::Ok();
+          });
+      !s.ok()) {
+    return s;
+  }
+  if (opts_.ckpt.enabled && !rp.pending_delta.empty()) {
+    if (auto s = check(ckpt_->reduce_ckpt(wc_, stage, p, rp.last_ckpt_entries,
+                                          rp.entries_done, rp.pending_delta));
+        !s.ok()) {
+      return s;
+    }
+    rp.pending_delta.clear();
+    rp.last_ckpt_entries = rp.entries_done;
+  }
+  const double kmv_io = rp.kmv_spill->take_io_seconds();
+  if (kmv_io > 0.0) wc_.compute(kmv_io);
+  rp.done = true;
+  st.outputs[p] = rp.out;
+  rp.kmv_spill.reset();
+  if (opts_.ckpt.enabled) {
+    if (auto s = check(ckpt_->stage_output_ckpt(wc_, stage, p, rp.out)); !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
 Status FtJob::reduce_phase(const StageFns& fns, int stage, StageState& st) {
   const double t0 = wc_.now();
   const double reduce_cost = current_reduce_cost(fns);
@@ -491,6 +905,12 @@ Status FtJob::reduce_phase(const StageFns& fns, int stage, StageState& st) {
     if (part_owner_[static_cast<size_t>(p)] != me) continue;
     ReduceProgress& rp = st.reduce[p];
     if (rp.done) continue;
+    if (out_of_core()) {
+      if (auto s = reduce_partition_spill(fns, stage, st, p, rp); !s.ok()) {
+        return s;
+      }
+      continue;
+    }
 
     // KV→KMV conversion (the "merge" of Fig. 10); deterministic key order
     // makes the reduce-entry cursor a valid recovery position.
@@ -591,7 +1011,11 @@ Status FtJob::run_stage(const StageFns& fns, bool kv_input, mr::KvBuffer* output
   if (st.phase != kPhaseDone) {
     if (st.phase == kPhaseMap) {
       if (auto s = map_phase(fns, kv_input, stage, st); !s.ok()) return s;
-      if (auto s = shuffle_phase(fns, stage, st); !s.ok()) return s;
+      if (auto s = out_of_core() ? shuffle_phase_paged(fns, stage, st)
+                                 : shuffle_phase(fns, stage, st);
+          !s.ok()) {
+        return s;
+      }
     }
     // Agree on the orphan-rebuild set: a work-conserving fallback may mark
     // a partition missing on the inheriting rank only, but the rebuild is a
@@ -627,7 +1051,9 @@ Status FtJob::run_stage(const StageFns& fns, bool kv_input, mr::KvBuffer* output
           }
         }
         std::vector<int> missing(union_missing.begin(), union_missing.end());
-        if (auto s = rebuild_orphan_partitions(fns, stage, st, missing);
+        if (auto s = out_of_core()
+                         ? rebuild_orphans_paged(fns, stage, st, missing)
+                         : rebuild_orphan_partitions(fns, stage, st, missing);
             !s.ok()) {
           return s;
         }
@@ -965,7 +1391,18 @@ void FtJob::patch_state_after_shrink(const std::vector<int>& new_dead) {
             }
             continue;
           }
-          st.my_partitions[p] = std::move(pit->second);
+          if (out_of_core()) {
+            st.my_partitions_spill.erase(p);
+            if (auto as = partition_store(st, sid, p)
+                              .absorb_kv(std::move(pit->second));
+                !as.ok()) {
+              FTMR_WARN << "rank " << world_.global_rank()
+                        << " adopted partition " << p
+                        << " spill degraded to resident: " << as.to_string();
+            }
+          } else {
+            st.my_partitions[p] = std::move(pit->second);
+          }
           auto rrit = rec.reduce.find(p);
           if (rrit != rec.reduce.end()) {
             ReduceProgress& rp = st.reduce[p];
@@ -1067,7 +1504,18 @@ void FtJob::prime_from_own_checkpoints() {
       }
     }
     if (st.phase >= kPhaseShuffleDone) {
-      for (auto& [p, kv] : rec.partitions) st.my_partitions[p] = std::move(kv);
+      for (auto& [p, kv] : rec.partitions) {
+        if (out_of_core()) {
+          st.my_partitions_spill.erase(p);
+          if (auto as = partition_store(st, sid, p).absorb_kv(std::move(kv));
+              !as.ok()) {
+            FTMR_WARN << "rank " << world_.global_rank() << " primed partition "
+                      << p << " spill degraded to resident: " << as.to_string();
+          }
+        } else {
+          st.my_partitions[p] = std::move(kv);
+        }
+      }
       for (auto& [p, rrec] : rec.reduce) {
         ReduceProgress& rp = st.reduce[p];
         rp.entries_done = rrec.entries_done;

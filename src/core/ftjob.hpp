@@ -85,6 +85,18 @@ struct FtJobOptions {
   /// output buffer's arena and are valid only for the duration of the call.
   std::function<void(std::string_view key, std::string_view value,
                      std::string& sink)> output_writer;
+  /// Per-rank byte budget for intermediate KV/KMV residency; 0 = in-core
+  /// (the historical behaviour). When set, map output, shuffle-received
+  /// partitions, and the convert result live in spill-backed buffers under
+  /// `spill_dir`, the shuffle exchanges data in budget-bounded rounds, and
+  /// shuffle-end partition checkpoints stream page-by-page — peak residency
+  /// stays O(budget) however large the dataset. See DESIGN.md "Out-of-core
+  /// KV".
+  size_t memory_budget = 0;
+  /// Scratch namespace on the node-local tier for spill pages.
+  std::string spill_dir = "spill";
+  /// Spill page size; clamped so one page always fits the shared budget.
+  size_t spill_page_bytes = 1 << 20;
 };
 
 /// User logic of one stage, view-typed (the Table-1 templates adapt onto
@@ -172,6 +184,12 @@ class FtJob {
     return primed_from_ckpt_;
   }
   [[nodiscard]] int recoveries() const noexcept { return recoveries_; }
+  /// Resident-byte accounting across every spill-backed buffer this rank
+  /// opened; `peak` is the high-water mark the budget promises to bound
+  /// (meaningful only when memory_budget > 0).
+  [[nodiscard]] const mr::ResidencyMeter& residency() const noexcept {
+    return meter_;
+  }
   [[nodiscard]] const FtJobOptions& options() const noexcept { return opts_; }
   // Invariant probes (read-only views for the schedule explorer and the
   // redistribution-invariant tests; see testing/invariants.hpp).
@@ -210,6 +228,9 @@ class FtJob {
     bool done = false;
     mr::KvBuffer out;
     mr::KvBuffer pending_delta;
+    /// Budget mode: the partition's convert result, streamed into reduce
+    /// (survives a FailureDetected unwind so re-entry resumes mid-stream).
+    std::unique_ptr<mr::SpillableKmvBuffer> kmv_spill;
   };
 
   struct StageState {
@@ -219,6 +240,11 @@ class FtJob {
     std::set<int> partitions_missing;  // orphans needing NWC rebuild
     std::map<int, ReduceProgress> reduce;
     std::map<int, mr::KvBuffer> outputs;  // reduce output per owned partition
+    // Budget mode twins of tasks[].parts and my_partitions: completed map
+    // tasks move their partitioned output here (paged, spillable), and the
+    // paged shuffle absorbs receives here. Empty when out_of_core() is off.
+    std::map<int, mr::SpillableKvBuffer> map_spill;        // by partition
+    std::map<int, mr::SpillableKvBuffer> my_partitions_spill;  // by owned p
   };
 
   // -- helpers --
@@ -238,6 +264,31 @@ class FtJob {
                                    StageState& st,
                                    const std::vector<int>& missing);
   Status reduce_phase(const StageFns& fns, int stage, StageState& st);
+  // -- out-of-core (memory_budget > 0) --
+  [[nodiscard]] bool out_of_core() const noexcept {
+    return opts_.memory_budget > 0 && fs_ != nullptr;
+  }
+  /// Spill namespace for one component of one stage on this rank; the
+  /// per-rank budget is split evenly between the KV side (map output or
+  /// received partitions) and the convert/KMV side.
+  [[nodiscard]] mr::SpillConfig spill_config(int stage,
+                                             std::string_view what) const;
+  /// The stage's spill store for map-output partition p (created on first
+  /// use, budget shared across all P0 partitions).
+  mr::SpillableKvBuffer& map_store(StageState& st, int stage, int p);
+  /// The stage's spill store for owned partition p (created on first use,
+  /// budget shared across this rank's owned partitions).
+  mr::SpillableKvBuffer& partition_store(StageState& st, int stage, int p);
+  /// Decode an alltoall receive buffer and absorb its blocks into the
+  /// owned-partition spill stores; `pairs_received` accumulates the record
+  /// count for the shuffle tap.
+  Status absorb_shuffle_blocks(StageState& st, int stage, const Bytes& recv,
+                               size_t* pairs_received);
+  Status shuffle_phase_paged(const StageFns& fns, int stage, StageState& st);
+  Status rebuild_orphans_paged(const StageFns& fns, int stage, StageState& st,
+                               const std::vector<int>& missing);
+  Status reduce_partition_spill(const StageFns& fns, int stage, StageState& st,
+                                int p, ReduceProgress& rp);
   void recover();
   void patch_state_after_shrink(const std::vector<int>& new_dead);
   Status load_dead_state_wc(int dead_rank, const std::vector<int>& my_new_tasks,
@@ -284,6 +335,9 @@ class FtJob {
   bool primed_from_ckpt_ = false;
   int recoveries_ = 0;
   TimeBuckets times_;
+  // Mutated through SpillConfig::meter by the buffers spill_config() opens
+  // (accounting state, like times_; spill_config itself stays const).
+  mutable mr::ResidencyMeter meter_;
   metrics::TraceRecorder trace_;
   double map_bytes_done_ = 0.0;  // load-balancer observation feed
   double map_vtime_spent_ = 0.0;

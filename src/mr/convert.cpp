@@ -143,4 +143,86 @@ KmvBuffer convert_2pass(const KvBuffer& in, ConvertStats* stats,
   return out;
 }
 
+Status convert_2pass_spill(SpillableKvBuffer& in, SpillableKmvBuffer& out,
+                           const SpillConfig& cfg, ConvertStats* stats,
+                           size_t segment_bytes) {
+  ConvertStats st;
+  const size_t total = in.bytes();
+  size_t nbuckets = 1;
+  if (cfg.enabled() && total > 0) {
+    // Bucket working sets of about budget/4 leave headroom for the chain
+    // map and the emitted KMV run while a bucket converts in-core.
+    const size_t target = std::max<size_t>(1, cfg.memory_budget / 4);
+    nbuckets = std::min<size_t>(64, (total + target - 1) / target);
+  }
+  st.buckets = nbuckets;
+  if (nbuckets <= 1) {
+    KvBuffer flat;
+    if (auto s = in.drain_to(flat); !s.ok()) return s;
+    st.spill_io_seconds += in.take_io_seconds();
+    ConvertStats cs;
+    KmvBuffer kmv = convert_2pass(flat, &cs, segment_bytes);
+    st.bytes_moved = cs.bytes_moved;
+    st.passes = cs.passes;
+    st.segments = cs.segments;
+    st.distinct_keys = cs.distinct_keys;
+    if (auto s = out.add_run(std::move(kmv)); !s.ok()) return s;
+    if (stats) *stats = st;
+    return Status::Ok();
+  }
+  // Bucket pass — consume `in` page by page, routing each pair by a
+  // mixed key hash into its (spillable) bucket. One extra read + write of
+  // the full volume on top of the in-core algorithm's two passes.
+  //
+  // Residency discipline: with all nbuckets live at once, each bucket gets
+  // an equal slice of the budget as both its budget AND its page size, so
+  // the aggregate stays <= max(budget, kMinBucketPage x nbuckets) instead
+  // of nbuckets full-size pages (share() floors at cfg.page_bytes, which
+  // at high fanout multiplies to many times the budget). The emitted runs
+  // are repaged to the same slice so the k-way merge in for_each_entry —
+  // one loaded page per run — is bounded the same way.
+  constexpr size_t kMinBucketPage = 128;
+  const size_t slice =
+      std::max(kMinBucketPage, cfg.memory_budget / nbuckets);
+  std::vector<SpillableKvBuffer> buckets;
+  buckets.reserve(nbuckets);
+  SpillConfig bucket_cfg = cfg;
+  bucket_cfg.memory_budget = slice;
+  bucket_cfg.page_bytes = slice;
+  for (size_t b = 0; b < nbuckets; ++b) {
+    buckets.emplace_back(bucket_cfg.sub("cvt_b" + std::to_string(b)));
+  }
+  out.set_run_page_bytes(slice);
+  KvBuffer page;
+  bool have = false;
+  while (true) {
+    if (auto s = in.pop_front_page(page, have); !s.ok()) return s;
+    if (!have) break;
+    for (size_t i = 0; i < page.size(); ++i) {
+      const KvView p = page.view(i);
+      const size_t b = mix64(fnv1a(p.key)) % nbuckets;
+      if (auto s = buckets[b].add(p.key, p.value); !s.ok()) return s;
+    }
+  }
+  st.spill_io_seconds += in.take_io_seconds();
+  st.passes++;
+  st.bytes_moved += 2 * total;
+  // Convert each bucket in-core; its sorted run joins the k-way merge set.
+  for (size_t b = 0; b < nbuckets; ++b) {
+    KvBuffer flat;
+    if (auto s = buckets[b].drain_to(flat); !s.ok()) return s;
+    st.spill_io_seconds += buckets[b].take_io_seconds();
+    if (flat.empty()) continue;
+    ConvertStats cs;
+    KmvBuffer kmv = convert_2pass(flat, &cs, segment_bytes);
+    st.bytes_moved += cs.bytes_moved;
+    st.segments += cs.segments;
+    st.distinct_keys += cs.distinct_keys;
+    if (auto s = out.add_run(std::move(kmv)); !s.ok()) return s;
+  }
+  st.passes += 2;
+  if (stats) *stats = st;
+  return Status::Ok();
+}
+
 }  // namespace ftmr::mr

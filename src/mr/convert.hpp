@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "mr/kv.hpp"
+#include "mr/spill.hpp"
 
 namespace ftmr::mr {
 
@@ -36,6 +37,11 @@ struct ConvertStats {
   int passes = 0;
   size_t segments = 0;       // 2-pass only: log segments allocated
   size_t distinct_keys = 0;
+  size_t buckets = 0;        // spill variant: hash buckets (sorted runs)
+  /// Modeled local-disk seconds the spill variant spent on page I/O for
+  /// the input and bucket scratch buffers (the caller charges it to its
+  /// virtual clock alongside the out-buffer's take_io_seconds()).
+  double spill_io_seconds = 0.0;
 };
 
 /// Original MR-MPI 4-pass conversion.
@@ -46,5 +52,20 @@ KmvBuffer convert_4pass(const KvBuffer& in, ConvertStats* stats = nullptr);
 /// spill across a chain of segments; pass 2 merges each chain).
 KmvBuffer convert_2pass(const KvBuffer& in, ConvertStats* stats = nullptr,
                         size_t segment_bytes = 4096);
+
+/// Spill-aware two-pass conversion. `in` is consumed page by page into
+/// hash buckets sized to roughly a quarter of the budget (a decorrelated
+/// second hash, so per-partition inputs — whose keys already share one
+/// fnv1a residue — still split evenly); each bucket then converts in-core
+/// with convert_2pass and its key-sorted run lands in `out`. Bucket key
+/// sets are disjoint, so out.for_each_entry's k-way merge streams entries
+/// in exactly the global key order convert_2pass + sort_by_key produces on
+/// the undivided data — same entries, same value order. Peak residency is
+/// O(memory_budget), never O(dataset); with `cfg` disabled the whole input
+/// converts as a single in-core run.
+Status convert_2pass_spill(SpillableKvBuffer& in, SpillableKmvBuffer& out,
+                           const SpillConfig& cfg,
+                           ConvertStats* stats = nullptr,
+                           size_t segment_bytes = 4096);
 
 }  // namespace ftmr::mr

@@ -1,5 +1,7 @@
 #include "mr/mapreduce.hpp"
 
+#include <algorithm>
+
 #include "common/hash.hpp"
 #include "common/log.hpp"
 
@@ -129,7 +131,173 @@ Status MapReduce::write_output(const KvBuffer& out) const {
   return Status::Ok();
 }
 
+SpillConfig MapReduce::spill_config(std::string_view phase) const {
+  SpillConfig c;
+  if (opts_.memory_budget == 0) return c;  // disabled: in-core buffers
+  c.fs = fs_;
+  c.node = node();
+  char r[32];
+  std::snprintf(r, sizeof(r), "r%05d", comm_.global_rank());
+  c.dir = opts_.spill_dir + "/" + r + "/" + std::string(phase);
+  c.memory_budget = std::max<size_t>(1, opts_.memory_budget / 2);
+  c.page_bytes = std::min(opts_.spill_page_bytes,
+                          std::max<size_t>(4096, c.memory_budget / 8));
+  c.meter = &meter_;
+  return c;
+}
+
+Status MapReduce::map_phase_spill(const MapFn& map_fn,
+                                  SpillableKvBuffer& kv_out) {
+  const double t0 = comm_.now();
+  std::vector<std::string> chunks;
+  std::vector<uint64_t> my_tasks;
+  if (auto s = plan_tasks(chunks, my_tasks); !s.ok()) return s;
+  for (uint64_t t : my_tasks) {
+    Bytes data;
+    double io_cost = 0.0;
+    if (auto s = fs_->read_file(storage::Tier::kShared, node(),
+                                opts_.input_dir + "/" + chunks[t], data,
+                                &io_cost, io_concurrency());
+        !s.ok()) {
+      return s;
+    }
+    times_.charge("io_wait", io_cost);
+    comm_.compute(io_cost);
+    const std::string_view text(reinterpret_cast<const char*>(data.data()),
+                                data.size());
+    KvBuffer emitted;
+    const int64_t records = map_fn(t, text, emitted);
+    comm_.compute(static_cast<double>(records) * opts_.map_cost_per_record);
+    if (auto s = kv_out.absorb_kv(std::move(emitted)); !s.ok()) return s;
+  }
+  const double io = kv_out.take_io_seconds();
+  times_.charge("io_wait", io);
+  comm_.compute(io);
+  if (auto s = comm_.barrier(); !s.ok()) return s;
+  times_.charge("map", comm_.now() - t0);
+  return Status::Ok();
+}
+
+Status MapReduce::shuffle_phase_spill(SpillableKvBuffer& in,
+                                      SpillableKvBuffer& out) {
+  const double t0 = comm_.now();
+  ShuffleStats st;
+  if (auto s = shuffle_spill(comm_, in, out, spill_config("shuffle"), &st);
+      !s.ok()) {
+    return s;
+  }
+  const double io = st.spill_io_seconds + out.take_io_seconds();
+  comm_.compute(io);
+  times_.charge("io_wait", io);
+  times_.charge("shuffle", comm_.now() - t0);
+  return Status::Ok();
+}
+
+Status MapReduce::convert_phase_spill(SpillableKvBuffer& in,
+                                      SpillableKmvBuffer& out) {
+  const double t0 = comm_.now();
+  ConvertStats st;
+  if (auto s = convert_2pass_spill(in, out, spill_config("convert"), &st,
+                                   opts_.convert_segment_bytes);
+      !s.ok()) {
+    return s;
+  }
+  // The algorithm's modeled data movement, plus the real page traffic the
+  // spillable buffers generated on the local tier.
+  const double io =
+      fs_->cost_of(storage::Tier::kLocal, st.bytes_moved, st.passes) +
+      st.spill_io_seconds + out.take_io_seconds();
+  comm_.compute(io);
+  times_.charge("io_wait", io);
+  if (auto s = comm_.barrier(); !s.ok()) return s;
+  times_.charge("merge", comm_.now() - t0);
+  return Status::Ok();
+}
+
+Status MapReduce::reduce_phase_spill(SpillableKmvBuffer& in,
+                                     const ReduceFn& reduce_fn,
+                                     SpillableKvBuffer& out) {
+  const double t0 = comm_.now();
+  int64_t values = 0;
+  // Reduce output stages into one resident page, then spills like any
+  // other buffer; entries arrive in global key order from the k-way merge.
+  KvBuffer stage;
+  const size_t flush_bytes = std::max<size_t>(4096, spill_config("reduce").page_bytes);
+  auto st = in.for_each_entry(
+      0, [&](std::string_view key,
+             std::span<const std::string_view> vals) -> Status {
+        reduce_fn(key, vals, stage);
+        values += static_cast<int64_t>(vals.size());
+        if (stage.bytes() >= flush_bytes) {
+          if (auto s = out.absorb_kv(std::move(stage)); !s.ok()) return s;
+          stage = KvBuffer{};
+        }
+        return Status::Ok();
+      });
+  if (!st.ok()) return st;
+  if (!stage.empty()) {
+    if (auto s = out.absorb_kv(std::move(stage)); !s.ok()) return s;
+  }
+  comm_.compute(static_cast<double>(values) * opts_.reduce_cost_per_value);
+  const double io = in.take_io_seconds() + out.take_io_seconds();
+  comm_.compute(io);
+  times_.charge("io_wait", io);
+  if (auto s = comm_.barrier(); !s.ok()) return s;
+  times_.charge("reduce", comm_.now() - t0);
+  return Status::Ok();
+}
+
+Status MapReduce::write_output_spill(SpillableKvBuffer& out) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "part-%05d", comm_.rank());
+  const std::string path = opts_.output_dir + "/" + name;
+  double total_io = 0.0;
+  bool first = true;
+  // A page's wire image minus its count header is exactly the output byte
+  // sequence write_output produces for those pairs, so streaming appends
+  // yield a byte-identical part file.
+  auto st = out.for_each_page([&](const KvBuffer& page) -> Status {
+    const auto body = page.wire_view().subspan(kCountHeaderBytes);
+    double io_cost = 0.0;
+    Status s = first ? fs_->write_file(storage::Tier::kShared, 0, path, body,
+                                       &io_cost, io_concurrency())
+                     : fs_->append_file(storage::Tier::kShared, 0, path, body,
+                                        &io_cost, io_concurrency());
+    first = false;
+    total_io += io_cost;
+    return s;
+  });
+  if (!st.ok()) return st;
+  if (first) {  // no pages at all: still create the (empty) part file
+    double io_cost = 0.0;
+    if (auto s = fs_->write_file(storage::Tier::kShared, 0, path, {}, &io_cost,
+                                 io_concurrency());
+        !s.ok()) {
+      return s;
+    }
+    total_io += io_cost;
+  }
+  comm_.compute(total_io + out.take_io_seconds());
+  return Status::Ok();
+}
+
 Status MapReduce::run(const MapFn& map_fn, const ReduceFn& reduce_fn) {
+  if (opts_.memory_budget > 0) {
+    SpillableKvBuffer mapped(spill_config("map"));
+    if (auto s = map_phase_spill(map_fn, mapped); !s.ok()) return s;
+    SpillableKvBuffer shuffled(spill_config("shuffled"));
+    if (auto s = shuffle_phase_spill(mapped, shuffled); !s.ok()) return s;
+    (void)mapped.clear();
+    SpillableKmvBuffer grouped(spill_config("kmv"));
+    if (auto s = convert_phase_spill(shuffled, grouped); !s.ok()) return s;
+    (void)shuffled.clear();
+    SpillableKvBuffer reduced(spill_config("reduced"));
+    if (auto s = reduce_phase_spill(grouped, reduce_fn, reduced); !s.ok()) {
+      return s;
+    }
+    (void)grouped.clear();
+    return write_output_spill(reduced);
+  }
   KvBuffer mapped;
   if (auto s = map_phase(map_fn, mapped); !s.ok()) return s;
   KvBuffer shuffled;

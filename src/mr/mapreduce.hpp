@@ -38,6 +38,17 @@ struct JobOptions {
   /// the baseline keeps the original algorithm).
   bool two_pass_convert = false;
   size_t convert_segment_bytes = 4096;
+  /// Out-of-core mode. 0 keeps the historical fully-in-core pipeline
+  /// (byte-for-byte and op-for-op unchanged). A non-zero budget caps the
+  /// resident intermediate bytes per rank: map output, shuffle staging and
+  /// receive, convert scratch, and reduce output all draw on this one
+  /// budget, spilling pages under `spill_dir` on the node-local tier and
+  /// streaming them back (shuffle_spill / convert_2pass_spill). Budget
+  /// mode always uses the two-pass conversion. The job output is
+  /// byte-identical to the in-core pipeline's.
+  size_t memory_budget = 0;
+  std::string spill_dir = "spill";
+  size_t spill_page_bytes = 1 << 20;
 };
 
 /// Splits a map callback's view of the input: the framework hands it one
@@ -78,10 +89,38 @@ class MapReduce {
                       KvBuffer& out);
   Status write_output(const KvBuffer& out) const;
 
+  // -- out-of-core phase primitives (active when memory_budget > 0; each
+  //    buffer is opened on spill_config(<phase>) and freed pages stop
+  //    counting against the budget as the next phase consumes them) --
+
+  /// Spill settings for one phase's buffer: half the per-rank budget (a
+  /// producer/consumer pair of live buffers stays within the whole), pages
+  /// sized so a budget always holds several, scratch namespaced per rank.
+  [[nodiscard]] SpillConfig spill_config(std::string_view phase) const;
+  Status map_phase_spill(const MapFn& map_fn, SpillableKvBuffer& kv_out);
+  /// Streamed exchange; consumes `in`.
+  Status shuffle_phase_spill(SpillableKvBuffer& in, SpillableKvBuffer& out);
+  /// Streamed bucketed conversion; consumes `in`.
+  Status convert_phase_spill(SpillableKvBuffer& in, SpillableKmvBuffer& out);
+  /// Streams entries in global key order through `reduce_fn`; output pages
+  /// spill like any other buffer. Does not consume `in` (re-streamable).
+  Status reduce_phase_spill(SpillableKmvBuffer& in, const ReduceFn& reduce_fn,
+                            SpillableKvBuffer& out);
+  /// Page-streamed output writer: same output bytes as write_output, one
+  /// shared-tier append per page instead of one whole-buffer write.
+  Status write_output_spill(SpillableKvBuffer& out) const;
+
   /// Per-phase virtual-time decomposition of everything run so far
   /// (buckets: map, shuffle, merge, reduce, io_wait, ...).
   [[nodiscard]] const TimeBuckets& times() const noexcept { return times_; }
   [[nodiscard]] TimeBuckets& mutable_times() noexcept { return times_; }
+
+  /// Resident-byte accounting across every spill-backed buffer this rank
+  /// opened; `peak` is the high-water mark the budget promises to bound
+  /// (meaningful only when memory_budget > 0).
+  [[nodiscard]] const ResidencyMeter& residency() const noexcept {
+    return meter_;
+  }
 
   [[nodiscard]] int node() const noexcept { return comm_.global_rank() / opts_.ppn; }
   [[nodiscard]] int io_concurrency() const noexcept {
@@ -96,6 +135,9 @@ class MapReduce {
   storage::StorageSystem* fs_;
   JobOptions opts_;
   TimeBuckets times_;
+  // Mutated through SpillConfig::meter by the buffers spill_config() opens
+  // (accounting state, like times_; spill_config itself stays const).
+  mutable ResidencyMeter meter_;
 };
 
 }  // namespace ftmr::mr

@@ -8,6 +8,7 @@
 #include "common/metrics.hpp"
 #include "common/status.hpp"
 #include "mr/kv.hpp"
+#include "mr/spill.hpp"
 #include "simmpi/comm.hpp"
 
 namespace ftmr::mr {
@@ -17,6 +18,10 @@ struct ShuffleStats {
   size_t bytes_received = 0;
   size_t pairs_sent = 0;
   size_t pairs_received = 0;
+  /// Modeled local-disk seconds the streamed shuffle spent consuming `in`
+  /// and staging receive pages (shuffle_spill only; the caller charges it
+  /// to its virtual clock alongside the out-buffer's take_io_seconds()).
+  double spill_io_seconds = 0.0;
 };
 
 /// Partition `in` by fnv1a(key) % comm.size().
@@ -37,5 +42,21 @@ Status shuffle(simmpi::Comm& comm, const KvBuffer& in, KvBuffer& out,
 Status shuffle_partitions(simmpi::Comm& comm, std::vector<KvBuffer> parts,
                           KvBuffer& out, ShuffleStats* stats = nullptr,
                           metrics::TraceRecorder* trace = nullptr);
+
+/// Out-of-core exchange: `in` is consumed page by page (handed-off pages
+/// stop counting against its budget), partitioned into per-destination send
+/// arenas of about `cfg.memory_budget / 2` bytes per round, and exchanged
+/// in as many alltoall rounds as the slowest rank needs (collective: every
+/// rank runs the same round count). Receives accumulate per *sender* and
+/// merge sender-rank-major into `out` (a caller-opened buffer on its own
+/// SpillConfig) by moving page ownership, so the pair order — and therefore
+/// every downstream value list — is byte-identical to shuffle() over the
+/// same data. Peak residency is O(page_bytes x ranks + round budget),
+/// never O(dataset). With `cfg` disabled this degrades to one round and
+/// purely resident buffers.
+Status shuffle_spill(simmpi::Comm& comm, SpillableKvBuffer& in,
+                     SpillableKvBuffer& out, const SpillConfig& cfg,
+                     ShuffleStats* stats = nullptr,
+                     metrics::TraceRecorder* trace = nullptr);
 
 }  // namespace ftmr::mr

@@ -1,8 +1,51 @@
 #include "mr/spill.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
+#include "common/crc32.hpp"
+
 namespace ftmr::mr {
+
+namespace {
+
+// Every spilled page carries a CRC-32 trailer. Structural validation on the
+// way back in (KvBuffer::adopt / decode_kmv) catches truncation and length
+// corruption, but a bit flip inside key/value payload bytes would pass it
+// silently and surface as wrong *data*. The trailer turns payload corruption
+// into a detectable — and for transient read corruption, retryable — error.
+constexpr size_t kPageCrcBytes = 4;
+
+void seal_page(Bytes& wire) {
+  const uint32_t crc = crc32(std::span<const std::byte>(wire));
+  for (int i = 0; i < 4; ++i) {
+    wire.push_back(static_cast<std::byte>((crc >> (8 * i)) & 0xFFu));
+  }
+}
+
+Status unseal_page(Bytes& wire) {
+  if (wire.size() < kPageCrcBytes) {
+    return {ErrorCode::kCorrupt, "spill page shorter than its CRC trailer"};
+  }
+  const size_t body = wire.size() - kPageCrcBytes;
+  uint32_t stored = 0;
+  for (size_t i = 0; i < kPageCrcBytes; ++i) {
+    stored |= static_cast<uint32_t>(static_cast<uint8_t>(wire[body + i]))
+              << (8 * i);
+  }
+  const uint32_t crc = crc32(std::span<const std::byte>(wire.data(), body));
+  if (crc != stored) {
+    return {ErrorCode::kCorrupt, "spill page CRC mismatch"};
+  }
+  wire.resize(body);
+  return Status::Ok();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SpillableKvBuffer
+// ---------------------------------------------------------------------------
 
 SpillableKvBuffer::SpillableKvBuffer(storage::StorageSystem* storage, int node,
                                      std::string spill_dir, size_t page_bytes,
@@ -13,106 +56,754 @@ SpillableKvBuffer::SpillableKvBuffer(storage::StorageSystem* storage, int node,
 
 SpillableKvBuffer::~SpillableKvBuffer() { (void)clear(); }
 
+SpillableKvBuffer::SpillableKvBuffer(SpillableKvBuffer&& other) noexcept
+    : storage_(other.storage_), node_(other.node_),
+      spill_dir_(std::move(other.spill_dir_)), page_bytes_(other.page_bytes_),
+      memory_budget_(other.memory_budget_), retry_(other.retry_),
+      meter_(other.meter_), metered_(other.metered_),
+      pages_(std::move(other.pages_)), open_page_(std::move(other.open_page_)),
+      resident_bytes_(other.resident_bytes_), total_pairs_(other.total_pairs_),
+      total_bytes_(other.total_bytes_), stats_(other.stats_),
+      pending_io_seconds_(other.pending_io_seconds_),
+      next_page_id_(other.next_page_id_) {
+  other.pages_.clear();
+  other.open_page_.clear();
+  other.resident_bytes_ = other.total_pairs_ = other.total_bytes_ = 0;
+  other.stats_ = {};
+  other.pending_io_seconds_ = 0.0;
+  other.meter_ = nullptr;  // booking moved with the pages
+  other.metered_ = 0;
+}
+
+SpillableKvBuffer& SpillableKvBuffer::operator=(
+    SpillableKvBuffer&& other) noexcept {
+  if (this == &other) return *this;
+  (void)clear();
+  storage_ = other.storage_;
+  node_ = other.node_;
+  spill_dir_ = std::move(other.spill_dir_);
+  page_bytes_ = other.page_bytes_;
+  memory_budget_ = other.memory_budget_;
+  retry_ = other.retry_;
+  meter_ = other.meter_;
+  metered_ = other.metered_;
+  pages_ = std::move(other.pages_);
+  open_page_ = std::move(other.open_page_);
+  resident_bytes_ = other.resident_bytes_;
+  total_pairs_ = other.total_pairs_;
+  total_bytes_ = other.total_bytes_;
+  stats_ = other.stats_;
+  pending_io_seconds_ = other.pending_io_seconds_;
+  next_page_id_ = other.next_page_id_;
+  other.pages_.clear();
+  other.open_page_.clear();
+  other.resident_bytes_ = other.total_pairs_ = other.total_bytes_ = 0;
+  other.stats_ = {};
+  other.pending_io_seconds_ = 0.0;
+  other.meter_ = nullptr;  // booking moved with the pages
+  other.metered_ = 0;
+  return *this;
+}
+
 Status SpillableKvBuffer::add(std::string_view key, std::string_view value) {
   open_page_.add(key, value);
   total_pairs_++;
   total_bytes_ += key.size() + value.size() + KvBuffer::kPairOverhead;
-  if (open_page_.bytes() >= page_bytes_) {
-    resident_bytes_ += open_page_.bytes();
-    resident_.push_back(std::move(open_page_));
-    open_page_ = KvBuffer{};
-    // Enforce the memory budget by spilling the oldest resident pages.
-    while (storage_ && resident_bytes_ > memory_budget_ && !resident_.empty()) {
-      if (auto s = spill_page(); !s.ok()) return s;
+  if (open_page_.bytes() >= page_bytes_) close_open_page();
+  Status s = enforce_budget();
+  sync_meter();
+  return s;
+}
+
+Status SpillableKvBuffer::absorb_kv(KvBuffer&& kv) {
+  if (kv.empty()) return Status::Ok();
+  total_pairs_ += kv.size();
+  total_bytes_ += kv.bytes();
+  open_page_.absorb(std::move(kv));
+  if (open_page_.bytes() >= page_bytes_) close_open_page();
+  Status s = enforce_budget();
+  sync_meter();
+  return s;
+}
+
+Status SpillableKvBuffer::append_page(KvBuffer&& page) {
+  if (page.empty()) return Status::Ok();
+  close_open_page();
+  Page p;
+  p.pairs = page.size();
+  p.bytes = page.bytes();
+  p.mem = std::move(page);
+  resident_bytes_ += p.bytes;
+  total_pairs_ += p.pairs;
+  total_bytes_ += p.bytes;
+  pages_.push_back(std::move(p));
+  Status s = enforce_budget();
+  sync_meter();
+  return s;
+}
+
+Status SpillableKvBuffer::absorb_pages(SpillableKvBuffer&& other) {
+  close_open_page();
+  other.close_open_page();
+  // Adopt the donor's storage if this buffer has none, so the moved spill
+  // files can still be removed by our clear()/destructor.
+  if (storage_ == nullptr && other.storage_ != nullptr) {
+    storage_ = other.storage_;
+    node_ = other.node_;
+  }
+  for (Page& p : other.pages_) {
+    if (!p.on_disk) resident_bytes_ += p.bytes;
+    total_pairs_ += p.pairs;
+    total_bytes_ += p.bytes;
+    pages_.push_back(std::move(p));
+  }
+  other.pages_.clear();
+  other.resident_bytes_ = other.total_pairs_ = other.total_bytes_ = 0;
+  stats_.pages_spilled += other.stats_.pages_spilled;
+  stats_.pages_loaded += other.stats_.pages_loaded;
+  stats_.bytes_spilled += other.stats_.bytes_spilled;
+  stats_.sim_io_seconds += other.stats_.sim_io_seconds;
+  stats_.write_retries += other.stats_.write_retries;
+  stats_.read_retries += other.stats_.read_retries;
+  stats_.write_failures += other.stats_.write_failures;
+  pending_io_seconds_ += other.pending_io_seconds_;
+  other.stats_ = {};
+  other.pending_io_seconds_ = 0.0;
+  other.sync_meter();  // donor's booking drops to zero
+  Status s = enforce_budget();
+  sync_meter();
+  return s;
+}
+
+size_t SpillableKvBuffer::spilled_page_count() const noexcept {
+  size_t n = 0;
+  for (const Page& p : pages_) n += p.on_disk ? 1 : 0;
+  return n;
+}
+
+SpillableKvBuffer::PageInfo SpillableKvBuffer::page_info(
+    size_t i) const noexcept {
+  const Page& p = pages_[i];
+  return {p.pairs, p.bytes, p.on_disk};
+}
+
+void SpillableKvBuffer::close_open_page() {
+  if (open_page_.empty()) return;
+  Page p;
+  p.pairs = open_page_.size();
+  p.bytes = open_page_.bytes();
+  p.mem = std::move(open_page_);
+  open_page_ = KvBuffer{};
+  resident_bytes_ += p.bytes;
+  pages_.push_back(std::move(p));
+}
+
+Status SpillableKvBuffer::spill_oldest_resident() {
+  auto it = std::find_if(pages_.begin(), pages_.end(),
+                         [](const Page& p) { return !p.on_disk; });
+  if (it == pages_.end()) return Status::Ok();
+  Page& p = *it;
+  char name[64];
+  std::snprintf(name, sizeof(name), "page_%06d", next_page_id_++);
+  std::string path = spill_dir_ + "/" + name;
+  // The wire image stays owned here until a write is verified complete: a
+  // failed (or torn) spill re-adopts it, so no page is ever lost to the
+  // storage layer.
+  Bytes wire = std::move(p.mem).take_wire();
+  seal_page(wire);
+  const size_t wire_size = wire.size();
+  Status last;
+  for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      charge_io(retry_.backoff_before(attempt - 1));
+      stats_.write_retries++;
     }
+    double cost = 0.0;
+    last = storage_->write_file(storage::Tier::kLocal, node_, path, wire, &cost);
+    if (!last.ok()) continue;
+    // A torn write reports success but persists a strict prefix; the size
+    // probe is metadata-only and catches it before the page leaves memory.
+    if (storage_->file_size(storage::Tier::kLocal, node_, path) !=
+        static_cast<int64_t>(wire_size)) {
+      last = {ErrorCode::kIo, "torn spill write detected"};
+      continue;
+    }
+    charge_io(cost);
+    break;
+  }
+  if (!last.ok()) {
+    stats_.write_failures++;
+    (void)storage_->remove(storage::Tier::kLocal, node_, path);
+    wire.resize(wire_size - kPageCrcBytes);
+    KvBuffer back;
+    (void)back.adopt(std::move(wire));  // our own bytes; validation cannot fail
+    p.mem = std::move(back);
+    return last;
+  }
+  p.on_disk = true;
+  p.path = std::move(path);
+  p.mem = KvBuffer{};
+  resident_bytes_ -= p.bytes;
+  stats_.pages_spilled++;
+  stats_.bytes_spilled += wire_size;
+  return Status::Ok();
+}
+
+Status SpillableKvBuffer::enforce_budget() {
+  // Book the pre-spill residency: the meter's peak must see the transient
+  // over-budget moment the budget is about to spill away.
+  sync_meter();
+  if (!can_spill() || memory_budget_ == 0) return Status::Ok();
+  while (resident_bytes_ + open_page_.bytes() > memory_budget_) {
+    const bool have_resident =
+        std::any_of(pages_.begin(), pages_.end(),
+                    [](const Page& p) { return !p.on_disk; });
+    // Only closed pages spill; an open page larger than the budget closes
+    // (and then spills) as soon as it reaches page_bytes.
+    if (!have_resident) break;
+    if (auto s = spill_oldest_resident(); !s.ok()) return s;
   }
   return Status::Ok();
 }
 
-Status SpillableKvBuffer::spill_page() {
-  KvBuffer page = std::move(resident_.front());
-  resident_.pop_front();
-  resident_bytes_ -= page.bytes();
-  char name[64];
-  std::snprintf(name, sizeof(name), "page_%06d", next_page_id_++);
-  const std::string path = spill_dir_ + "/" + name;
-  const Bytes wire = std::move(page).take_wire();  // arena IS the wire image
-  double cost = 0.0;
-  if (auto s = storage_->write_file(storage::Tier::kLocal, node_, path, wire,
-                                    &cost);
-      !s.ok()) {
-    return s;
+Status SpillableKvBuffer::load_page(const Page& p, KvBuffer& out) {
+  Status last;
+  for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      charge_io(retry_.backoff_before(attempt - 1));
+      stats_.read_retries++;
+    }
+    Bytes wire;
+    double cost = 0.0;
+    last = storage_->read_file(storage::Tier::kLocal, node_, p.path, wire,
+                               &cost);
+    if (!last.ok()) continue;  // clean read failures are transient
+    // The CRC trailer plus adoption's structural validation catch any bit
+    // flip on the way back in (file intact on disk), so corruption retries
+    // rather than surfacing garbage — or, worse, silently altered payloads.
+    last = unseal_page(wire);
+    if (!last.ok()) continue;
+    last = out.adopt(std::move(wire));
+    if (last.ok()) {
+      charge_io(cost);
+      stats_.pages_loaded++;
+      return Status::Ok();
+    }
   }
-  spilled_.push_back(path);
-  stats_.pages_spilled++;
-  stats_.bytes_spilled += wire.size();
-  stats_.sim_io_seconds += cost;
-  return Status::Ok();
+  return last;
 }
 
 Status SpillableKvBuffer::for_each(const std::function<void(KvView)>& fn) {
-  // Spilled pages first (they are the oldest), then resident, then open.
-  for (const std::string& path : spilled_) {
-    Bytes wire;
-    double cost = 0.0;
-    if (auto s = storage_->read_file(storage::Tier::kLocal, node_, path, wire,
-                                     &cost);
-        !s.ok()) {
-      return s;
+  return for_each_page([&fn](const KvBuffer& page) {
+    for (KvView p : page) fn(p);
+    return Status::Ok();
+  });
+}
+
+Status SpillableKvBuffer::for_each_page(
+    const std::function<Status(const KvBuffer&)>& fn) {
+  for (const Page& p : pages_) {
+    if (p.on_disk) {
+      KvBuffer page;
+      if (auto s = load_page(p, page); !s.ok()) return s;
+      if (auto s = fn(page); !s.ok()) return s;
+    } else {
+      if (auto s = fn(p.mem); !s.ok()) return s;
     }
-    stats_.pages_loaded++;
-    stats_.sim_io_seconds += cost;
-    KvBuffer page;
-    // Zero-copy: the loaded wire image becomes the page arena directly.
-    if (auto s = page.adopt(std::move(wire)); !s.ok()) return s;
-    for (KvView p : page) fn(p);
   }
-  for (const KvBuffer& page : resident_) {
-    for (KvView p : page) fn(p);
+  if (!open_page_.empty()) return fn(open_page_);
+  return Status::Ok();
+}
+
+Status SpillableKvBuffer::read_page(size_t i, KvBuffer& out) {
+  out.clear();
+  if (i < pages_.size()) {
+    const Page& p = pages_[i];
+    if (p.on_disk) return load_page(p, out);
+    out.reserve_records(p.pairs, p.bytes);
+    out.merge_from(p.mem);
+    return Status::Ok();
   }
-  for (KvView p : open_page_) fn(p);
+  if (i == pages_.size() && !open_page_.empty()) {
+    out.reserve_records(open_page_.size(), open_page_.bytes());
+    out.merge_from(open_page_);
+    return Status::Ok();
+  }
+  return {ErrorCode::kOutOfRange, "read_page: no such page"};
+}
+
+Status SpillableKvBuffer::pop_front_page(KvBuffer& out, bool& have) {
+  out.clear();
+  have = false;
+  if (!pages_.empty()) {
+    Page& p = pages_.front();
+    if (p.on_disk) {
+      if (auto s = load_page(p, out); !s.ok()) return s;  // page stays intact
+      (void)storage_->remove(storage::Tier::kLocal, node_, p.path);
+    } else {
+      out = std::move(p.mem);
+      resident_bytes_ -= p.bytes;
+    }
+    total_pairs_ -= p.pairs;
+    total_bytes_ -= p.bytes;
+    pages_.pop_front();
+    have = true;
+    sync_meter();
+    return Status::Ok();
+  }
+  if (!open_page_.empty()) {
+    total_pairs_ -= open_page_.size();
+    total_bytes_ -= open_page_.bytes();
+    out = std::move(open_page_);
+    open_page_ = KvBuffer{};
+    have = true;
+    sync_meter();
+  }
   return Status::Ok();
 }
 
 Status SpillableKvBuffer::drain_to(KvBuffer& out) {
   out.clear();
-  // Adopt each spilled page's wire image and splice it in wholesale; move
-  // the resident and open pages. No per-pair re-encoding anywhere.
-  for (const std::string& path : spilled_) {
-    Bytes wire;
-    double cost = 0.0;
-    if (auto s = storage_->read_file(storage::Tier::kLocal, node_, path, wire,
-                                     &cost);
-        !s.ok()) {
-      return s;
-    }
-    stats_.pages_loaded++;
-    stats_.sim_io_seconds += cost;
-    KvBuffer page;
-    if (auto s = page.adopt(std::move(wire)); !s.ok()) return s;
-    out.absorb(std::move(page));
+  const bool any_disk = std::any_of(pages_.begin(), pages_.end(),
+                                    [](const Page& p) { return p.on_disk; });
+  if (!any_disk) {
+    // Nothing can fail: move every page (and splice the rest) wholesale.
+    for (Page& p : pages_) out.absorb(std::move(p.mem));
+    out.absorb(std::move(open_page_));
+    pages_.clear();
+    resident_bytes_ = total_pairs_ = total_bytes_ = 0;
+    sync_meter();
+    return Status::Ok();
   }
-  for (KvBuffer& page : resident_) out.absorb(std::move(page));
-  out.absorb(std::move(open_page_));
+  // Disk reads can fail mid-stream, so nothing is moved out of this buffer
+  // until every page has been copied: on failure `out` is cleared and every
+  // page — including the already-copied prefix — stays intact and
+  // re-readable (spill files are only deleted by the success path below).
+  out.reserve_records(total_pairs_, total_bytes_);
+  for (const Page& p : pages_) {
+    if (p.on_disk) {
+      KvBuffer page;
+      if (auto s = load_page(p, page); !s.ok()) {
+        out.clear();
+        return s;
+      }
+      out.absorb(std::move(page));
+    } else {
+      out.merge_from(p.mem);
+    }
+  }
+  out.merge_from(open_page_);
   return clear();
 }
 
 Status SpillableKvBuffer::clear() {
   Status first;
-  if (storage_) {
-    for (const std::string& path : spilled_) {
-      if (auto s = storage_->remove(storage::Tier::kLocal, node_, path);
+  if (storage_ != nullptr) {
+    for (const Page& p : pages_) {
+      if (!p.on_disk) continue;
+      if (auto s = storage_->remove(storage::Tier::kLocal, node_, p.path);
           !s.ok() && first.ok()) {
         first = s;
       }
     }
   }
-  spilled_.clear();
-  resident_.clear();
-  resident_bytes_ = 0;
+  pages_.clear();
   open_page_.clear();
+  resident_bytes_ = 0;
   total_pairs_ = 0;
   total_bytes_ = 0;
+  sync_meter();
+  return first;
+}
+
+// ---------------------------------------------------------------------------
+// KMV page codec
+// ---------------------------------------------------------------------------
+
+Bytes encode_kmv(const KmvBuffer& kmv) {
+  ByteWriter w;
+  w.put<uint64_t>(kmv.size());
+  for (size_t i = 0; i < kmv.size(); ++i) {
+    const KmvView e = kmv.entry(i);
+    w.put_string(e.key());
+    w.put<uint64_t>(e.size());
+    for (size_t v = 0; v < e.size(); ++v) w.put_string(e.value(v));
+  }
+  return std::move(w).take();
+}
+
+namespace {
+
+std::string_view sv_of(std::span<const std::byte> b) noexcept {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+}  // namespace
+
+Status decode_kmv(std::span<const std::byte> wire, KmvBuffer& out) {
+  out.clear();
+  ByteReader r(wire);
+  uint64_t nentries = 0;
+  if (auto s = r.get(nentries); !s.ok()) return s;
+  // An entry is at least its two count fields; a header claiming more than
+  // the payload could hold is structural corruption, caught before any
+  // per-entry work.
+  if (nentries > r.remaining() / (kLenPrefixBytes + sizeof(uint64_t))) {
+    return {ErrorCode::kCorrupt, "kmv wire: entry count exceeds payload"};
+  }
+  for (uint64_t i = 0; i < nentries; ++i) {
+    uint32_t klen = 0;
+    std::span<const std::byte> key;
+    if (auto s = r.get(klen); !s.ok()) { out.clear(); return s; }
+    if (auto s = r.get_view(klen, key); !s.ok()) { out.clear(); return s; }
+    uint64_t nvalues = 0;
+    if (auto s = r.get(nvalues); !s.ok()) { out.clear(); return s; }
+    if (nvalues > r.remaining() / kLenPrefixBytes) {
+      out.clear();
+      return {ErrorCode::kCorrupt, "kmv wire: value count exceeds payload"};
+    }
+    out.begin_entry(sv_of(key));
+    for (uint64_t v = 0; v < nvalues; ++v) {
+      uint32_t vlen = 0;
+      std::span<const std::byte> val;
+      if (auto s = r.get(vlen); !s.ok()) { out.clear(); return s; }
+      if (auto s = r.get_view(vlen, val); !s.ok()) { out.clear(); return s; }
+      out.append_value(sv_of(val));
+    }
+  }
+  if (!r.exhausted()) {
+    out.clear();
+    return {ErrorCode::kCorrupt, "kmv wire: trailing bytes after last entry"};
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// SpillableKmvBuffer
+// ---------------------------------------------------------------------------
+
+SpillableKmvBuffer::SpillableKmvBuffer(const SpillConfig& cfg)
+    : storage_(cfg.enabled() ? cfg.fs : nullptr), node_(cfg.node),
+      spill_dir_(cfg.dir), page_bytes_(cfg.page_bytes ? cfg.page_bytes : 1),
+      memory_budget_(cfg.memory_budget) {}
+
+SpillableKmvBuffer::~SpillableKmvBuffer() { (void)clear(); }
+
+SpillableKmvBuffer::SpillableKmvBuffer(SpillableKmvBuffer&& other) noexcept
+    : storage_(other.storage_), node_(other.node_),
+      spill_dir_(std::move(other.spill_dir_)), page_bytes_(other.page_bytes_),
+      memory_budget_(other.memory_budget_), retry_(other.retry_),
+      meter_(other.meter_), metered_(other.metered_),
+      pages_(std::move(other.pages_)), runs_(std::move(other.runs_)),
+      resident_bytes_(other.resident_bytes_),
+      total_entries_(other.total_entries_), total_bytes_(other.total_bytes_),
+      stats_(other.stats_), pending_io_seconds_(other.pending_io_seconds_),
+      next_page_id_(other.next_page_id_) {
+  other.pages_.clear();
+  other.runs_.clear();
+  other.resident_bytes_ = other.total_entries_ = other.total_bytes_ = 0;
+  other.stats_ = {};
+  other.pending_io_seconds_ = 0.0;
+  other.meter_ = nullptr;  // booking moved with the pages
+  other.metered_ = 0;
+}
+
+SpillableKmvBuffer& SpillableKmvBuffer::operator=(
+    SpillableKmvBuffer&& other) noexcept {
+  if (this == &other) return *this;
+  (void)clear();
+  storage_ = other.storage_;
+  node_ = other.node_;
+  spill_dir_ = std::move(other.spill_dir_);
+  page_bytes_ = other.page_bytes_;
+  memory_budget_ = other.memory_budget_;
+  retry_ = other.retry_;
+  meter_ = other.meter_;
+  metered_ = other.metered_;
+  pages_ = std::move(other.pages_);
+  runs_ = std::move(other.runs_);
+  resident_bytes_ = other.resident_bytes_;
+  total_entries_ = other.total_entries_;
+  total_bytes_ = other.total_bytes_;
+  stats_ = other.stats_;
+  pending_io_seconds_ = other.pending_io_seconds_;
+  next_page_id_ = other.next_page_id_;
+  other.pages_.clear();
+  other.runs_.clear();
+  other.resident_bytes_ = other.total_entries_ = other.total_bytes_ = 0;
+  other.stats_ = {};
+  other.pending_io_seconds_ = 0.0;
+  other.meter_ = nullptr;  // booking moved with the pages
+  other.metered_ = 0;
+  return *this;
+}
+
+Status SpillableKmvBuffer::add_run(KmvBuffer&& run) {
+  if (run.empty()) return Status::Ok();
+  Run r;
+  r.first_page = pages_.size();
+  total_entries_ += run.size();
+  total_bytes_ += run.bytes();
+  // A spill failure retains the page resident (over budget, never lost), so
+  // the run is always registered whole; the first error is surfaced after.
+  Status first;
+  auto flush = [&](KmvBuffer&& chunk) {
+    if (auto s = append_page(std::move(chunk)); !s.ok() && first.ok()) first = s;
+  };
+  if (run.bytes() <= page_bytes_) {
+    flush(std::move(run));
+  } else {
+    // Split into whole-entry pages of about page_bytes each.
+    KmvBuffer chunk;
+    for (size_t i = 0; i < run.size(); ++i) {
+      const KmvView e = run.entry(i);
+      chunk.begin_entry(e.key());
+      for (size_t v = 0; v < e.size(); ++v) chunk.append_value(e.value(v));
+      if (chunk.bytes() >= page_bytes_ && i + 1 < run.size()) {
+        flush(std::move(chunk));
+        chunk = KmvBuffer{};
+      }
+    }
+    if (!chunk.empty()) flush(std::move(chunk));
+  }
+  r.npages = pages_.size() - r.first_page;
+  runs_.push_back(r);
+  return first;
+}
+
+Status SpillableKmvBuffer::append_page(KmvBuffer&& chunk) {
+  Page p;
+  p.entries = chunk.size();
+  p.bytes = chunk.bytes();
+  p.mem = std::move(chunk);
+  resident_bytes_ += p.bytes;
+  pages_.push_back(std::move(p));
+  Status s = enforce_budget();
+  sync_meter();
+  return s;
+}
+
+Status SpillableKmvBuffer::enforce_budget() {
+  sync_meter();  // book the pre-spill residency (see SpillableKvBuffer)
+  if (storage_ == nullptr || memory_budget_ == 0) return Status::Ok();
+  while (resident_bytes_ > memory_budget_) {
+    auto it = std::find_if(pages_.begin(), pages_.end(),
+                           [](const Page& p) { return !p.on_disk; });
+    if (it == pages_.end()) break;
+    Page& p = *it;
+    char name[64];
+    std::snprintf(name, sizeof(name), "kmv_%06d", next_page_id_++);
+    std::string path = spill_dir_ + "/" + name;
+    Bytes wire = encode_kmv(p.mem);
+    seal_page(wire);
+    Status last;
+    for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+      if (attempt > 1) {
+        charge_io(retry_.backoff_before(attempt - 1));
+        stats_.write_retries++;
+      }
+      double cost = 0.0;
+      last = storage_->write_file(storage::Tier::kLocal, node_, path, wire,
+                                  &cost);
+      if (!last.ok()) continue;
+      if (storage_->file_size(storage::Tier::kLocal, node_, path) !=
+          static_cast<int64_t>(wire.size())) {
+        last = {ErrorCode::kIo, "torn kmv spill write detected"};
+        continue;
+      }
+      charge_io(cost);
+      break;
+    }
+    if (!last.ok()) {
+      stats_.write_failures++;
+      (void)storage_->remove(storage::Tier::kLocal, node_, path);
+      return last;  // page stays resident; nothing lost
+    }
+    p.on_disk = true;
+    p.path = std::move(path);
+    p.mem = KmvBuffer{};
+    resident_bytes_ -= p.bytes;
+    stats_.pages_spilled++;
+    stats_.bytes_spilled += wire.size();
+  }
+  return Status::Ok();
+}
+
+Status SpillableKmvBuffer::load_page(const Page& p, KmvBuffer& out) {
+  Status last;
+  for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      charge_io(retry_.backoff_before(attempt - 1));
+      stats_.read_retries++;
+    }
+    Bytes wire;
+    double cost = 0.0;
+    last = storage_->read_file(storage::Tier::kLocal, node_, p.path, wire,
+                               &cost);
+    if (!last.ok()) continue;
+    last = unseal_page(wire);  // CRC: payload bit flips retry too
+    if (!last.ok()) continue;
+    last = decode_kmv(wire, out);  // structural validation
+    if (last.ok()) {
+      charge_io(cost);
+      stats_.pages_loaded++;
+      return Status::Ok();
+    }
+  }
+  return last;
+}
+
+Status SpillableKmvBuffer::for_each_entry(
+    size_t skip,
+    const std::function<Status(std::string_view key,
+                               std::span<const std::string_view> values)>& fn) {
+  // One cursor per run; each holds exactly one page (resident pages are
+  // referenced in place, spilled pages are loaded on arrival), so peak
+  // residency of the merge is O(page_bytes x runs).
+  // Cursors are stored (and moved) in a vector, so a cursor never holds a
+  // pointer to its own `loaded` buffer: `resident` selects between the page
+  // in place in pages_ and the cursor-owned loaded copy. Key/value views
+  // stay valid across cursor moves because the KmvBuffer arena is heap
+  // storage that moves by pointer.
+  struct Cursor {
+    size_t page = 0;      // global index into pages_
+    size_t end_page = 0;  // first page past this run
+    size_t entry = 0;     // within the current page
+    KmvBuffer loaded;
+    bool resident = false;  // current page is pages_[page].mem, not `loaded`
+    bool done = false;
+    std::string_view key;  // current entry's key
+  };
+  std::vector<Cursor> curs;
+  curs.reserve(runs_.size());
+  auto buf = [&](const Cursor& c) -> const KmvBuffer& {
+    return c.resident ? pages_[c.page].mem : c.loaded;
+  };
+  // Cursor-loaded pages are real residency beyond resident_bytes_ — book
+  // them with the shared meter for the duration of the merge (released on
+  // every exit path).
+  struct MergeBooking {
+    ResidencyMeter* m;
+    size_t booked = 0;
+    ~MergeBooking() {
+      if (m != nullptr) m->rebook(booked, 0);
+    }
+    void set(size_t n) {
+      if (m == nullptr) return;
+      m->rebook(booked, n);
+      booked = n;
+    }
+  } booking{meter_};
+  auto rebook_cursors = [&] {
+    size_t n = 0;
+    for (const Cursor& c : curs) {
+      if (!c.done && !c.resident) n += pages_[c.page].bytes;
+    }
+    booking.set(n);
+  };
+  auto open_page = [&](Cursor& c) -> Status {
+    const Page& p = pages_[c.page];
+    if (p.on_disk) {
+      c.loaded = KmvBuffer{};
+      if (auto s = load_page(p, c.loaded); !s.ok()) return s;
+      c.resident = false;
+    } else {
+      c.loaded = KmvBuffer{};
+      c.resident = true;
+    }
+    c.entry = 0;
+    return Status::Ok();
+  };
+  auto advance = [&](Cursor& c) -> Status {
+    c.entry++;
+    while (c.entry >= buf(c).size()) {
+      c.page++;
+      if (c.page >= c.end_page) {
+        c.done = true;
+        c.loaded = KmvBuffer{};
+        return Status::Ok();
+      }
+      if (auto s = open_page(c); !s.ok()) return s;
+    }
+    c.key = buf(c).entry(c.entry).key();
+    return Status::Ok();
+  };
+  for (const Run& r : runs_) {
+    if (r.npages == 0) continue;
+    Cursor c;
+    c.page = r.first_page;
+    c.end_page = r.first_page + r.npages;
+    if (auto s = open_page(c); !s.ok()) return s;
+    while (c.entry >= buf(c).size()) {  // tolerate empty leading pages
+      c.page++;
+      if (c.page >= c.end_page) {
+        c.done = true;
+        break;
+      }
+      if (auto s = open_page(c); !s.ok()) return s;
+    }
+    if (c.done) continue;
+    c.key = buf(c).entry(c.entry).key();
+    curs.push_back(std::move(c));
+  }
+  rebook_cursors();
+  size_t live = curs.size();
+  std::vector<size_t> winners;
+  std::vector<std::string_view> values;
+  while (live > 0) {
+    // Min key across live cursors; ties merge their value lists in run
+    // order (runs are registered in bucket order, so this is stable).
+    std::string_view min_key;
+    bool found = false;
+    for (const Cursor& c : curs) {
+      if (c.done) continue;
+      if (!found || c.key < min_key) {
+        min_key = c.key;
+        found = true;
+      }
+    }
+    winners.clear();
+    for (size_t i = 0; i < curs.size(); ++i) {
+      if (!curs[i].done && curs[i].key == min_key) winners.push_back(i);
+    }
+    if (skip > 0) {
+      skip--;
+    } else {
+      values.clear();
+      for (size_t w : winners) {
+        const Cursor& c = curs[w];
+        const KmvView e = buf(c).entry(c.entry);
+        for (size_t v = 0; v < e.size(); ++v) values.push_back(e.value(v));
+      }
+      if (auto s = fn(min_key, values); !s.ok()) return s;
+    }
+    // Advance only after fn returned: the views above alias winner pages.
+    for (size_t w : winners) {
+      if (auto s = advance(curs[w]); !s.ok()) return s;
+      if (curs[w].done) live--;
+    }
+    rebook_cursors();
+  }
+  return Status::Ok();
+}
+
+Status SpillableKmvBuffer::clear() {
+  Status first;
+  if (storage_ != nullptr) {
+    for (const Page& p : pages_) {
+      if (!p.on_disk) continue;
+      if (auto s = storage_->remove(storage::Tier::kLocal, node_, p.path);
+          !s.ok() && first.ok()) {
+        first = s;
+      }
+    }
+  }
+  pages_.clear();
+  runs_.clear();
+  resident_bytes_ = 0;
+  total_entries_ = 0;
+  total_bytes_ = 0;
+  sync_meter();
   return first;
 }
 

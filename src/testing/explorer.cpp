@@ -302,6 +302,7 @@ std::string Explorer::artifact_json(const FaultSchedule& schedule,
        ", \"vocabulary\": " + std::to_string(w.vocabulary) +
        ", \"records_per_ckpt\": " + std::to_string(w.records_per_ckpt) +
        ", \"memory_replication_k\": " + std::to_string(w.memory_replication_k) +
+       ", \"memory_budget\": " + std::to_string(w.memory_budget) +
        ", \"ppn\": " + std::to_string(w.ppn) +
        ", \"max_submissions\": " + std::to_string(w.max_submissions) +
        ", \"deadlock_timeout_s\": " + format_double(w.deadlock_timeout_s) +
@@ -368,6 +369,7 @@ Status Explorer::artifact_parse(const std::string& json, FaultSchedule& schedule
         geti("records_per_ckpt", workload.records_per_ckpt);
     workload.memory_replication_k =
         geti("memory_replication_k", workload.memory_replication_k);
+    workload.memory_budget = geti("memory_budget", workload.memory_budget);
     workload.ppn = geti("ppn", workload.ppn);
     workload.max_submissions = geti("max_submissions", workload.max_submissions);
     if (const JsonValue* v = w->find("deadlock_timeout_s")) {
@@ -433,6 +435,9 @@ RunReport Explorer::run_schedule(const FaultSchedule& schedule,
   opts.ppn = w.ppn;
   opts.ckpt.records_per_ckpt = w.records_per_ckpt;
   opts.ckpt.memory_replication_k = w.memory_replication_k;
+  if (w.memory_budget > 0) {
+    opts.memory_budget = static_cast<size_t>(w.memory_budget);
+  }
   if (opts.mode == core::FtMode::kDetectResumeNWC) opts.ckpt.enabled = false;
   opts.testing_break_recovery = opts_.break_recovery;
 

@@ -94,6 +94,11 @@ struct ExplorerWorkload {
   /// kill candidates (ckpt.replica_push spans) to the harvest, and arms the
   /// replica-coverage invariant after every run.
   int memory_replication_k = 0;
+  /// Per-rank resident-byte budget (FtJobOptions::memory_budget). >0 runs
+  /// the job out-of-core: map output, shuffle receive, and convert page
+  /// through the spill tier, so every kill schedule also exercises the
+  /// paged checkpoint/recovery paths. 0 = in-core (the default).
+  int64_t memory_budget = 0;
 };
 
 struct ExplorerOptions {
