@@ -36,6 +36,12 @@ int main() {
             wc_last < ref_last);
 
   rep.section("functional mini-cluster (8 ranks)");
+  // BFS re-hosted on the iterative engine; the probe makes the reuse
+  // contract assertable in-bench (see fig11).
+  struct BfsRun {
+    MiniResult r;
+    std::shared_ptr<IterProbe> probe;
+  };
   auto run_bfs = [&](core::FtMode mode, int nkills, double ff_time) {
     MiniJob j;
     j.nranks = 8;
@@ -51,36 +57,46 @@ int main() {
       go.nchunks = 12;
       (void)apps::generate_graph(fs, go);
     };
-    j.driver = [] { return apps::bfs_driver(0, 4); };
+    auto probe = std::make_shared<IterProbe>();
+    j.driver = iter_driver([] { return apps::bfs_spec(0, 4); }, probe);
     for (int k = 0; k < nkills; ++k) {
       j.sim.kills.push_back({1 + 2 * k, ff_time * (0.55 + 0.17 * k), -1});
     }
-    return run_mini(j);
+    return BfsRun{run_mini(j), std::move(probe)};
   };
-  const double ff = run_bfs(core::FtMode::kDetectResumeNWC, 0, 0.0).makespan;
+  const double ff = run_bfs(core::FtMode::kDetectResumeNWC, 0, 0.0).r.makespan;
   rep.row("failure-free NWC makespan: %.4fs", ff);
   double f_wc = 0, f_nwc = 0;
+  int wc2_reexec = 0, wc2_recov = 0, wc2_ff = 0;
   // Best of 3 per point: failure-detection lag only ever adds time, so the
   // minimum isolates the model difference from scheduling noise.
   auto best = [&](core::FtMode mode, int k) {
-    MiniResult b;
-    b.makespan = 1e18;
+    BfsRun b;
+    b.r.makespan = 1e18;
     for (int i = 0; i < 3; ++i) {
-      MiniResult r = run_bfs(mode, k, ff);
-      if (r.ok && r.makespan < b.makespan) b = r;
+      BfsRun r = run_bfs(mode, k, ff);
+      if (r.r.ok && r.r.makespan < b.r.makespan) b = std::move(r);
     }
     return b;
   };
   for (int k : {1, 2, 3}) {
-    const MiniResult wc = best(core::FtMode::kDetectResumeWC, k);
-    const MiniResult nwc = best(core::FtMode::kDetectResumeNWC, k);
-    rep.row("kills=%d  WC=%.4fs  NWC=%.4fs", k, wc.makespan, nwc.makespan);
+    const BfsRun wc = best(core::FtMode::kDetectResumeWC, k);
+    const BfsRun nwc = best(core::FtMode::kDetectResumeNWC, k);
+    rep.row("kills=%d  WC=%.4fs (reexec %d, ff %d)  NWC=%.4fs", k, wc.r.makespan,
+            wc.probe->max_reexecuted(), wc.probe->total_fast_forwarded(),
+            nwc.r.makespan);
     if (k == 2) {
-      f_wc = wc.makespan;
-      f_nwc = nwc.makespan;
+      f_wc = wc.r.makespan;
+      f_nwc = nwc.r.makespan;
+      wc2_reexec = wc.probe->max_reexecuted();
+      wc2_recov = wc.r.recoveries;
+      wc2_ff = wc.probe->total_fast_forwarded();
     }
   }
   rep.check("functional: NWC pays more than WC under repeated failures",
             f_nwc > f_wc);
+  rep.check("reuse: WC re-executes at most one round per recovery",
+            wc2_reexec >= 1 && wc2_reexec <= std::max(1, wc2_recov));
+  rep.check("reuse: WC replays fast-forward converged rounds", wc2_ff > 0);
   return rep.finish();
 }

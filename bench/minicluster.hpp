@@ -7,8 +7,10 @@
 // counts when the figure calls for it.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
+#include <mutex>
 
 #include "apps/blast.hpp"
 #include "apps/graph.hpp"
@@ -16,6 +18,7 @@
 #include "apps/wordcount.hpp"
 #include "common/metrics.hpp"
 #include "core/ftjob.hpp"
+#include "core/iterjob.hpp"
 #include "simmpi/runtime.hpp"
 #include "storage/replica.hpp"
 #include "storage/storage.hpp"
@@ -89,6 +92,59 @@ inline MiniResult run_mini(const MiniJob& job) {
     if (res.submissions > 8) break;  // runaway guard
   }
   return res;
+}
+
+/// Collects every rank-incarnation's IterDriver from an iterative-engine
+/// bench run, so the figure can assert the cross-iteration reuse contract
+/// in-bench: after a failure the engine re-executes only the round in
+/// flight (rounds_reexecuted_after_failure <= recoveries) and
+/// fast-forwards everything already converged.
+struct IterProbe {
+  std::mutex mu;
+  std::vector<std::shared_ptr<core::IterDriver>> drivers;
+
+  /// Max rounds any rank re-entered with partial state post-failure.
+  int max_reexecuted() {
+    std::lock_guard<std::mutex> l(mu);
+    int m = 0;
+    for (const auto& d : drivers) {
+      m = std::max(m, d->stats().rounds_reexecuted_after_failure);
+    }
+    return m;
+  }
+  /// Max executed-rounds surplus over the round count on any rank: the
+  /// recomputation a failure cost (0 on a failure-free run; grows with the
+  /// iteration depth under NWC, stays <= 1 per failure with reuse).
+  int max_extra_execs() {
+    std::lock_guard<std::mutex> l(mu);
+    int m = 0;
+    for (const auto& d : drivers) {
+      m = std::max(m, d->stats().rounds_executed - d->stats().rounds_total);
+    }
+    return m;
+  }
+  /// Total fast-forward encounters across ranks (the reuse win).
+  int total_fast_forwarded() {
+    std::lock_guard<std::mutex> l(mu);
+    int n = 0;
+    for (const auto& d : drivers) n += d->stats().rounds_fast_forwarded;
+    return n;
+  }
+};
+
+/// MiniJob::driver factory for iterative-engine benches: every rank (and
+/// every C/R resubmission) gets its own IterDriver, registered with the
+/// probe for post-run stats.
+inline std::function<core::FtJob::Driver()> iter_driver(
+    std::function<core::IterSpec()> spec, std::shared_ptr<IterProbe> probe) {
+  return [spec = std::move(spec), probe = std::move(probe)] {
+    auto d = std::make_shared<core::IterDriver>(spec());
+    if (probe) {
+      std::lock_guard<std::mutex> l(probe->mu);
+      probe->drivers.push_back(d);
+    }
+    return core::IterDriver::as_driver(d);
+  };
 }
 
 /// Canonical wordcount MiniJob.

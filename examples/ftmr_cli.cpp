@@ -5,17 +5,26 @@
 //   $ ./ftmr_cli workload=wordcount mode=wc nranks=8 kills=1 kill_at=0.01
 //   $ ./ftmr_cli workload=pagerank iterations=3 mode=nwc kills=2
 //   $ ./ftmr_cli workload=bfs mode=cr
+//   $ ./ftmr_cli workload=sssp iterations=4 mode=wc kills=1
+//   $ ./ftmr_cli workload=cc mode=cr kills=1
+//   $ ./ftmr_cli workload=tri mode=wc
 //   $ ./ftmr_cli workload=blast mode=wc records_per_ckpt=4
+//
+// The graph workloads (pagerank, bfs, sssp, cc, tri) run on the iterative
+// engine (core/iterjob.hpp): completed rounds fast-forward on post-failure
+// replays instead of re-executing.
 //
 // Knobs: workload, mode (wc|nwc|cr|none), nranks, ppn, kills, kill_at,
 // records_per_ckpt, chunk_granularity, combiner, two_pass, prefetch,
-// iterations (graph jobs), chunks/lines (text), nodes (graphs),
-// queries (blast).
+// iterations (graph jobs), source (sssp), chunks/lines (text),
+// nodes (graphs), queries (blast).
 //
 // Observability: --trace-out=<path> writes a Chrome trace_event JSON of
 // every rank's phase/ckpt/copier/shuffle spans (load in chrome://tracing
 // or Perfetto); --metrics-out=<path> writes the flat metrics registry.
 #include <cstdio>
+#include <functional>
+#include <memory>
 
 #include "apps/blast.hpp"
 #include "apps/graph.hpp"
@@ -24,6 +33,7 @@
 #include "common/config.hpp"
 #include "common/metrics.hpp"
 #include "core/ftjob.hpp"
+#include "core/iterjob.hpp"
 #include "simmpi/runtime.hpp"
 #include "storage/storage.hpp"
 
@@ -64,19 +74,23 @@ int main(int argc, char** argv) {
   so.root = tmp.path();
   storage::StorageSystem fs(so);
 
-  // Build the workload: input generation + driver.
-  core::FtJob::Driver driver;
+  // Build the workload: input generation + a per-rank driver factory (the
+  // iterative engine keeps per-rank replay state, so every rank — and every
+  // checkpoint/restart resubmission — gets a fresh driver instance).
+  std::function<core::FtJob::Driver()> make_driver;
   if (workload == "wordcount") {
     apps::TextGenOptions tg;
     tg.nchunks = static_cast<int>(cfg.get_or("chunks", int64_t{24}));
     tg.lines_per_chunk = static_cast<int>(cfg.get_or("lines", int64_t{48}));
     if (auto s = apps::generate_text(fs, tg); !s.ok()) return 1;
     const bool combiner = cfg.get_or("combiner", false);
-    driver = [combiner](core::FtJob& job) -> Status {
-      core::StageFns fns = apps::wordcount_stage();
-      if (combiner) fns.combine = fns.reduce;
-      if (auto s = job.run_stage(fns, false, nullptr); !s.ok()) return s;
-      return job.write_output();
+    make_driver = [combiner]() -> core::FtJob::Driver {
+      return [combiner](core::FtJob& job) -> Status {
+        core::StageFns fns = apps::wordcount_stage();
+        if (combiner) fns.combine = fns.reduce;
+        if (auto s = job.run_stage(fns, false, nullptr); !s.ok()) return s;
+        return job.write_output();
+      };
     };
   } else if (workload == "pagerank" || workload == "bfs") {
     apps::GraphGenOptions go;
@@ -84,19 +98,44 @@ int main(int argc, char** argv) {
     go.nchunks = 16;
     if (auto s = apps::generate_graph(fs, go); !s.ok()) return 1;
     opts.map_cost_per_record = 2e-4;
-    driver = (workload == "pagerank") ? apps::pagerank_driver(iterations)
-                                      : apps::bfs_driver(0, iterations + 2);
+    make_driver = [workload, iterations] {
+      core::IterSpec spec = workload == "pagerank"
+                                ? apps::pagerank_spec(iterations)
+                                : apps::bfs_spec(0, iterations + 2);
+      return core::IterDriver::as_driver(
+          std::make_shared<core::IterDriver>(std::move(spec)));
+    };
+  } else if (workload == "sssp" || workload == "cc" || workload == "tri") {
+    apps::GraphGenOptions go;
+    go.nodes = static_cast<int>(cfg.get_or("nodes", int64_t{400}));
+    go.nchunks = 16;
+    if (auto s = apps::generate_weighted_graph(fs, go, /*max_weight=*/3);
+        !s.ok()) {
+      return 1;
+    }
+    opts.map_cost_per_record = 2e-4;
+    const int source = static_cast<int>(cfg.get_or("source", int64_t{0}));
+    make_driver = [workload, iterations, source] {
+      core::IterSpec spec =
+          workload == "sssp"  ? apps::sssp_spec(source, iterations)
+          : workload == "cc"  ? apps::cc_spec(iterations)
+                              : apps::tri_spec();
+      return core::IterDriver::as_driver(
+          std::make_shared<core::IterDriver>(std::move(spec)));
+    };
   } else if (workload == "blast") {
     apps::BlastGenOptions bo;
     bo.nqueries = static_cast<int>(cfg.get_or("queries", int64_t{120}));
     bo.nchunks = 12;
     if (auto s = apps::generate_queries(fs, bo); !s.ok()) return 1;
-    driver = [bo](core::FtJob& job) -> Status {
-      if (auto s = job.run_stage(apps::blast_stage(bo, 5e-3), false, nullptr);
-          !s.ok()) {
-        return s;
-      }
-      return job.write_output();
+    make_driver = [bo]() -> core::FtJob::Driver {
+      return [bo](core::FtJob& job) -> Status {
+        if (auto s = job.run_stage(apps::blast_stage(bo, 5e-3), false, nullptr);
+            !s.ok()) {
+          return s;
+        }
+        return job.write_output();
+      };
     };
   } else {
     std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
@@ -122,7 +161,7 @@ int main(int argc, char** argv) {
     }
     simmpi::JobResult r = simmpi::Runtime::run(nranks, [&](simmpi::Comm& c) {
       core::FtJob job(c, &fs, opts);
-      Status s = job.run(driver);
+      Status s = job.run(make_driver());
       std::lock_guard<std::mutex> lock(mu);
       recoveries = std::max(recoveries, job.recoveries());
       final_comm = std::min(final_comm, job.work_comm().size());

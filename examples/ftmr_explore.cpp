@@ -15,6 +15,17 @@
 //   $ ./ftmr_explore mode=wc break_recovery=1     # mutation sanity check:
 //                                                 # MUST report violations
 //
+// Graph apps on the iterative engine (app=sssp|cc|tri) swap the wordcount
+// for a multi-round graph job with cross-iteration checkpoint reuse; the
+// sweep then also lands kills on harvested round boundaries and arms the
+// no-completed-iteration-reexecution invariant (WC/CR modes):
+//
+//   $ ./ftmr_explore app=sssp mode=wc iterations=4 nodes=24
+//   $ ./ftmr_explore app=cc mode=cr multi_kill=8 max_kills=3
+//   $ ./ftmr_explore app=tri mode=wc max_runs=60
+//   $ ./ftmr_explore app=sssp mode=wc break_reuse=1  # reuse mutation check:
+//                                                    # MUST report violations
+//
 // Replay mode: re-execute one failing schedule from its JSON artifact
 // (workload, mode, and kill list all come from the file):
 //
@@ -63,8 +74,9 @@ int replay(const std::string& path) {
   testing::FaultSchedule schedule;
   testing::ExplorerWorkload workload;
   bool break_recovery = false;
-  if (auto s = testing::Explorer::artifact_parse(body, schedule, workload,
-                                                 &break_recovery);
+  bool break_iteration_reuse = false;
+  if (auto s = testing::Explorer::artifact_parse(
+          body, schedule, workload, &break_recovery, &break_iteration_reuse);
       !s.ok()) {
     std::fprintf(stderr, "bad artifact: %s\n", s.to_string().c_str());
     return 2;
@@ -73,6 +85,7 @@ int replay(const std::string& path) {
   opts.mode = schedule.mode;
   opts.workload = workload;
   opts.break_recovery = break_recovery;
+  opts.break_iteration_reuse = break_iteration_reuse;
   testing::Explorer explorer(opts);
   testing::RunReport rep = explorer.run_schedule(schedule);
   print_violations(rep);
@@ -98,12 +111,25 @@ int main(int argc, char** argv) {
   opts.max_kills_per_schedule =
       static_cast<int>(cfg.get_or("max_kills", int64_t{2}));
   opts.break_recovery = cfg.get_or("break_recovery", false);
+  opts.break_iteration_reuse = cfg.get_or("break_reuse", false);
   opts.minimize = cfg.get_or("minimize", true);
   opts.artifact_dir = cfg.get_or("artifacts", std::string());
+  opts.workload.app = cfg.get_or("app", std::string("wc"));
+  if (opts.workload.app != "wc" && opts.workload.app != "sssp" &&
+      opts.workload.app != "cc" && opts.workload.app != "tri") {
+    std::fprintf(stderr, "app must be wc|sssp|cc|tri\n");
+    return 2;
+  }
   opts.workload.nranks = static_cast<int>(cfg.get_or("nranks", int64_t{4}));
   opts.workload.chunks = static_cast<int>(cfg.get_or("chunks", int64_t{4}));
   opts.workload.lines_per_chunk =
       static_cast<int>(cfg.get_or("lines", int64_t{10}));
+  opts.workload.graph_nodes = static_cast<int>(cfg.get_or("nodes", int64_t{24}));
+  opts.workload.iterations =
+      static_cast<int>(cfg.get_or("iterations", int64_t{3}));
+  opts.workload.sssp_source = static_cast<int>(cfg.get_or("source", int64_t{0}));
+  opts.workload.graph_max_weight =
+      static_cast<int>(cfg.get_or("max_weight", int64_t{3}));
   opts.workload.records_per_ckpt = cfg.get_or("records_per_ckpt", int64_t{8});
   opts.workload.memory_replication_k =
       static_cast<int>(cfg.get_or("replication_k", int64_t{0}));

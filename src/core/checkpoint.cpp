@@ -541,6 +541,38 @@ int replica_path_owner(const std::string& path) {
 
 }  // namespace
 
+void CheckpointManager::pin_stage_memory(int stage) {
+  if (stage >= released_below_) pinned_stages_.insert(stage);
+}
+
+int CheckpointManager::release_stage_memory(int keep_from_stage) {
+  if (keep_from_stage <= released_below_) return 0;
+  released_below_ = keep_from_stage;
+  for (auto it = pinned_stages_.begin(); it != pinned_stages_.end();) {
+    it = *it < keep_from_stage ? pinned_stages_.erase(it) : std::next(it);
+  }
+  if (!opts_.enabled || opts_.memory_replication_k <= 0 || fs_ == nullptr) {
+    return 0;
+  }
+  // Drop every holder's copy of this rank's superseded-stage blobs. The
+  // invalidation is a local metadata drop at each holder (piggybacked on
+  // the next collective in a real system), so no wire time is charged.
+  storage::ReplicaStore& mem = fs_->memory();
+  const std::string prefix = "ck/r" + std::to_string(rank_) + "/";
+  int removed = 0;
+  for (const std::string& mpath : mem.all_paths()) {
+    if (mpath.compare(0, prefix.size(), prefix) != 0) continue;
+    ParsedName p;
+    if (!parse_name(mpath.substr(prefix.size()), p)) continue;
+    if (p.stage >= keep_from_stage) continue;
+    for (int holder : mem.holders_of(mpath)) {
+      mem.remove(holder, mpath);
+      removed++;
+    }
+  }
+  return removed;
+}
+
 Status CheckpointManager::rereplicate(simmpi::Comm& comm) {
   const int k = opts_.memory_replication_k;
   if (!opts_.enabled || k <= 0) return Status::Ok();
@@ -572,11 +604,31 @@ Status CheckpointManager::rereplicate(simmpi::Comm& comm) {
     }
   };
 
+  // Pinned (converged-frontier) stages heal first in both passes: if repair
+  // is interrupted by another failure, the resume frontier has already
+  // regained coverage. Non-frontier blobs keep their harvest order.
+  auto stage_pinned = [this](const std::string& name) {
+    ParsedName p;
+    return parse_name(name, p) && pinned_stages_.count(p.stage) > 0;
+  };
+  auto pinned_first = [&](std::vector<std::string>& items, bool full_path) {
+    std::stable_sort(items.begin(), items.end(),
+                     [&](const std::string& a, const std::string& b) {
+                       auto pinned = [&](const std::string& s) {
+                         return stage_pinned(
+                             full_path ? s.substr(s.rfind('/') + 1) : s);
+                       };
+                       return pinned(a) && !pinned(b);
+                     });
+  };
+
   // Pass 1: blobs still held somewhere but under-replicated after the
   // shrink. Every survivor derives the identical placement from the
   // identical live set, and exactly one (the lowest-ranked live holder)
   // pushes — puts are idempotent, so even a double push would be harmless.
-  for (const std::string& mpath : mem.all_paths()) {
+  std::vector<std::string> held = mem.all_paths();
+  pinned_first(held, true);
+  for (const std::string& mpath : held) {
     const int owner = replica_path_owner(mpath);
     if (owner < 0) continue;
     const std::vector<int> holders = mem.holders_of(mpath);
@@ -600,9 +652,13 @@ Status CheckpointManager::rereplicate(simmpi::Comm& comm) {
       use_local ? storage::Tier::kLocal : storage::Tier::kShared;
   std::vector<std::string> names;
   (void)fs_->list_dir(tier, node_, rank_dir, names);
+  pinned_first(names, false);
   for (const std::string& n : names) {
     ParsedName p;
     if (!parse_name(n, p)) continue;
+    // Released (superseded-round) stages keep their files but have no
+    // memory-tier claim — resurrecting them would undo the release.
+    if (p.stage < released_below_) continue;
     std::string base = n;
     if (const auto dpos = base.rfind("_d"); dpos != std::string::npos) {
       base.resize(dpos);

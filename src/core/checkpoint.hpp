@@ -219,6 +219,27 @@ class CheckpointManager {
   /// repair is simply redone by the next recovery round.
   Status rereplicate(simmpi::Comm& comm);
 
+  /// Iteration-scoped memory-tier lifecycle (core/iterjob.hpp). The
+  /// iterative engine pins the stages of the newest fully-converged round —
+  /// rereplicate() heals their blobs before anything else after a shrink,
+  /// so the resume frontier regains coverage first even if repair is
+  /// interrupted by another failure.
+  void pin_stage_memory(int stage);
+  /// Release this rank's memory replicas of blobs from stages below
+  /// `keep_from_stage`: superseded-round state stays recoverable from the
+  /// file tiers but no longer occupies peer RAM, and rereplicate() will not
+  /// resurrect it. Pins below the frontier are dropped too. Returns the
+  /// number of (blob, holder) replicas removed. Monotone: the release
+  /// frontier only advances.
+  int release_stage_memory(int keep_from_stage);
+  /// Current release frontier (stages < this have no memory-tier claim).
+  [[nodiscard]] int released_below_stage() const noexcept {
+    return released_below_;
+  }
+  [[nodiscard]] const std::set<int>& pinned_stages() const noexcept {
+    return pinned_stages_;
+  }
+
   /// Stages for which rank `src_rank` has any checkpoint on the given tier.
   std::set<int> stages_present(int src_rank, int src_node, bool from_shared) const;
 
@@ -296,6 +317,11 @@ class CheckpointManager {
   /// delta chains of its predecessor — reusing a number would overwrite an
   /// older segment in place and silently sever the chain's prefix.
   int next_seq_ = 0;
+  /// Iteration-scoped memory-tier state (pin_stage_memory /
+  /// release_stage_memory). Stages < released_below_ are excluded from
+  /// rereplicate()'s file-sourced pass 2; pinned stages heal first.
+  int released_below_ = 0;
+  std::set<int> pinned_stages_;
   double write_seconds_ = 0.0;
   size_t bytes_written_ = 0;
   int count_ = 0;

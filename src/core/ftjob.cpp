@@ -1008,6 +1008,7 @@ Status FtJob::run_stage(const StageFns& fns, bool kv_input, mr::KvBuffer* output
     }
   }
   StageState& st = stages_[stage];
+  st.kv_input = kv_input;
   if (st.phase != kPhaseDone) {
     if (st.phase == kPhaseMap) {
       if (auto s = map_phase(fns, kv_input, stage, st); !s.ok()) return s;
@@ -1354,7 +1355,19 @@ void FtJob::patch_state_after_shrink(const std::vector<int>& new_dead) {
         continue;
       }
       if (st.phase == kPhaseMap) {
-        for (uint64_t t : my_new_tasks) {
+        // A kv-input stage's map tasks are partitions, so the dead rank's
+        // progress must land on the rank that inherited the *partition*.
+        // Keying by inherited file tasks would park the restored output on
+        // a rank that never runs the task — and since the shuffle merges
+        // every entry in st.tasks, the partition owner's re-execution would
+        // then be counted alongside it, duplicating the task's records.
+        std::set<uint64_t> inherited;
+        if (st.kv_input) {
+          for (int p : my_new_parts) inherited.insert(static_cast<uint64_t>(p));
+        } else {
+          inherited = my_new_tasks;
+        }
+        for (uint64_t t : inherited) {
           TaskProgress& tp = st.tasks[t];
           if (tp.done) continue;
           auto rit = rec.map_tasks.find(t);
@@ -1386,8 +1399,18 @@ void FtJob::patch_state_after_shrink(const std::vector<int>& new_dead) {
             // quarantined as corrupt): fall back to the NWC rebuild.
             if (rec.quarantined > 0) ckpt_->note_segments_reprocessed(1);
             st.partitions_missing.insert(p);
-            for (uint64_t t : my_new_tasks) {
-              if (!st.tasks.count(t)) st.tasks[t] = TaskProgress{};
+            // Seed the inherited map tasks (partition ids on kv-input
+            // stages) so the patch-up re-execution covers them.
+            if (st.kv_input) {
+              for (int q : my_new_parts) {
+                if (!st.tasks.count(static_cast<uint64_t>(q))) {
+                  st.tasks[static_cast<uint64_t>(q)] = TaskProgress{};
+                }
+              }
+            } else {
+              for (uint64_t t : my_new_tasks) {
+                if (!st.tasks.count(t)) st.tasks[t] = TaskProgress{};
+              }
             }
             continue;
           }
@@ -1478,7 +1501,14 @@ void FtJob::prime_from_own_checkpoints() {
   for (auto& [sid, rec] : recs) {
     if (sid > agreed_stage) break;  // ahead of the job-wide resume point
     StageState& st = stages_[sid];
-    if (sid < agreed_stage) {
+    if (sid < agreed_stage || agreed_phase == kPhaseDone) {
+      // Fully completed job-wide (either behind the resume stage, or the
+      // resume stage itself when every rank's checkpoints prove it done —
+      // a failure at a stage/iteration boundary). Prime to kPhaseDone so
+      // the driver replay fast-forwards it and execution resumes at the
+      // *next* stage; re-running its reduce from a full cursor would be
+      // wasted work and (on the iterative engine) a spurious re-execution
+      // of a converged round.
       st.phase = kPhaseDone;
       for (auto& [p, kv] : rec.stage_outputs) st.outputs[p] = std::move(kv);
       // Keep reduce marks consistent for completeness.

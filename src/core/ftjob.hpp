@@ -78,6 +78,15 @@ struct FtJobOptions {
   /// flips this flag to prove its invariants can actually fail; it must
   /// never be set outside tests (see testing/explorer.hpp).
   bool testing_break_recovery = false;
+  /// TEST-ONLY fault: deliberately break cross-iteration checkpoint reuse.
+  /// The iterative engine (core/iterjob.hpp) invalidates the retained state
+  /// of an already-completed round on the first post-failure driver replay,
+  /// forcing it to re-execute. Re-execution is deterministic, so the final
+  /// output stays byte-identical — only the iteration-reuse invariants
+  /// (testing/invariants.hpp) can catch it. The schedule explorer's
+  /// mutation sanity check flips this flag to prove those invariants can
+  /// actually fail; it must never be set outside tests.
+  bool testing_break_iteration_reuse = false;
   /// Optional output formatter (Table 1: FileRecordWriter). When set,
   /// write_output() serializes each final record through it (e.g. a
   /// TsvRecordWriter produces "key<TAB>value" text); when unset, output is
@@ -145,6 +154,12 @@ class FtJob {
   /// finally job.write_output(...). Replayed verbatim after recoveries.
   using Driver = std::function<Status(FtJob&)>;
 
+  // Phase progression within a stage. Values are ordered; the composite
+  // (stage*8 + phase) is what checkpoint/restart ranks agree on. Public so
+  // the iterative engine can classify a replay encounter (fast-forward vs
+  // re-entry) via stage_phase().
+  enum Phase : int { kPhaseMap = 0, kPhaseShuffleDone = 1, kPhaseDone = 2 };
+
   FtJob(simmpi::Comm& world, storage::StorageSystem* fs, FtJobOptions opts);
 
   /// Execute the job (driver + recovery loop). In checkpoint/restart mode a
@@ -207,11 +222,21 @@ class FtJob {
   [[nodiscard]] const std::vector<std::string>& input_chunks() const noexcept {
     return chunks_;
   }
+  /// Phase of a stage this rank holds state for (a Phase value), or -1 when
+  /// the stage has no state yet. Lets the iterative engine tell a replay
+  /// fast-forward (kPhaseDone) from a partial re-entry from first
+  /// execution before the driver calls run_stage().
+  [[nodiscard]] int stage_phase(int stage) const noexcept {
+    const auto it = stages_.find(stage);
+    return it == stages_.end() ? -1 : it->second.phase;
+  }
+  /// TEST-ONLY: drop a stage's retained state so the next run_stage() call
+  /// re-executes it from scratch. This is the iteration-reuse mutation hook
+  /// (FtJobOptions::testing_break_iteration_reuse); never call it outside
+  /// tests.
+  void testing_invalidate_stage(int stage) { stages_.erase(stage); }
 
  private:
-  // Phase progression within a stage. Values are ordered; the composite
-  // (stage*8 + phase) is what checkpoint/restart ranks agree on.
-  enum Phase : int { kPhaseMap = 0, kPhaseShuffleDone = 1, kPhaseDone = 2 };
 
   struct TaskProgress {
     uint64_t pos = 0;            // committed record cursor
@@ -235,6 +260,10 @@ class FtJob {
 
   struct StageState {
     int phase = kPhaseMap;
+    // Task-id space marker: file-input stages key `tasks` by input chunk,
+    // kv-input stages by partition. Recovery must restore a dead rank's map
+    // progress in the right space (set by run_stage on every entry).
+    bool kv_input = false;
     std::map<uint64_t, TaskProgress> tasks;
     std::map<int, mr::KvBuffer> my_partitions;  // shuffle-received, per owned p
     std::set<int> partitions_missing;  // orphans needing NWC rebuild

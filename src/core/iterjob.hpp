@@ -1,0 +1,150 @@
+// iterjob.hpp — the iterative MapReduce engine: multi-round jobs on FtJob
+// with cross-iteration checkpoint reuse.
+//
+// A *round* is one driver-visible unit of iteration: round 0 is the init
+// round (file input), rounds 1..iterations each run the spec's iteration
+// stages over the previous round's KV output. Rounds map onto consecutive
+// FtJob stage ids in driver call order, which makes each round an
+// iteration-scoped checkpoint namespace: every checkpoint file name carries
+// its stage id ("<kind>_s<stage>_..."), so a round's delta chains,
+// partition snapshots, and completed-output snapshots never mix with a
+// neighbouring round's.
+//
+// Cross-iteration reuse is the resume-at-failed-iteration recovery rung:
+// after a failure, FtJob's driver replay fast-forwards every stage whose
+// retained (WC) or recovered (CR-primed) phase is already kPhaseDone, so
+// the engine re-executes only the round in flight — completed rounds'
+// converged state is never recomputed. The engine makes that contract
+// observable (trace instants "iter.ff/<r>" / "iter.exec/<r>" on cat
+// "iter", IterStats, a live IterRoundLog) so the explorer's
+// no-completed-iteration-reexecution invariants can enforce it, and it
+// manages the memory-replica tier per round: the newest converged round's
+// blobs are pinned (healed first by rereplicate), older rounds' memory
+// replicas are released (file tiers keep them).
+//
+// Non-work-conserving detect/resume deliberately breaks this contract —
+// multi-stage NWC recovery falls back to stage 0 by design — so the
+// reuse invariants are only armed for WC and checkpoint/restart runs.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/ftjob.hpp"
+
+namespace ftmr::core {
+
+/// Live, rank-confined round log, written by the engine *as rounds
+/// progress* (not at job exit), so it survives a kill or a CR abort
+/// mid-submission. The explorer gives each rank a pre-sized slot that
+/// persists across CR resubmissions and checks, after the run, that no
+/// round was executed in a submission after the one that first completed
+/// it (the cross-submission half of the reuse invariant; the trace
+/// instants cover the in-job half).
+struct IterRoundLog {
+  /// round -> submission in which this rank first completed it.
+  std::map<int, int> first_completed_submission;
+  /// round -> every submission in which this rank executed (not
+  /// fast-forwarded) it, in order, duplicates collapsed.
+  std::map<int, std::vector<int>> exec_submissions;
+  /// submission -> whether this rank's restart primed from checkpoints
+  /// (FtJob::resumed_from_checkpoint at the first driver pass). A restart
+  /// whose priming was itself interrupted by a failure legitimately starts
+  /// fresh and then aborts; the reuse invariant exempts its executions.
+  std::map<int, bool> primed;
+  /// Final memory-release frontier (stages below it hold no memory-tier
+  /// replicas); fed to the replica-coverage invariant.
+  int released_below_stage = 0;
+};
+
+/// Everything the engine needs to run one iterative job.
+struct IterSpec {
+  /// Round 0: builds the initial per-node state from the input files.
+  StageFns init;
+  /// Stages of each iteration round, run in order over KV input.
+  std::vector<StageFns> iter_stages;
+  int iterations = 1;
+  bool write_output = true;
+  /// Pin the newest converged round's blobs in the memory tier and release
+  /// superseded rounds' memory replicas (see CheckpointManager
+  /// pin_stage_memory / release_stage_memory).
+  bool release_superseded_memory = true;
+  /// Submission index (0-based) recorded into `log`; bump on CR resubmit.
+  int submission = 0;
+  /// Optional live round log (rank-confined; see IterRoundLog).
+  IterRoundLog* log = nullptr;
+};
+
+/// Per-rank engine statistics, accumulated across driver replays.
+struct IterStats {
+  int rounds_total = 0;
+  /// Rounds that ran at least one stage (counts every pass that executed).
+  int rounds_executed = 0;
+  /// Replay encounters of rounds that were already complete (the reuse win).
+  int rounds_fast_forwarded = 0;
+  /// Rounds re-entered with *partial* state on a post-failure pass — the
+  /// rounds in flight when a failure struck. Cross-iteration reuse means
+  /// this is at most 1 per recovery (a round-boundary failure re-executes
+  /// zero rounds); the fig11/fig12 and ext08 benches assert exactly that.
+  int rounds_reexecuted_after_failure = 0;
+  /// round -> number of passes that executed (not fast-forwarded) it.
+  std::map<int, int> execs_per_round;
+  /// Memory-tier replicas dropped for superseded rounds.
+  int memory_blobs_released = 0;
+};
+
+/// The iteration driver. One instance per rank, shared across driver
+/// replays (wrap with as_driver so every replay hits the same object and
+/// the stats/log accumulate).
+class IterDriver {
+ public:
+  explicit IterDriver(IterSpec spec) : spec_(std::move(spec)) {}
+
+  /// 1 (init) + iterations.
+  [[nodiscard]] int rounds() const noexcept {
+    return 1 + spec_.iterations;
+  }
+  /// First FtJob stage id of `round` (stage ids are allocated in driver
+  /// call order: init is stage 0, round r >= 1 starts at
+  /// 1 + (r-1)*iter_stages.size()).
+  [[nodiscard]] int first_stage_of_round(int round) const noexcept {
+    return round == 0
+               ? 0
+               : 1 + (round - 1) * static_cast<int>(spec_.iter_stages.size());
+  }
+  [[nodiscard]] int stages_in_round(int round) const noexcept {
+    return round == 0 ? 1 : static_cast<int>(spec_.iter_stages.size());
+  }
+
+  /// The replayed driver body: runs all rounds, then write_output.
+  Status run(FtJob& job);
+
+  [[nodiscard]] const IterStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const IterSpec& spec() const noexcept { return spec_; }
+
+  /// Wrap a shared engine as an FtJob::Driver.
+  [[nodiscard]] static FtJob::Driver as_driver(std::shared_ptr<IterDriver> d) {
+    return [d = std::move(d)](FtJob& job) { return d->run(job); };
+  }
+
+ private:
+  /// kPhaseDone across all of the round's stages (i.e. a replay encounter
+  /// would fast-forward it).
+  [[nodiscard]] bool round_done(const FtJob& job, int round) const;
+  /// No state at all for any of the round's stages.
+  [[nodiscard]] bool round_fresh(const FtJob& job, int round) const;
+  void log_exec(int round);
+  void log_done(int round);
+
+  IterSpec spec_;
+  IterStats stats_;
+  /// Recoveries already seen by a previous pass; a pass observing more is a
+  /// post-failure replay (partial rounds it executes are re-executions).
+  int recoveries_seen_ = 0;
+  bool first_pass_ = true;
+  /// The testing_break_iteration_reuse mutation fires at most once.
+  bool mutation_fired_ = false;
+};
+
+}  // namespace ftmr::core

@@ -6,14 +6,17 @@
 #include <cstdlib>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <set>
 #include <string_view>
 
+#include "apps/graph.hpp"
 #include "apps/textgen.hpp"
 #include "apps/wordcount.hpp"
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "core/ftjob.hpp"
+#include "core/iterjob.hpp"
 #include "mr/accounting.hpp"
 #include "simmpi/runtime.hpp"
 #include "storage/replica.hpp"
@@ -45,6 +48,33 @@ std::map<std::string, int64_t> read_counts(storage::StorageSystem& fs) {
     }
   }
   return counts;
+}
+
+/// Decode a graph app's output into key -> leading integer field (SSSP
+/// distance, CC label, triangle count). Unlike wordcount, values here are
+/// *state*, not additive counts — a key appearing in more than one output
+/// record is itself an exactness violation, reported directly rather than
+/// summed into a confusing total.
+std::map<std::string, int64_t> read_graph_output(storage::StorageSystem& fs,
+                                                 std::vector<Violation>& out) {
+  std::vector<std::string> parts;
+  (void)fs.list_dir(storage::Tier::kShared, 0, "output", parts);
+  std::map<std::string, int64_t> vals;
+  for (const auto& name : parts) {
+    Bytes data;
+    (void)fs.read_file(storage::Tier::kShared, 0, "output/" + name, data);
+    ByteReader r(data);
+    while (!r.exhausted()) {
+      std::string k, v;
+      if (!r.get_string(k).ok() || !r.get_string(v).ok()) break;
+      if (!vals.emplace(k, apps::sssp_parse_dist(v)).second) {
+        out.push_back({"output-exactness",
+                       "key '" + k + "' appears in more than one output "
+                       "record — records duplicated"});
+      }
+    }
+  }
+  return vals;
 }
 
 // ---------------------------------------------------------------------------
@@ -287,6 +317,7 @@ std::string format_double(double v) {
 std::string Explorer::artifact_json(const FaultSchedule& schedule,
                                     const ExplorerWorkload& w,
                                     bool break_recovery,
+                                    bool break_iteration_reuse,
                                     const std::vector<Violation>& violations) {
   std::string j = "{\n";
   j += "  \"version\": 1,\n";
@@ -295,11 +326,18 @@ std::string Explorer::artifact_json(const FaultSchedule& schedule,
   j += "  \"seed\": " + std::to_string(schedule.seed) + ",\n";
   j += std::string("  \"break_recovery\": ") +
        (break_recovery ? "true" : "false") + ",\n";
-  j += "  \"workload\": {\"nranks\": " + std::to_string(w.nranks) +
+  j += std::string("  \"break_iteration_reuse\": ") +
+       (break_iteration_reuse ? "true" : "false") + ",\n";
+  j += "  \"workload\": {\"app\": \"" + json_escape(w.app) + "\"" +
+       ", \"nranks\": " + std::to_string(w.nranks) +
        ", \"chunks\": " + std::to_string(w.chunks) +
        ", \"lines_per_chunk\": " + std::to_string(w.lines_per_chunk) +
        ", \"words_per_line\": " + std::to_string(w.words_per_line) +
        ", \"vocabulary\": " + std::to_string(w.vocabulary) +
+       ", \"graph_nodes\": " + std::to_string(w.graph_nodes) +
+       ", \"graph_max_weight\": " + std::to_string(w.graph_max_weight) +
+       ", \"iterations\": " + std::to_string(w.iterations) +
+       ", \"sssp_source\": " + std::to_string(w.sssp_source) +
        ", \"records_per_ckpt\": " + std::to_string(w.records_per_ckpt) +
        ", \"memory_replication_k\": " + std::to_string(w.memory_replication_k) +
        ", \"memory_budget\": " + std::to_string(w.memory_budget) +
@@ -329,7 +367,8 @@ std::string Explorer::artifact_json(const FaultSchedule& schedule,
 
 Status Explorer::artifact_parse(const std::string& json, FaultSchedule& schedule,
                                 ExplorerWorkload& workload,
-                                bool* break_recovery) {
+                                bool* break_recovery,
+                                bool* break_iteration_reuse) {
   JsonValue root;
   if (auto s = JsonParser(json).parse(root); !s.ok()) return s;
   if (root.kind != JsonValue::Kind::kObject) {
@@ -353,6 +392,11 @@ Status Explorer::artifact_parse(const std::string& json, FaultSchedule& schedule
     const JsonValue* v = root.find("break_recovery");
     *break_recovery = v != nullptr && v->kind == JsonValue::Kind::kBool && v->b;
   }
+  if (break_iteration_reuse != nullptr) {
+    const JsonValue* v = root.find("break_iteration_reuse");
+    *break_iteration_reuse =
+        v != nullptr && v->kind == JsonValue::Kind::kBool && v->b;
+  }
   workload = ExplorerWorkload{};
   if (const JsonValue* w = root.find("workload");
       w != nullptr && w->kind == JsonValue::Kind::kObject) {
@@ -360,6 +404,21 @@ Status Explorer::artifact_parse(const std::string& json, FaultSchedule& schedule
       const JsonValue* v = w->find(key);
       return v ? static_cast<decltype(dflt)>(v->as_i64(dflt)) : dflt;
     };
+    if (const JsonValue* v = w->find("app");
+        v != nullptr && v->kind == JsonValue::Kind::kString) {
+      workload.app = v->str;
+    }
+    if (workload.app != "wc" && workload.app != "sssp" &&
+        workload.app != "cc" && workload.app != "tri") {
+      return {ErrorCode::kInvalidArgument,
+              "artifact: app must be wc|sssp|cc|tri, got '" + workload.app +
+                  "'"};
+    }
+    workload.graph_nodes = geti("graph_nodes", workload.graph_nodes);
+    workload.graph_max_weight =
+        geti("graph_max_weight", workload.graph_max_weight);
+    workload.iterations = geti("iterations", workload.iterations);
+    workload.sssp_source = geti("sssp_source", workload.sssp_source);
     workload.nranks = geti("nranks", workload.nranks);
     workload.chunks = geti("chunks", workload.chunks);
     workload.lines_per_chunk = geti("lines_per_chunk", workload.lines_per_chunk);
@@ -419,15 +478,47 @@ RunReport Explorer::run_schedule(const FaultSchedule& schedule,
   so.root = tmp.path();
   storage::StorageSystem fs(so);
 
-  apps::TextGenOptions tg;
-  tg.nchunks = w.chunks;
-  tg.lines_per_chunk = w.lines_per_chunk;
-  tg.words_per_line = w.words_per_line;
-  tg.vocabulary = w.vocabulary;
+  // -- workload input + ground truth --
+  const bool graph_app = w.app != "wc";
   std::map<std::string, int64_t> expected;
-  if (auto s = apps::generate_text(fs, tg, &expected); !s.ok()) {
-    rep.violations.push_back({"harness", "textgen failed: " + s.to_string()});
-    return rep;
+  if (!graph_app) {
+    apps::TextGenOptions tg;
+    tg.nchunks = w.chunks;
+    tg.lines_per_chunk = w.lines_per_chunk;
+    tg.words_per_line = w.words_per_line;
+    tg.vocabulary = w.vocabulary;
+    if (auto s = apps::generate_text(fs, tg, &expected); !s.ok()) {
+      rep.violations.push_back({"harness", "textgen failed: " + s.to_string()});
+      return rep;
+    }
+  } else {
+    apps::GraphGenOptions gg;
+    gg.nodes = w.graph_nodes;
+    gg.nchunks = w.chunks;
+    gg.seed = schedule.seed;
+    apps::WAdjacency adj;
+    if (auto s = apps::generate_weighted_graph(fs, gg, w.graph_max_weight, &adj);
+        !s.ok()) {
+      rep.violations.push_back({"harness", "graphgen failed: " + s.to_string()});
+      return rep;
+    }
+    if (w.app == "sssp") {
+      const std::vector<int64_t> d =
+          apps::sssp_reference(adj, w.sssp_source, w.iterations);
+      for (size_t i = 0; i < d.size(); ++i) {
+        expected[std::to_string(i)] = d[i];
+      }
+    } else if (w.app == "cc") {
+      const std::vector<int64_t> l = apps::cc_reference(adj, w.iterations);
+      for (size_t i = 0; i < l.size(); ++i) {
+        expected[std::to_string(i)] = l[i];
+      }
+    } else if (w.app == "tri") {
+      expected = apps::tri_reference(adj);
+    } else {
+      rep.violations.push_back({"harness", "unknown app '" + w.app + "'"});
+      return rep;
+    }
   }
 
   core::FtJobOptions opts;
@@ -440,12 +531,23 @@ RunReport Explorer::run_schedule(const FaultSchedule& schedule,
   }
   if (opts.mode == core::FtMode::kDetectResumeNWC) opts.ckpt.enabled = false;
   opts.testing_break_recovery = opts_.break_recovery;
+  opts.testing_break_iteration_reuse = opts_.break_iteration_reuse;
 
   const core::StageFns stage = apps::wordcount_stage();
   auto driver = [&stage](core::FtJob& job) -> Status {
     if (auto s = job.run_stage(stage, false, nullptr); !s.ok()) return s;
     return job.write_output();
   };
+  auto make_spec = [&w]() -> core::IterSpec {
+    if (w.app == "sssp") return apps::sssp_spec(w.sssp_source, w.iterations);
+    if (w.app == "cc") return apps::cc_spec(w.iterations);
+    return apps::tri_spec();
+  };
+  // One round-log slot per rank, written live by the engine; persists
+  // across CR resubmissions so the cross-submission half of the reuse
+  // invariant sees the whole run (slots are rank-confined, no lock).
+  std::vector<core::IterRoundLog> iter_logs(
+      static_cast<size_t>(w.nranks));
 
   const mr::RecordLedger before = mr::ledger_snapshot(w.nranks);
 
@@ -476,7 +578,18 @@ RunReport Explorer::run_schedule(const FaultSchedule& schedule,
         w.nranks,
         [&](simmpi::Comm& c) {
           core::FtJob job(c, &fs, opts);
-          const Status s = job.run(driver);
+          Status s;
+          if (graph_app) {
+            // Fresh engine per submission (an incarnation's stats die with
+            // it), but the round log outlives submissions via iter_logs.
+            core::IterSpec spec = make_spec();
+            spec.submission = rep.submissions - 1;
+            spec.log = &iter_logs[static_cast<size_t>(c.rank())];
+            auto engine = std::make_shared<core::IterDriver>(std::move(spec));
+            s = job.run(core::IterDriver::as_driver(std::move(engine)));
+          } else {
+            s = job.run(driver);
+          }
           RankObservation& o = obs[static_cast<size_t>(c.rank())];
           o.ran = true;
           o.status_ok = s.ok();
@@ -516,10 +629,20 @@ RunReport Explorer::run_schedule(const FaultSchedule& schedule,
            "rank " + std::to_string(r) + " was killed but never scheduled"});
     }
   }
-  check_output_exact(expected, read_counts(fs), rep.violations);
+  if (graph_app) {
+    check_output_exact(expected, read_graph_output(fs, rep.violations),
+                       rep.violations);
+  } else {
+    check_output_exact(expected, read_counts(fs), rep.violations);
+  }
   const bool single_incarnation = killed_ever.empty() && rep.submissions == 1;
   check_checkpoint_chains(fs, w.nranks, w.ppn, single_incarnation,
                           rep.violations);
+  if (graph_app && schedule.mode != "nwc") {
+    // The reuse contract holds for WC (retained state) and CR (checkpoint
+    // priming); NWC multi-stage recovery falls back to stage 0 by design.
+    check_iteration_reuse(trace.events(), iter_logs, rep.violations);
+  }
   if (opts.ckpt.enabled && w.memory_replication_k > 0) {
     // Census = the union of what surviving ranks know died; kills the
     // survivors never detected (post-last-collective tail deaths) become
@@ -528,13 +651,22 @@ RunReport Explorer::run_schedule(const FaultSchedule& schedule,
     for (const RankObservation& o : obs) {
       if (o.ran) census.insert(o.known_dead.begin(), o.known_dead.end());
     }
+    // The iterative engine releases superseded rounds' memory replicas on
+    // purpose; each rank's release frontier exempts those blobs.
+    std::vector<int> released_below;
+    if (graph_app) {
+      for (const core::IterRoundLog& l : iter_logs) {
+        released_below.push_back(l.released_below_stage);
+      }
+    }
     check_replica_coverage(fs, w.nranks, w.ppn, w.memory_replication_k,
                            killed_ever, census, rep.submissions == 1,
-                           rep.violations);
+                           released_below, rep.violations);
   }
-  if (schedule.kills.empty()) {
-    // Conservation laws only balance failure-free (re-execution legitimately
-    // inflates the upstream taps).
+  if (schedule.kills.empty() && !graph_app) {
+    // Conservation laws only balance failure-free on the single-stage
+    // wordcount (re-execution and multi-round KV chaining legitimately
+    // unbalance the taps).
     check_record_conservation(mr::ledger_snapshot(w.nranks).delta_since(before),
                               stage.combine != nullptr, rep.violations);
   }
@@ -567,9 +699,11 @@ Status Explorer::harvest() {
   }
 
   // Candidate kill points: the op index of every span/instant the job
-  // recorded — phase boundaries, checkpoint frames, shuffle and master ops.
+  // recorded — phase boundaries, checkpoint frames, shuffle and master ops,
+  // and (iterative engine) round boundaries, so sweeps land kills exactly
+  // between iterations.
   static constexpr std::string_view kCats[] = {"phase", "ckpt", "shuffle",
-                                               "master"};
+                                               "master", "iter"};
   std::map<int64_t, std::string> by_op;
   for (const metrics::TraceEvent& e : events) {
     if (e.op < 1) continue;
@@ -738,8 +872,9 @@ ExploreReport Explorer::explore() {
       std::replace(name.begin(), name.end(), '/', '_');
       const std::string path =
           opts_.artifact_dir + "/" + rep.schedule.mode + "_" + name + ".json";
-      const std::string body = artifact_json(
-          rep.schedule, opts_.workload, opts_.break_recovery, rep.violations);
+      const std::string body =
+          artifact_json(rep.schedule, opts_.workload, opts_.break_recovery,
+                        opts_.break_iteration_reuse, rep.violations);
       if (std::FILE* f = std::fopen(path.c_str(), "wb")) {
         std::fwrite(body.data(), 1, body.size(), f);
         std::fclose(f);

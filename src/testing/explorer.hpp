@@ -76,15 +76,29 @@ struct Candidate {
   std::string source;
 };
 
-/// The workload every explored run executes: a small Zipf wordcount, sized
-/// so a full single-kill sweep stays in CI budget. Serialized into every
-/// artifact so `ftmr_explore replay=<file>` reconstructs the exact run.
+/// The workload every explored run executes: a small Zipf wordcount (or an
+/// iterative graph app, below), sized so a full single-kill sweep stays in
+/// CI budget. Serialized into every artifact so `ftmr_explore
+/// replay=<file>` reconstructs the exact run.
 struct ExplorerWorkload {
+  /// "wc" = Zipf wordcount. "sssp" | "cc" | "tri" run the corresponding
+  /// graph app on the iterative engine (core/iterjob.hpp): the harvest
+  /// then also picks up "iter" round-boundary instants as kill candidates,
+  /// ground truth comes from the dependency-free references in
+  /// apps/graph.hpp, and (for modes wc/cr) every run additionally arms the
+  /// no-completed-iteration-reexecution invariant.
+  std::string app = "wc";
   int nranks = 4;
   int chunks = 4;
   int lines_per_chunk = 10;
   int words_per_line = 6;
   int vocabulary = 60;
+  // -- graph-app inputs (ignored for "wc") --
+  int graph_nodes = 24;
+  int graph_max_weight = 3;
+  /// Engine iterations for sssp/cc (tri's pipeline has a fixed depth).
+  int iterations = 3;
+  int sssp_source = 0;
   int64_t records_per_ckpt = 8;
   int ppn = 2;
   int max_submissions = 8;        // checkpoint/restart resubmission cap
@@ -111,6 +125,11 @@ struct ExplorerOptions {
   int multi_kill_schedules = 0;   // number of random multi-kill schedules
   int max_kills_per_schedule = 2; // kills per multi-kill schedule (>= 2)
   bool break_recovery = false;    // mutation sanity check (see file comment)
+  /// Mutation sanity check for the iterative engine: flips
+  /// FtJobOptions::testing_break_iteration_reuse so a post-failure replay
+  /// deliberately re-executes its newest completed round — the
+  /// iteration-reuse invariant must catch it (graph apps only).
+  bool break_iteration_reuse = false;
   bool minimize = true;
   std::string artifact_dir;       // host path; empty = no artifacts written
 };
@@ -176,11 +195,14 @@ class Explorer {
   /// Serialize a schedule (+ workload + violations) as a replay artifact.
   [[nodiscard]] static std::string artifact_json(
       const FaultSchedule& schedule, const ExplorerWorkload& workload,
-      bool break_recovery, const std::vector<Violation>& violations);
-  /// Parse an artifact produced by artifact_json. `break_recovery` may be
-  /// null. Unknown fields are ignored (artifacts are forward-compatible).
+      bool break_recovery, bool break_iteration_reuse,
+      const std::vector<Violation>& violations);
+  /// Parse an artifact produced by artifact_json. The mutation-flag out
+  /// params may be null. Unknown fields are ignored (artifacts are
+  /// forward-compatible).
   static Status artifact_parse(const std::string& json, FaultSchedule& schedule,
-                               ExplorerWorkload& workload, bool* break_recovery);
+                               ExplorerWorkload& workload, bool* break_recovery,
+                               bool* break_iteration_reuse = nullptr);
 
  private:
   ExplorerOptions opts_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string_view>
 
 #include "common/bytes.hpp"
 #include "core/checkpoint.hpp"
@@ -317,6 +318,7 @@ void check_replica_coverage(storage::StorageSystem& fs, int nranks, int ppn,
                             int k, const std::set<int>& killed,
                             const std::set<int>& census,
                             bool include_local_files,
+                            const std::vector<int>& released_below,
                             std::vector<Violation>& out) {
   if (k <= 0 || ppn <= 0) return;
   storage::ReplicaStore& mem = fs.memory();
@@ -371,6 +373,21 @@ void check_replica_coverage(storage::StorageSystem& fs, int nranks, int ppn,
   }
 
   for (const auto& [path, owner] : blobs) {
+    // The iterative engine releases superseded rounds' memory replicas on
+    // purpose (file tiers keep them); stages below the owner's release
+    // frontier are exempt from the coverage requirement.
+    const int frontier = owner < static_cast<int>(released_below.size())
+                             ? released_below[static_cast<size_t>(owner)]
+                             : 0;
+    if (frontier > 0) {
+      const size_t slash = path.rfind('/');
+      core::CkptFileName parsed;
+      if (slash != std::string::npos &&
+          core::parse_checkpoint_name(path.substr(slash + 1), parsed) &&
+          parsed.stage < frontier) {
+        continue;
+      }
+    }
     const int owner_node = owner / ppn;
     int eligible = 0;
     for (int r : live) {
@@ -417,6 +434,100 @@ void check_record_conservation(const mr::RecordLedger& run, bool has_combiner,
     add(out, "record-conservation",
         "reduce emitted " + num(run.reduce_emitted) + " != output written " +
         num(run.output_written));
+  }
+}
+
+namespace {
+
+/// "iter.done/<r>" / "iter.exec/<r>" -> r, or -1 if `name` lacks `prefix`.
+int parse_round(const std::string& name, std::string_view prefix) {
+  if (name.size() <= prefix.size() ||
+      name.compare(0, prefix.size(), prefix) != 0) {
+    return -1;
+  }
+  int r = 0;
+  for (size_t i = prefix.size(); i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    r = r * 10 + (name[i] - '0');
+  }
+  return r;
+}
+
+}  // namespace
+
+void check_iteration_reuse(const std::vector<metrics::TraceEvent>& trace,
+                           const std::vector<core::IterRoundLog>& logs,
+                           std::vector<Violation>& out) {
+  // In-job half: per rank, in record order (merge preserves each source
+  // recorder's order and every rank merges exactly once), an exec of a
+  // round that rank already saw complete is a failed fast-forward.
+  std::map<int, std::set<int>> done_rounds;  // tid -> rounds seen done
+  for (const metrics::TraceEvent& e : trace) {
+    if (e.cat != "iter") continue;
+    if (const int r = parse_round(e.name, "iter.done/"); r >= 0) {
+      done_rounds[e.tid].insert(r);
+      continue;
+    }
+    if (const int r = parse_round(e.name, "iter.exec/"); r >= 0) {
+      if (done_rounds[e.tid].count(r)) {
+        add(out, "iteration-reuse",
+            "rank " + std::to_string(e.tid) + " re-executed round " +
+            std::to_string(r) +
+            " after completing it (post-failure replay did not fast-forward"
+            " the converged round)");
+      }
+    }
+  }
+  // Cross-submission half: once *every* rank completed a round (its
+  // completion checkpoints are durable everywhere), every later CR
+  // incarnation must recover it to kPhaseDone and fast-forward. Job-wide
+  // completion is the right bar — CR restart resumes at the minimum
+  // composite across ranks, so a rank individually ahead of a victim
+  // legally rolls back to the agreed frontier; only rounds behind the
+  // job-wide frontier are "converged state" the reuse contract protects.
+  std::map<int, int> jobwide;  // round -> submission all ranks completed by
+  if (!logs.empty()) {
+    std::set<int> rounds;
+    for (const core::IterRoundLog& log : logs) {
+      for (const auto& [round, sub] : log.first_completed_submission) {
+        (void)sub;
+        rounds.insert(round);
+      }
+    }
+    for (const int round : rounds) {
+      int latest = -1;
+      bool all = true;
+      for (const core::IterRoundLog& log : logs) {
+        const auto it = log.first_completed_submission.find(round);
+        if (it == log.first_completed_submission.end()) {
+          all = false;
+          break;
+        }
+        latest = std::max(latest, it->second);
+      }
+      if (all) jobwide.emplace(round, latest);
+    }
+  }
+  for (size_t rank = 0; rank < logs.size(); ++rank) {
+    for (const auto& [round, subs] : logs[rank].exec_submissions) {
+      const auto jw = jobwide.find(round);
+      if (jw == jobwide.end()) continue;
+      for (const int sub : subs) {
+        // A restart whose priming was itself hit by a failure (allreduce on
+        // the resume point died) legitimately starts fresh; the doomed
+        // submission aborts and a later one recovers properly.
+        const auto pr = logs[rank].primed.find(sub);
+        if (sub > 0 && pr != logs[rank].primed.end() && !pr->second) continue;
+        if (sub > jw->second) {
+          add(out, "iteration-reuse",
+              "rank " + std::to_string(rank) + " executed round " +
+              std::to_string(round) + " in submission " +
+              std::to_string(sub) + " although every rank completed it by " +
+              "submission " + std::to_string(jw->second) +
+              " (checkpoint reuse across restarts broken)");
+        }
+      }
+    }
   }
 }
 

@@ -29,6 +29,10 @@
 //                              golden run (shuffle_sent == shuffle_received
 //                              etc.); failure runs legitimately inflate the
 //                              upstream taps via re-execution.
+//   7. iteration reuse       — on the iterative engine, no completed
+//                              round is ever re-executed: post-failure
+//                              replays fast-forward converged rounds and
+//                              resume at the round in flight.
 #pragma once
 
 #include <map>
@@ -36,6 +40,8 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
+#include "core/iterjob.hpp"
 #include "mr/accounting.hpp"
 #include "simmpi/types.hpp"
 #include "storage/storage.hpp"
@@ -101,10 +107,33 @@ void check_record_conservation(const mr::RecordLedger& run, bool has_combiner,
 /// the store to every blob in live ranks' own checkpoint files (valid only
 /// for single-submission runs: earlier CR incarnations' files legitimately
 /// have no replicas, memory does not survive resubmission).
+/// `released_below[r]`, when present, is rank r's memory-release frontier
+/// (IterRoundLog::released_below_stage): the iterative engine deliberately
+/// drops memory replicas of stages below it once a round is superseded, so
+/// those blobs are exempt from the coverage requirement (their file copies
+/// remain). Pass {} for non-iterative jobs.
 void check_replica_coverage(storage::StorageSystem& fs, int nranks, int ppn,
                             int k, const std::set<int>& killed,
                             const std::set<int>& census,
                             bool include_local_files,
+                            const std::vector<int>& released_below,
                             std::vector<Violation>& out);
+
+/// Invariant 7: no-completed-iteration-reexecution (the cross-iteration
+/// checkpoint reuse contract of core/iterjob.hpp). Two halves:
+///   - in-job (trace): within one rank's event stream on cat "iter" (record
+///     order is preserved per tid by TraceRecorder::merge), an
+///     "iter.exec/<r>" after an "iter.done/<r>" means a post-failure driver
+///     replay re-executed a round it had already completed instead of
+///     fast-forwarding it.
+///   - cross-submission (logs): `logs[rank]` persists across CR
+///     resubmissions; a round executed in a submission *after* the one that
+///     first completed it means checkpoint recovery failed to prime the
+///     round to kPhaseDone.
+/// Only meaningful for WC and CR runs — NWC multi-stage recovery falls back
+/// to stage 0 by design, so callers must not arm this for mode "nwc".
+void check_iteration_reuse(const std::vector<metrics::TraceEvent>& trace,
+                           const std::vector<core::IterRoundLog>& logs,
+                           std::vector<Violation>& out);
 
 }  // namespace ftmr::testing

@@ -13,6 +13,17 @@
 #include "testing/explorer.hpp"
 #include "tests/test_seed.hpp"
 
+// Sanitizer builds pay 10-20x per explored run; the graph-app sweeps cap
+// their run counts there (same contracts, affordable wall clock). The full
+// sweeps run in the default and clang CI legs.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define FTMR_TEST_SANITIZED 1
+#endif
+#elif defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define FTMR_TEST_SANITIZED 1
+#endif
+
 namespace ftmr::testing {
 namespace {
 
@@ -127,14 +138,21 @@ TEST(Artifact, JsonRoundTrip) {
   w.nranks = 6;
   w.records_per_ckpt = 3;
   w.deadlock_timeout_s = 12.5;
+  w.app = "sssp";
+  w.graph_nodes = 33;
+  w.graph_max_weight = 5;
+  w.iterations = 4;
+  w.sssp_source = 2;
   const std::vector<Violation> viol = {
       {"output-exactness", "key 'x\"y' count 1 != expected 2"}};
-  const std::string json = Explorer::artifact_json(s, w, true, viol);
+  const std::string json = Explorer::artifact_json(s, w, true, true, viol);
 
   FaultSchedule s2;
   ExplorerWorkload w2;
   bool broken = false;
-  ASSERT_TRUE(Explorer::artifact_parse(json, s2, w2, &broken).ok()) << json;
+  bool reuse_broken = false;
+  ASSERT_TRUE(Explorer::artifact_parse(json, s2, w2, &broken, &reuse_broken).ok())
+      << json;
   EXPECT_EQ(s2.label, s.label);
   EXPECT_EQ(s2.mode, s.mode);
   EXPECT_EQ(s2.seed, s.seed);
@@ -142,7 +160,13 @@ TEST(Artifact, JsonRoundTrip) {
   EXPECT_EQ(w2.nranks, w.nranks);
   EXPECT_EQ(w2.records_per_ckpt, w.records_per_ckpt);
   EXPECT_DOUBLE_EQ(w2.deadlock_timeout_s, w.deadlock_timeout_s);
+  EXPECT_EQ(w2.app, w.app);
+  EXPECT_EQ(w2.graph_nodes, w.graph_nodes);
+  EXPECT_EQ(w2.graph_max_weight, w.graph_max_weight);
+  EXPECT_EQ(w2.iterations, w.iterations);
+  EXPECT_EQ(w2.sssp_source, w.sssp_source);
   EXPECT_TRUE(broken);
+  EXPECT_TRUE(reuse_broken);
 }
 
 TEST(Artifact, RejectsMalformedInput) {
@@ -160,6 +184,10 @@ TEST(Artifact, RejectsMalformedInput) {
                    .ok());
   EXPECT_FALSE(Explorer::artifact_parse(
                    R"({"version":1,"mode":"bogus"})", s, w, nullptr)
+                   .ok());
+  EXPECT_FALSE(Explorer::artifact_parse(
+                   R"({"version":1,"mode":"wc","workload":{"app":"bogus"}})",
+                   s, w, nullptr)
                    .ok());
 }
 
@@ -186,7 +214,8 @@ TEST(Mutation, BrokenRecoveryIsDetectedMinimizedAndReplayable) {
 
   // Round-trip the artifact and replay it in a *fresh* explorer.
   const std::string json = Explorer::artifact_json(
-      f.schedule, e.options().workload, /*break_recovery=*/true, f.violations);
+      f.schedule, e.options().workload, /*break_recovery=*/true,
+      /*break_iteration_reuse=*/false, f.violations);
   FaultSchedule replay_sched;
   ExplorerWorkload replay_w;
   bool replay_broken = false;
@@ -203,6 +232,148 @@ TEST(Mutation, BrokenRecoveryIsDetectedMinimizedAndReplayable) {
   EXPECT_FALSE(replayed.violations.empty())
       << "artifact " << f.schedule.label << " did not reproduce on replay";
 }
+
+// ---------------------------------------------------------------------------
+// Iterative graph apps on the cross-iteration-reuse engine. Every graph-app
+// run in modes wc/cr additionally arms the no-completed-iteration-
+// reexecution invariant (see check_iteration_reuse), so a clean sweep here
+// is the acceptance bar for cross-iteration checkpoint reuse under faults.
+// ---------------------------------------------------------------------------
+
+ExplorerOptions graph_opts(const std::string& app, const std::string& mode) {
+  ExplorerOptions o;
+  o.mode = mode;
+  o.seed = tests::test_seed(/*salt=*/0x17e6);
+  o.workload.app = app;
+  o.workload.graph_nodes = 18;
+  o.workload.iterations = 3;  // 3+-iteration runs per the acceptance bar
+  return o;
+}
+
+TEST(IterGraph, HarvestCoversIterationBoundaries) {
+  Explorer e(graph_opts("sssp", "wc"));
+  ASSERT_TRUE(e.harvest().ok());
+  bool round_boundary = false;
+  for (const Candidate& c : e.candidates()) {
+    round_boundary = round_boundary || c.source.compare(0, 5, "iter:") == 0;
+  }
+  EXPECT_TRUE(round_boundary)
+      << "harvest found no iteration-boundary kill candidates";
+}
+
+// Acceptance bar: single-kill sweep over a 3-iteration SSSP run, zero
+// violations with the reuse invariant armed. WC exercises the in-job
+// (trace) half of the invariant, CR the cross-submission (round log) half.
+class SsspSingleKillSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SsspSingleKillSweep, ZeroViolationsWithReuseInvariantArmed) {
+  ExplorerOptions o = graph_opts("sssp", GetParam());
+#ifdef FTMR_TEST_SANITIZED
+  o.max_single_kill_runs = 24;
+#endif
+  Explorer e(o);
+  ExploreReport rep = e.explore();
+  EXPECT_GT(rep.schedules, 0);
+  for (const RunReport& f : rep.failing) {
+    for (const Violation& v : f.violations) {
+      ADD_FAILURE() << f.schedule.label << ": [" << v.invariant << "] "
+                    << v.detail;
+    }
+  }
+  EXPECT_TRUE(rep.failing.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SsspSingleKillSweep,
+                         ::testing::Values("wc", "cr"));
+
+// Bounded-random multi-kill CR sweep over connected components: repeated
+// restarts, kills spread across resubmissions, reuse invariant checking
+// that rounds completed in earlier submissions are never re-executed.
+TEST(IterGraph, CcMultiKillCrSweepClean) {
+  ExplorerOptions o = graph_opts("cc", "cr");
+  o.max_single_kill_runs = 1;  // focus on the multi-kill runs
+#ifdef FTMR_TEST_SANITIZED
+  o.multi_kill_schedules = 2;
+#else
+  o.multi_kill_schedules = 5;
+#endif
+  o.max_kills_per_schedule = 3;
+  Explorer e(o);
+  ASSERT_TRUE(e.harvest().ok());
+  bool spread = false;
+  for (const FaultSchedule& s : e.multi_kill_schedules()) {
+    for (const KillSpec& k : s.kills) spread = spread || k.submission > 0;
+    RunReport rep = e.run_schedule(s);
+    for (const Violation& v : rep.violations) {
+      ADD_FAILURE() << s.label << ": [" << v.invariant << "] " << v.detail;
+    }
+  }
+  EXPECT_TRUE(spread) << "CR multi-kill schedules must span resubmissions";
+}
+
+// Triangle counting runs a 3-stage pipeline through the engine; a capped
+// sweep keeps the multi-stage (non-relaxation) shape covered under kills.
+TEST(IterGraph, TriangleCappedSweepClean) {
+  ExplorerOptions o = graph_opts("tri", "wc");
+  o.workload.graph_nodes = 14;
+  o.max_single_kill_runs = 12;
+  Explorer e(o);
+  ExploreReport rep = e.explore();
+  for (const RunReport& f : rep.failing) {
+    for (const Violation& v : f.violations) {
+      ADD_FAILURE() << f.schedule.label << ": [" << v.invariant << "] "
+                    << v.detail;
+    }
+  }
+  EXPECT_TRUE(rep.failing.empty());
+}
+
+// Mutation sanity for the reuse contract: a build that deliberately
+// invalidates its newest completed round on post-failure replay MUST be
+// caught by the iteration-reuse invariant, and the violating schedule must
+// replay from its serialized artifact (which carries the mutation flag).
+class BrokenReuse : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BrokenReuse, IsDetectedAndReplayable) {
+  ExplorerOptions o = graph_opts("sssp", GetParam());
+  o.break_iteration_reuse = true;
+  o.max_single_kill_runs = 24;  // subsample still lands mid-iteration kills
+  Explorer e(o);
+  ExploreReport rep = e.explore();
+  ASSERT_FALSE(rep.failing.empty())
+      << "planted reuse bug produced zero violations — the reuse invariant "
+         "cannot detect real re-execution";
+  bool reuse_caught = false;
+  for (const RunReport& f : rep.failing) {
+    for (const Violation& v : f.violations) {
+      reuse_caught = reuse_caught || v.invariant == "iteration-reuse";
+    }
+  }
+  EXPECT_TRUE(reuse_caught)
+      << "violations found but none from the iteration-reuse invariant";
+
+  const RunReport& f = rep.failing.front();
+  const std::string json = Explorer::artifact_json(
+      f.schedule, e.options().workload, /*break_recovery=*/false,
+      /*break_iteration_reuse=*/true, f.violations);
+  FaultSchedule rs;
+  ExplorerWorkload rw;
+  bool rbroken = false;
+  bool rreuse = false;
+  ASSERT_TRUE(Explorer::artifact_parse(json, rs, rw, &rbroken, &rreuse).ok());
+  EXPECT_FALSE(rbroken);
+  ASSERT_TRUE(rreuse);
+  ExplorerOptions ro;
+  ro.mode = rs.mode;
+  ro.workload = rw;
+  ro.break_iteration_reuse = rreuse;
+  Explorer replayer(ro);
+  RunReport replayed = replayer.run_schedule(rs);
+  EXPECT_FALSE(replayed.violations.empty())
+      << "artifact " << f.schedule.label << " did not reproduce on replay";
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, BrokenReuse, ::testing::Values("wc", "cr"));
 
 TEST(Minimize, DropsRedundantKills) {
   ExplorerOptions o = small_opts("wc");

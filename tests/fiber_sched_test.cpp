@@ -203,7 +203,8 @@ TEST(FiberScaleReplay, ArtifactAtFullScaleReplaysExactly) {
   EXPECT_TRUE(first.violations.empty());
 
   const std::string artifact = Explorer::artifact_json(
-      sched, big_opts().workload, /*break_recovery=*/false, first.violations);
+      sched, big_opts().workload, /*break_recovery=*/false,
+      /*break_iteration_reuse=*/false, first.violations);
   FaultSchedule parsed;
   ExplorerWorkload workload;
   ASSERT_TRUE(Explorer::artifact_parse(artifact, parsed, workload, nullptr).ok());

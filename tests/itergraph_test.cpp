@@ -1,0 +1,498 @@
+// itergraph_test.cpp — the iterative graph apps (SSSP, connected
+// components, triangle counting) on the cross-iteration-reuse engine.
+//
+// Property tests: randomized weighted digraphs plus the adversarial
+// hand-built shapes (disconnected, self-loop, duplicate-edge, single-node)
+// must match the dependency-free single-threaded references in
+// apps/graph.hpp exactly, through the full FT engine. Seeds derive from
+// tests/test_seed.hpp so failures reproduce from the log alone.
+//
+// Regression tests for iteration-scoped checkpoint namespaces: a rank
+// killed at an iteration boundary (an "iter.done/<r>" op harvested from
+// the golden run's trace) must leave well-formed per-stage checkpoint
+// chains — round N's delta chain never merges into round N+1's — the
+// reuse invariant must stay silent, every survivor re-executes at most
+// the one round in flight, and the converged output must be
+// byte-identical to the failure-free run's.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/graph.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "core/checkpoint.hpp"
+#include "core/iterjob.hpp"
+#include "simmpi/runtime.hpp"
+#include "testing/invariants.hpp"
+#include "tests/test_seed.hpp"
+
+// Sanitizer builds pay 10-20x on engine runs; trim the randomized trial
+// counts there — same properties, affordable wall clock.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define FTMR_TEST_SANITIZED 1
+#endif
+#elif defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define FTMR_TEST_SANITIZED 1
+#endif
+
+namespace ftmr::apps {
+namespace {
+
+using core::FtJob;
+using core::FtJobOptions;
+using core::FtMode;
+using core::IterDriver;
+using core::IterSpec;
+using simmpi::Comm;
+using simmpi::Runtime;
+
+#ifdef FTMR_TEST_SANITIZED
+constexpr int kRandomTrials = 2;
+#else
+constexpr int kRandomTrials = 4;
+#endif
+
+struct Cluster {
+  Cluster() : tmp("ftmr-itergraph") {
+    storage::StorageOptions so;
+    so.root = tmp.path();
+    fs = std::make_unique<storage::StorageSystem>(so);
+  }
+  std::map<std::string, std::string> read_output() {
+    std::map<std::string, std::string> out;
+    for (auto& [name, data] : raw_output()) {
+      ByteReader r(data);
+      while (!r.exhausted()) {
+        std::string k, v;
+        if (!r.get_string(k).ok() || !r.get_string(v).ok()) {
+          ADD_FAILURE() << "corrupt output in " << name;
+          break;
+        }
+        out[k] = v;
+      }
+    }
+    return out;
+  }
+  /// Per-file raw bytes, for byte-identity comparisons.
+  std::map<std::string, Bytes> raw_output() {
+    std::vector<std::string> parts;
+    EXPECT_TRUE(fs->list_dir(storage::Tier::kShared, 0, "output", parts).ok());
+    std::map<std::string, Bytes> out;
+    for (const auto& name : parts) {
+      Bytes data;
+      EXPECT_TRUE(
+          fs->read_file(storage::Tier::kShared, 0, "output/" + name, data).ok());
+      out[name] = std::move(data);
+    }
+    return out;
+  }
+  storage::TempDir tmp;
+  std::unique_ptr<storage::StorageSystem> fs;
+};
+
+FtJobOptions wc_opts() {
+  FtJobOptions o;
+  o.mode = FtMode::kDetectResumeWC;
+  o.ckpt.records_per_ckpt = 8;  // small frames -> real delta chains per round
+  o.ppn = 2;
+  return o;
+}
+
+/// Run one IterSpec through the engine. Ranks in `expect_dead` may return
+/// a non-ok status (they were killed); everyone else must succeed.
+void run_spec(Cluster& cl, const IterSpec& spec, int nranks,
+              const simmpi::JobOptions& jo = {},
+              const std::set<int>& expect_dead = {}) {
+  Runtime::run(
+      nranks,
+      [&](Comm& c) {
+        FtJob job(c, cl.fs.get(), wc_opts());
+        auto drv = std::make_shared<IterDriver>(spec);
+        Status s = job.run(IterDriver::as_driver(drv));
+        if (expect_dead.count(c.global_rank()) == 0) {
+          EXPECT_TRUE(s.ok()) << "rank " << c.global_rank() << ": "
+                              << s.to_string();
+        }
+      },
+      jo);
+}
+
+void expect_sssp(const std::map<std::string, std::string>& out,
+                 const std::vector<int64_t>& ref) {
+  ASSERT_EQ(out.size(), ref.size());
+  for (const auto& [node, value] : out) {
+    EXPECT_EQ(sssp_parse_dist(value), ref[std::stoul(node)]) << "node " << node;
+  }
+}
+
+void expect_cc(const std::map<std::string, std::string>& out,
+               const std::vector<int64_t>& ref) {
+  ASSERT_EQ(out.size(), ref.size());
+  for (const auto& [node, value] : out) {
+    EXPECT_EQ(sssp_parse_dist(value), ref[std::stoul(node)]) << "node " << node;
+  }
+}
+
+void expect_tri(const std::map<std::string, std::string>& out,
+                const std::map<std::string, int64_t>& ref) {
+  ASSERT_EQ(out.size(), ref.size());
+  for (const auto& [edge, value] : out) {
+    const auto it = ref.find(edge);
+    ASSERT_NE(it, ref.end()) << "unexpected triangle edge " << edge;
+    EXPECT_EQ(sssp_parse_dist(value), it->second) << "edge " << edge;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: randomized graphs vs the references
+// ---------------------------------------------------------------------------
+
+TEST(IterGraphProperty, RandomizedSsspMatchesReference) {
+  Rng rng(tests::test_seed(0x55591));
+  for (int trial = 0; trial < kRandomTrials; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    Cluster cl;
+    GraphGenOptions go;
+    go.nodes = static_cast<int>(rng.next_in(1, 40));
+    go.avg_degree = 1.0 + rng.next_double() * 4.0;
+    go.seed = rng.next_u64();
+    go.nchunks = 4;
+    const int max_weight = static_cast<int>(rng.next_in(1, 5));
+    const int source = static_cast<int>(rng.next_below(go.nodes));
+    const int rounds = static_cast<int>(rng.next_in(2, 4));
+    WAdjacency adj;
+    ASSERT_TRUE(generate_weighted_graph(*cl.fs, go, max_weight, &adj).ok());
+    run_spec(cl, sssp_spec(source, rounds), 4);
+    expect_sssp(cl.read_output(), sssp_reference(adj, source, rounds));
+  }
+}
+
+TEST(IterGraphProperty, RandomizedCcMatchesReference) {
+  Rng rng(tests::test_seed(0xcc591));
+  for (int trial = 0; trial < kRandomTrials; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    Cluster cl;
+    GraphGenOptions go;
+    go.nodes = static_cast<int>(rng.next_in(1, 40));
+    go.avg_degree = 1.0 + rng.next_double() * 3.0;
+    go.seed = rng.next_u64();
+    go.nchunks = 4;
+    const int rounds = static_cast<int>(rng.next_in(2, 4));
+    WAdjacency adj;
+    ASSERT_TRUE(generate_weighted_graph(*cl.fs, go, 3, &adj).ok());
+    run_spec(cl, cc_spec(rounds), 4);
+    expect_cc(cl.read_output(), cc_reference(adj, rounds));
+  }
+}
+
+TEST(IterGraphProperty, RandomizedTriangleMatchesReference) {
+  Rng rng(tests::test_seed(0x421591));
+  for (int trial = 0; trial < kRandomTrials; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    Cluster cl;
+    GraphGenOptions go;
+    // Triangle counting is O(degree^2) per node; keep graphs dense but
+    // small so triads actually exist without blowing the test budget.
+    go.nodes = static_cast<int>(rng.next_in(4, 20));
+    go.avg_degree = 2.0 + rng.next_double() * 3.0;
+    go.seed = rng.next_u64();
+    go.nchunks = 3;
+    WAdjacency adj;
+    ASSERT_TRUE(generate_weighted_graph(*cl.fs, go, 2, &adj).ok());
+    run_spec(cl, tri_spec(), 3);
+    expect_tri(cl.read_output(), tri_reference(adj));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: adversarial hand-built shapes
+// ---------------------------------------------------------------------------
+
+/// All three apps against the references on one hand-built graph.
+void check_all_apps(const WAdjacency& adj, int rounds) {
+  const int nranks = 3;
+  {
+    Cluster cl;
+    ASSERT_TRUE(write_graph(*cl.fs, adj, 3).ok());
+    run_spec(cl, sssp_spec(0, rounds), nranks);
+    expect_sssp(cl.read_output(), sssp_reference(adj, 0, rounds));
+  }
+  {
+    Cluster cl;
+    ASSERT_TRUE(write_graph(*cl.fs, adj, 3).ok());
+    run_spec(cl, cc_spec(rounds), nranks);
+    expect_cc(cl.read_output(), cc_reference(adj, rounds));
+  }
+  {
+    Cluster cl;
+    ASSERT_TRUE(write_graph(*cl.fs, adj, 3).ok());
+    run_spec(cl, tri_spec(), nranks);
+    expect_tri(cl.read_output(), tri_reference(adj));
+  }
+}
+
+TEST(IterGraphShapes, DisconnectedComponentsAndIsolatedNode) {
+  // Triangle {0,1,2}, pair {3,4}, isolated node 5 (empty adjacency line).
+  WAdjacency adj(6);
+  adj[0] = {{1, 2}, {2, 5}};
+  adj[1] = {{2, 1}};
+  adj[2] = {{0, 3}};
+  adj[3] = {{4, 1}};
+  adj[4] = {{3, 2}};
+  check_all_apps(adj, 3);
+  // SSSP from inside one component must leave the others unreached (-1).
+  const std::vector<int64_t> ref = sssp_reference(adj, 0, 3);
+  EXPECT_EQ(ref[3], -1);
+  EXPECT_EQ(ref[5], -1);
+  // CC at fixpoint: three distinct component labels.
+  const std::vector<int64_t> cc = cc_reference(adj, -1);
+  EXPECT_EQ(cc[0], cc[1]);
+  EXPECT_EQ(cc[3], cc[4]);
+  EXPECT_NE(cc[0], cc[3]);
+  EXPECT_NE(cc[0], cc[5]);
+}
+
+TEST(IterGraphShapes, SelfLoopsAreHarmless) {
+  // Self-loops must not shorten distances, relabel components, or mint
+  // triangles (the edge stage drops them).
+  WAdjacency adj(4);
+  adj[0] = {{0, 1}, {1, 2}};
+  adj[1] = {{1, 3}, {2, 1}};
+  adj[2] = {{2, 2}, {0, 1}};
+  adj[3] = {{3, 1}};
+  check_all_apps(adj, 3);
+  const std::vector<int64_t> ref = sssp_reference(adj, 0, 3);
+  EXPECT_EQ(ref[0], 0);  // the 0->0 loop never beats distance 0
+  EXPECT_EQ(tri_reference(adj).size(), 3u);  // the {0,1,2} triangle only
+}
+
+TEST(IterGraphShapes, DuplicateEdgesCollapse) {
+  // Parallel edges with different weights: SSSP relaxes every copy (min
+  // wins), CC treats them as one adjacency, triangles count each edge once.
+  WAdjacency adj(3);
+  adj[0] = {{1, 5}, {1, 2}, {1, 5}, {2, 1}};
+  adj[1] = {{2, 1}, {2, 4}};
+  adj[2] = {{0, 3}, {0, 3}};
+  check_all_apps(adj, 3);
+  const std::vector<int64_t> ref = sssp_reference(adj, 0, 3);
+  EXPECT_EQ(ref[1], 2);  // the cheaper parallel copy
+  EXPECT_EQ(ref[2], 1);
+  // One triangle, three edges, each counted exactly once.
+  const std::map<std::string, int64_t> tri = tri_reference(adj);
+  ASSERT_EQ(tri.size(), 3u);
+  for (const auto& [edge, n] : tri) EXPECT_EQ(n, 1) << "edge " << edge;
+}
+
+TEST(IterGraphShapes, SingleNodeGraph) {
+  // Smallest possible inputs: one node with no edges, and one node with
+  // only a self-loop.
+  WAdjacency bare(1);
+  check_all_apps(bare, 2);
+  WAdjacency looped(1);
+  looped[0] = {{0, 7}};
+  check_all_apps(looped, 2);
+  EXPECT_EQ(sssp_reference(looped, 0, 2)[0], 0);
+  EXPECT_TRUE(tri_reference(looped).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Regression: iteration-boundary failures
+// ---------------------------------------------------------------------------
+
+/// Golden-run harvest for the boundary tests: the victim rank's op index
+/// at each "iter.done/<r>" instant, plus the failure-free raw output.
+struct Golden {
+  std::map<int, int64_t> boundary_op;  // round -> victim's op at its done
+  std::map<std::string, Bytes> output;
+};
+
+constexpr int kBoundaryRanks = 4;
+constexpr int kBoundaryIters = 3;
+constexpr int kVictim = 1;
+
+GraphGenOptions boundary_graph() {
+  GraphGenOptions go;
+  go.nodes = 18;
+  go.nchunks = 4;
+  go.seed = tests::test_seed(0xb0a2d);
+  return go;
+}
+
+Golden harvest_golden(const IterSpec& spec) {
+  Golden g;
+  Cluster cl;
+  WAdjacency adj;
+  EXPECT_TRUE(generate_weighted_graph(*cl.fs, boundary_graph(), 3, &adj).ok());
+  metrics::TraceRecorder trace;
+  Runtime::run(kBoundaryRanks, [&](Comm& c) {
+    FtJob job(c, cl.fs.get(), wc_opts());
+    auto drv = std::make_shared<IterDriver>(spec);
+    EXPECT_TRUE(job.run(IterDriver::as_driver(drv)).ok());
+    trace.merge(job.trace());
+  });
+  for (const metrics::TraceEvent& e : trace.events()) {
+    if (e.tid != kVictim || e.cat != "iter" || e.op < 0) continue;
+    constexpr std::string_view kDone = "iter.done/";
+    if (e.name.rfind(kDone, 0) != 0) continue;
+    const int round = std::stoi(e.name.substr(kDone.size()));
+    g.boundary_op.emplace(round, e.op);  // first completion, not replays
+  }
+  g.output = cl.raw_output();
+  return g;
+}
+
+// Kill the victim at every iteration boundary of an SSSP run, one run per
+// boundary. Each failure run must (a) keep per-stage checkpoint chains
+// well-formed — round N's delta chain never absorbs round N+1's frames,
+// the iteration-scoped-namespace regression; (b) keep the reuse invariant
+// silent (no completed round re-executed); (c) re-execute at most one
+// round per survivor (the round in flight); and (d) converge to output
+// byte-identical to the failure-free run.
+TEST(IterBoundary, KillAtEveryBoundaryKeepsChainsAndOutputByteIdentical) {
+  const IterSpec spec = sssp_spec(/*source=*/0, kBoundaryIters);
+  const Golden golden = harvest_golden(spec);
+  // Round 0 (init) through the last iteration round must all be covered.
+  ASSERT_EQ(golden.boundary_op.size(),
+            static_cast<size_t>(1 + kBoundaryIters));
+  ASSERT_FALSE(golden.output.empty());
+
+  for (const auto& [round, op] : golden.boundary_op) {
+    SCOPED_TRACE("kill at iter.done/" + std::to_string(round) + " op " +
+                 std::to_string(op));
+    Cluster cl;
+    WAdjacency adj;
+    ASSERT_TRUE(generate_weighted_graph(*cl.fs, boundary_graph(), 3, &adj).ok());
+
+    simmpi::JobOptions jo;
+    jo.kills.push_back({kVictim, /*vtime=*/-1.0, /*after_ops=*/op});
+    std::vector<core::IterRoundLog> logs(kBoundaryRanks);
+    std::vector<std::shared_ptr<IterDriver>> drivers(kBoundaryRanks);
+    metrics::TraceRecorder trace;
+    Runtime::run(
+        kBoundaryRanks,
+        [&](Comm& c) {
+          FtJob job(c, cl.fs.get(), wc_opts());
+          IterSpec s = spec;
+          s.log = &logs[static_cast<size_t>(c.rank())];
+          auto drv = std::make_shared<IterDriver>(s);
+          drivers[static_cast<size_t>(c.rank())] = drv;
+          Status st = job.run(IterDriver::as_driver(drv));
+          if (c.global_rank() != kVictim) {
+            EXPECT_TRUE(st.ok()) << st.to_string();
+          }
+          trace.merge(job.trace());
+        },
+        jo);
+
+    // (a) Chain well-formedness across both tiers. Not single-incarnation:
+    // the victim's chains legitimately stop mid-stage.
+    std::vector<testing::Violation> viol;
+    testing::check_checkpoint_chains(*cl.fs, kBoundaryRanks, wc_opts().ppn,
+                                     /*single_incarnation=*/false, viol);
+    // (b) The reuse contract: no "iter.exec/<r>" after "iter.done/<r>".
+    testing::check_iteration_reuse(trace.events(), logs, viol);
+    for (const auto& v : viol) {
+      ADD_FAILURE() << "[" << v.invariant << "] " << v.detail;
+    }
+
+    // (c) Resume-at-failed-iteration: every survivor re-executes at most
+    // the round in flight, and replays fast-forward completed rounds.
+    for (int r = 0; r < kBoundaryRanks; ++r) {
+      if (r == kVictim || drivers[static_cast<size_t>(r)] == nullptr) continue;
+      const core::IterStats& st = drivers[static_cast<size_t>(r)]->stats();
+      EXPECT_LE(st.rounds_reexecuted_after_failure, 1) << "rank " << r;
+      if (round > 0) {
+        EXPECT_GT(st.rounds_fast_forwarded, 0) << "rank " << r;
+      }
+    }
+
+    // (d) Byte-identity with the failure-free run.
+    EXPECT_EQ(cl.raw_output(), golden.output);
+    expect_sssp(cl.read_output(),
+                sssp_reference(adj, 0, kBoundaryIters));
+  }
+}
+
+// Regression: WC recovery once restored a dead rank's checkpointed map
+// output for a kv-input stage under *file* task ids (my_new_tasks), so
+// the restored records landed on whichever rank inherited the input
+// chunk while the rank that inherited the partition re-executed the
+// same task from scratch — and the shuffle, which merges every entry in
+// st.tasks, counted the task's records twice. Triangle counting is the
+// one bundled app whose reduce is not idempotent under duplicated
+// records (SSSP/CC/BFS take min), so sweeping kills across the join
+// stage's op window and demanding exact per-edge counts pins the fix.
+TEST(IterBoundary, KvStageKillsNeverDuplicateRecords) {
+  const IterSpec spec = tri_spec();
+#ifdef FTMR_TEST_SANITIZED
+  // op 22 is the schedule the explorer sweep first caught (mid-shuffle
+  // of the join stage); op 10 lands in the triad stage.
+  const std::vector<int64_t> kill_ops = {10, 22};
+#else
+  std::vector<int64_t> kill_ops;
+  for (int64_t op = 2; op <= 30; op += 2) kill_ops.push_back(op);
+#endif
+  for (const int64_t op : kill_ops) {
+    SCOPED_TRACE("kill rank 2 after " + std::to_string(op) + " ops");
+    Cluster cl;
+    GraphGenOptions go;
+    go.nodes = 14;
+    go.nchunks = 4;
+    go.seed = 1;
+    WAdjacency adj;
+    ASSERT_TRUE(generate_weighted_graph(*cl.fs, go, 3, &adj).ok());
+    simmpi::JobOptions jo;
+    jo.kills.push_back({2, /*vtime=*/-1.0, /*after_ops=*/op});
+    run_spec(cl, spec, 4, jo, {2});
+    expect_tri(cl.read_output(), tri_reference(adj));
+  }
+}
+
+// The namespace regression stated directly: after a boundary kill, the
+// delta frames on disk must span multiple distinct stage ids (one
+// namespace per round's stages), and every file must parse under the
+// checkpoint-name grammar — a merged chain would put round N+1's frames
+// under round N's stage id, collapsing the id set.
+TEST(IterBoundary, BoundaryKillLeavesPerRoundCheckpointNamespaces) {
+  const IterSpec spec = cc_spec(kBoundaryIters);
+  const Golden golden = harvest_golden(spec);
+  const auto mid = golden.boundary_op.find(1);  // boundary between rounds 1/2
+  ASSERT_NE(mid, golden.boundary_op.end());
+
+  Cluster cl;
+  WAdjacency adj;
+  ASSERT_TRUE(generate_weighted_graph(*cl.fs, boundary_graph(), 3, &adj).ok());
+  simmpi::JobOptions jo;
+  jo.kills.push_back({kVictim, /*vtime=*/-1.0, /*after_ops=*/mid->second});
+  run_spec(cl, spec, kBoundaryRanks, jo, {kVictim});
+
+  std::set<int> stages_seen;
+  for (int rank = 0; rank < kBoundaryRanks; ++rank) {
+    const int node = rank / wc_opts().ppn;
+    const std::string dir = core::checkpoint_rank_dir(rank);
+    for (storage::Tier tier : {storage::Tier::kLocal, storage::Tier::kShared}) {
+      std::vector<std::string> names;
+      if (!cl.fs->list_dir(tier, node, dir, names).ok()) continue;
+      for (const std::string& n : names) {
+        core::CkptFileName parsed;
+        ASSERT_TRUE(core::parse_checkpoint_name(n, parsed)) << n;
+        EXPECT_GE(parsed.stage, 0) << n;
+        EXPECT_LT(parsed.stage, 1 + kBoundaryIters) << n;
+        stages_seen.insert(parsed.stage);
+      }
+    }
+  }
+  // Rounds on both sides of the killed boundary left their own namespace.
+  EXPECT_GE(stages_seen.size(), 2u);
+  expect_cc(cl.read_output(), cc_reference(adj, kBoundaryIters));
+}
+
+}  // namespace
+}  // namespace ftmr::apps
